@@ -1,0 +1,49 @@
+//! Criterion benches for the functional hierarchy simulator itself —
+//! the substrate's throughput bounds how large the figure traces can be.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::hierarchy::TwoLevelHierarchy;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_workloads::{spec2000_profiles, TraceGenerator};
+
+const OPS: usize = 50_000;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let profiles = spec2000_profiles();
+    let mut group = c.benchmark_group("hierarchy_throughput");
+    group.throughput(Throughput::Elements(OPS as u64));
+    for name in ["gzip", "mcf", "swim"] {
+        let profile = *profiles.iter().find(|p| p.name == name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let l1 = CacheGeometry::new(32 * 1024, 2, 32).unwrap();
+                    let l2 = CacheGeometry::new(1024 * 1024, 4, 32).unwrap();
+                    (
+                        TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru),
+                        TraceGenerator::new(&profile, 3).take(OPS).collect::<Vec<_>>(),
+                    )
+                },
+                |(mut h, trace)| h.run(trace),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let profiles = spec2000_profiles();
+    let profile = profiles[0];
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_function("gzip", |b| {
+        b.iter(|| TraceGenerator::new(&profile, 9).take(OPS).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches for the *rare-case* machinery: CPPC recovery and
+//! the spatial fault locator. The paper argues their cost is irrelevant
+//! because errors are rare (§5); these benches quantify the cost anyway
+//! — recovery scans every dirty word of the affected domain.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::memory::MainMemory;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_core::{locate_spatial, CppcCache, CppcConfig, Suspect};
+use cppc_fault::model::{BitFlip, FaultPattern};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn dirty_cache(dirty_words: usize) -> (CppcCache, MainMemory) {
+    let geo = CacheGeometry::new(32 * 1024, 2, 32).unwrap();
+    let mut cache = CppcCache::new_l1(geo, CppcConfig::paper(), ReplacementPolicy::Lru).unwrap();
+    let mut mem = MainMemory::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..dirty_words {
+        cache
+            .store_word((i as u64) * 8, rng.random(), &mut mem)
+            .unwrap();
+    }
+    (cache, mem)
+}
+
+fn bench_single_bit_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_single_bit");
+    for dirty in [64usize, 512, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(dirty), &dirty, |b, &dirty| {
+            b.iter_batched(
+                || {
+                    let (mut cache, mem) = dirty_cache(dirty);
+                    cache.flip_data_bit_at(0, 13);
+                    (cache, mem)
+                },
+                |(mut cache, mut mem)| cache.recover_all(&mut mem).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_spatial_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_spatial_4x4");
+    for dirty in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(dirty), &dirty, |b, &dirty| {
+            b.iter_batched(
+                || {
+                    let (mut cache, mem) = dirty_cache(dirty);
+                    let flips: Vec<BitFlip> = (0..4)
+                        .flat_map(|r| {
+                            (0..4).map(move |c| BitFlip {
+                                row: r,
+                                col: 20 + c,
+                            })
+                        })
+                        .collect();
+                    cache.inject(&FaultPattern::new(flips));
+                    (cache, mem)
+                },
+                |(mut cache, mut mem)| cache.recover_all(&mut mem).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_locator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_locator");
+    // The §4.5 worked example: 4 words, bits 5..=12 each.
+    let e = 0b1_1111_1110_0000u64;
+    let mut r3 = 0;
+    let mut suspects = Vec::new();
+    for row in 0..4usize {
+        r3 ^= cppc_core::rotate::rotate_left_bytes(e, row as u32);
+        suspects.push(Suspect {
+            row,
+            class: row,
+            syndrome: 0xFF,
+        });
+    }
+    group.bench_function("paper_example_4_words", |b| {
+        b.iter(|| locate_spatial(r3, &suspects).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_bit_recovery,
+    bench_spatial_recovery,
+    bench_locator
+);
+criterion_main!(benches);

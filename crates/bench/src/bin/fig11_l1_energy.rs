@@ -1,0 +1,74 @@
+//! **Figure 11**: dynamic energy of L1 protection schemes, normalised
+//! to the one-dimensional-parity L1 cache.
+//!
+//! Paper result: CPPC ≈ +14%, SECDED (8-way interleaved) ≈ +42%,
+//! two-dimensional parity ≈ +70% on average.
+//!
+//! Run with `cargo run -p cppc-bench --bin fig11_l1_energy --release`.
+
+use cppc_bench::{mean, memops, print_header, print_row, run_profile, EVAL_SEED};
+use cppc_energy::scheme::{ProtectionKind, SchemeEnergy};
+use cppc_energy::tech::TechnologyNode;
+use cppc_timing::{counts_from_stats, MachineConfig};
+use cppc_workloads::spec2000_profiles;
+
+fn main() {
+    let ops = memops();
+    let machine = MachineConfig::table1();
+    let (size, assoc, block) = (
+        machine.l1d.size_bytes,
+        machine.l1d.associativity,
+        machine.l1d.block_bytes,
+    );
+    let node = TechnologyNode::Nm32;
+    let parity = SchemeEnergy::new(size, assoc, block, ProtectionKind::OneDimParity { ways: 8 }, node);
+    let cppc = SchemeEnergy::new(size, assoc, block, ProtectionKind::Cppc { ways: 8 }, node);
+    let secded = SchemeEnergy::new(size, assoc, block, ProtectionKind::Secded { interleaved: true }, node);
+    let twodim = SchemeEnergy::new(size, assoc, block, ProtectionKind::TwoDimParity { ways: 8 }, node);
+
+    println!("Figure 11: normalised L1 dynamic energy (32nm, Table 1 L1D)");
+    println!("trace: {ops} memory ops per benchmark\n");
+    print_header(&["bench", "CPPC", "SECDED", "2D-parity"], 12);
+
+    let wpl = (block / 8) as u32;
+    let (mut nc, mut ns, mut nt) = (Vec::new(), Vec::new(), Vec::new());
+    for profile in spec2000_profiles() {
+        let run = run_profile(&profile, ops, EVAL_SEED);
+        let counts = counts_from_stats(&run.l1, wpl);
+        let base = parity.total_pj(&counts);
+        let c = cppc.total_pj(&counts) / base;
+        let s = secded.total_pj(&counts) / base;
+        let t = twodim.total_pj(&counts) / base;
+        nc.push(c);
+        ns.push(s);
+        nt.push(t);
+        print_row(
+            profile.name,
+            &[format!("{c:.3}"), format!("{s:.3}"), format!("{t:.3}")],
+            12,
+        );
+    }
+    println!();
+    print_row(
+        "average",
+        &[
+            format!("{:.3}", mean(&nc)),
+            format!("{:.3}", mean(&ns)),
+            format!("{:.3}", mean(&nt)),
+        ],
+        12,
+    );
+    println!();
+    println!(
+        "CPPC   : avg {:+.1}%   (paper: +14%)",
+        (mean(&nc) - 1.0) * 100.0
+    );
+    println!(
+        "SECDED : avg {:+.1}%   (paper: +42%)",
+        (mean(&ns) - 1.0) * 100.0
+    );
+    println!(
+        "2D par : avg {:+.1}%   (paper: +70%)",
+        (mean(&nt) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! **Figure 12**: dynamic energy of L2 protection schemes, normalised
+//! to the one-dimensional-parity L2 cache.
+//!
+//! Paper result: CPPC ≈ +7% (far fewer read-before-writes at L2),
+//! SECDED ≈ +68%, two-dimensional parity ≈ +75% on average — with mcf's
+//! ~80% miss rate making 2D parity several times costlier than CPPC.
+//!
+//! Run with `cargo run -p cppc-bench --bin fig12_l2_energy --release`.
+
+use cppc_bench::{mean, memops, print_header, print_row, run_profile, EVAL_SEED};
+use cppc_energy::scheme::{ProtectionKind, SchemeEnergy};
+use cppc_energy::tech::TechnologyNode;
+use cppc_timing::{counts_from_stats, MachineConfig};
+use cppc_workloads::spec2000_profiles;
+
+fn main() {
+    let ops = memops();
+    let machine = MachineConfig::table1();
+    let (size, assoc, block) = (
+        machine.l2.size_bytes,
+        machine.l2.associativity,
+        machine.l2.block_bytes,
+    );
+    let node = TechnologyNode::Nm32;
+    let parity = SchemeEnergy::new(size, assoc, block, ProtectionKind::OneDimParity { ways: 8 }, node);
+    let cppc = SchemeEnergy::new(size, assoc, block, ProtectionKind::Cppc { ways: 8 }, node);
+    let secded = SchemeEnergy::new(size, assoc, block, ProtectionKind::Secded { interleaved: true }, node);
+    let twodim = SchemeEnergy::new(size, assoc, block, ProtectionKind::TwoDimParity { ways: 8 }, node);
+
+    println!("Figure 12: normalised L2 dynamic energy (32nm, Table 1 L2)");
+    println!("trace: {ops} memory ops per benchmark\n");
+    print_header(&["bench", "CPPC", "SECDED", "2D-parity", "L2miss%"], 12);
+
+    let wpl = (block / 8) as u32;
+    let (mut nc, mut ns, mut nt) = (Vec::new(), Vec::new(), Vec::new());
+    for profile in spec2000_profiles() {
+        let run = run_profile(&profile, ops, EVAL_SEED);
+        let counts = counts_from_stats(&run.l2, wpl);
+        let base = parity.total_pj(&counts);
+        let c = cppc.total_pj(&counts) / base;
+        let s = secded.total_pj(&counts) / base;
+        let t = twodim.total_pj(&counts) / base;
+        nc.push(c);
+        ns.push(s);
+        nt.push(t);
+        print_row(
+            profile.name,
+            &[
+                format!("{c:.3}"),
+                format!("{s:.3}"),
+                format!("{t:.3}"),
+                format!("{:.1}", run.l2.miss_rate() * 100.0),
+            ],
+            12,
+        );
+    }
+    println!();
+    print_row(
+        "average",
+        &[
+            format!("{:.3}", mean(&nc)),
+            format!("{:.3}", mean(&ns)),
+            format!("{:.3}", mean(&nt)),
+            String::new(),
+        ],
+        12,
+    );
+    println!();
+    println!(
+        "CPPC   : avg {:+.1}%   (paper: +7%)",
+        (mean(&nc) - 1.0) * 100.0
+    );
+    println!(
+        "SECDED : avg {:+.1}%   (paper: +68%)",
+        (mean(&ns) - 1.0) * 100.0
+    );
+    println!(
+        "2D par : avg {:+.1}%   (paper: +75%)",
+        (mean(&nt) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,234 @@
+//! **§4.6 / §4.7 coverage matrix** (no figure in the paper, but the
+//! correction-capability claims the design rests on): fault-injection
+//! campaigns measuring how each protection scheme disposes of each
+//! fault class — Corrected, DUE, SDC or Masked.
+//!
+//! Expected shape (paper claims):
+//!
+//! * 1D parity: detects but never corrects dirty faults (all DUE);
+//! * SECDED + interleaving: corrects everything up to 8-wide strikes;
+//! * CPPC (1 pair, byte shifting): corrects all spatial MBEs in an 8x8
+//!   square except the irreducible patterns (solid 8x8, distance-4
+//!   alias) — those are DUE, never SDC;
+//! * CPPC (2 pairs): corrects the 8x8 too;
+//! * CPPC (8 pairs, no shifting): corrects everything in the square.
+//!
+//! Run with `cargo run -p cppc-bench --bin mbe_coverage --release`.
+
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::memory::MainMemory;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_core::baselines::{OneDimParityCache, SecdedCache, TwoDimParityCache};
+use cppc_core::{CppcCache, CppcConfig};
+use cppc_fault::campaign::{Campaign, Outcome, OutcomeTally};
+use cppc_fault::model::{FaultGenerator, FaultModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const TRIALS: u64 = 400;
+
+fn geometry() -> CacheGeometry {
+    CacheGeometry::new(2048, 2, 32).unwrap() // 32 sets, 256 rows
+}
+
+/// Ground truth: addresses of way-0 rows and their stored values.
+fn oracle(seed: u64) -> Vec<(u64, u64)> {
+    let geo = geometry();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = geo.num_sets() * geo.words_per_block(); // way 0 only
+    (0..rows)
+        .map(|row| {
+            let set = row / geo.words_per_block();
+            let word = row % geo.words_per_block();
+            let addr = geo.address_of(0, set) + (word * 8) as u64;
+            (addr, rng.random())
+        })
+        .collect()
+}
+
+fn fault_models() -> Vec<(&'static str, FaultModel)> {
+    vec![
+        ("single bit", FaultModel::TemporalSingleBit),
+        ("2-bit vertical", FaultModel::VerticalStripe { rows: 2 }),
+        ("8-bit horizontal", FaultModel::HorizontalBurst { cols: 8 }),
+        (
+            "4x4 square",
+            FaultModel::SpatialSquare {
+                rows: 4,
+                cols: 4,
+                density: 1.0,
+            },
+        ),
+        (
+            "8x8 sparse",
+            FaultModel::SpatialSquare {
+                rows: 8,
+                cols: 8,
+                density: 0.4,
+            },
+        ),
+        (
+            "8x8 solid",
+            FaultModel::SpatialSquare {
+                rows: 8,
+                cols: 8,
+                density: 1.0,
+            },
+        ),
+    ]
+}
+
+fn run_cppc(config: CppcConfig, model: FaultModel) -> OutcomeTally {
+    Campaign::new(0xC0DE).run(TRIALS, |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = CppcCache::new_l1(geometry(), config, ReplacementPolicy::Lru).unwrap();
+        let truth = oracle(trial);
+        for &(addr, v) in &truth {
+            cache.store_word(addr, v, &mut mem).unwrap();
+        }
+        let rows = cache.layout().num_rows() / 2; // way 0 rows only
+        let mut generator = FaultGenerator::new(rows, rng.random());
+        let pattern = generator.sample(model);
+        if cache.inject(&pattern) == 0 {
+            return Outcome::Masked;
+        }
+        match cache.recover_all(&mut mem) {
+            Err(_) => Outcome::DetectedUnrecoverable,
+            Ok(_) => {
+                for &(addr, v) in &truth {
+                    if cache.peek_word(addr) != Some(v) {
+                        return Outcome::SilentCorruption;
+                    }
+                }
+                Outcome::Corrected
+            }
+        }
+    })
+}
+
+fn run_parity(model: FaultModel) -> OutcomeTally {
+    Campaign::new(0xC0DE).run(TRIALS, |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = OneDimParityCache::new(geometry(), 8, ReplacementPolicy::Lru);
+        let truth = oracle(trial);
+        for &(addr, v) in &truth {
+            cache.store_word(addr, v, &mut mem);
+        }
+        let rows = cache.layout().num_rows() / 2;
+        let mut generator = FaultGenerator::new(rows, rng.random());
+        let pattern = generator.sample(model);
+        if cache.inject(&pattern) == 0 {
+            return Outcome::Masked;
+        }
+        for &(addr, v) in &truth {
+            match cache.load_word(addr, &mut mem) {
+                Err(_) => return Outcome::DetectedUnrecoverable,
+                Ok(got) if got != v => return Outcome::SilentCorruption,
+                Ok(_) => {}
+            }
+        }
+        // All loads matched — every flipped bit was hidden (even flips
+        // per parity group): silent, but harmless this time. Count as
+        // SDC-escape only if data actually differs (checked above), so
+        // this is effectively "masked by parity blindness".
+        Outcome::Masked
+    })
+}
+
+fn run_secded(model: FaultModel) -> OutcomeTally {
+    Campaign::new(0xC0DE).run(TRIALS, |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = SecdedCache::new(geometry(), true, ReplacementPolicy::Lru);
+        let truth = oracle(trial);
+        for &(addr, v) in &truth {
+            cache.store_word(addr, v, &mut mem);
+        }
+        let logical_rows = cache.layout().num_rows() / 2;
+        // Translate the fault model into a physical strike on the
+        // interleaved array (8 logical rows per physical row).
+        let (rows, cols) = match model {
+            FaultModel::TemporalSingleBit => (1, 1),
+            FaultModel::VerticalStripe { rows } => (rows, 1),
+            FaultModel::HorizontalBurst { cols } => (1, cols),
+            FaultModel::SpatialSquare { rows, cols, .. } => (rows, cols),
+            FaultModel::TemporalMultiBit { .. } => (1, 1),
+        };
+        let physical_rows = logical_rows / 8;
+        let prows = rows.div_ceil(8).max(1).min(physical_rows);
+        let row0 = rng.random_range(0..=(physical_rows - prows));
+        let col0 = rng.random_range(0..=(512 - cols));
+        let flips = cache.inject_spatial(row0, col0, prows, cols);
+        if flips.is_empty() {
+            return Outcome::Masked;
+        }
+        for &(addr, v) in &truth {
+            match cache.load_word(addr, &mut mem) {
+                Err(_) => return Outcome::DetectedUnrecoverable,
+                Ok(got) if got != v => return Outcome::SilentCorruption,
+                Ok(_) => {}
+            }
+        }
+        Outcome::Corrected
+    })
+}
+
+fn run_twodim(vertical_rows: usize, model: FaultModel) -> OutcomeTally {
+    Campaign::new(0xC0DE).run(TRIALS, |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = TwoDimParityCache::new(geometry(), vertical_rows, ReplacementPolicy::Lru);
+        let truth = oracle(trial);
+        for &(addr, v) in &truth {
+            cache.store_word(addr, v, &mut mem);
+        }
+        let rows = cache.layout().num_rows() / 2;
+        let mut generator = FaultGenerator::new(rows, rng.random());
+        let pattern = generator.sample(model);
+        if cache.inject(&pattern) == 0 {
+            return Outcome::Masked;
+        }
+        match cache.recover_all() {
+            Err(_) => Outcome::DetectedUnrecoverable,
+            Ok(()) => {
+                for &(addr, v) in &truth {
+                    if cache.peek_word(addr) != Some(v) {
+                        return Outcome::SilentCorruption;
+                    }
+                }
+                Outcome::Corrected
+            }
+        }
+    })
+}
+
+fn print_tally(label: &str, t: &OutcomeTally) {
+    println!(
+        "  {label:<22} corrected {:>5.1}%  due {:>5.1}%  sdc {:>5.1}%  masked {:>5.1}%",
+        t.corrected as f64 / t.total() as f64 * 100.0,
+        t.due as f64 / t.total() as f64 * 100.0,
+        t.sdc as f64 / t.total() as f64 * 100.0,
+        t.masked as f64 / t.total() as f64 * 100.0,
+    );
+}
+
+fn main() {
+    println!("Spatial/temporal MBE coverage matrix ({TRIALS} trials per cell)");
+    println!("cache: 2KB 2-way 32B blocks, way 0 fully dirty\n");
+    for (name, model) in fault_models() {
+        println!("fault: {name}");
+        print_tally("1D parity", &run_parity(model));
+        print_tally("SECDED+interleave", &run_secded(model));
+        print_tally("CPPC 1 pair", &run_cppc(CppcConfig::paper(), model));
+        print_tally("CPPC 2 pairs", &run_cppc(CppcConfig::two_pairs(), model));
+        print_tally("CPPC 8 pairs", &run_cppc(CppcConfig::eight_pairs(), model));
+        print_tally("2D parity (1 row)", &run_twodim(1, model));
+        print_tally("2D parity (8 rows)", &run_twodim(8, model));
+        println!();
+    }
+    println!("expected shape: 1D parity all-DUE on dirty faults; SECDED and");
+    println!("CPPC-8-pairs correct everything; CPPC-1-pair DUEs only on the");
+    println!("irreducible 8x8/distance-4 patterns; SDC stays at zero everywhere.");
+    println!("The single-vertical-row 2D parity — the paper's evaluated 2D");
+    println!("configuration — corrects single-bit faults only: any multi-row");
+    println!("fault collapses onto its one vertical row (all-DUE), which is why");
+    println!("section 6 compares its energy but not its reliability.");
+}

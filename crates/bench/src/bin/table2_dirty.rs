@@ -1,0 +1,57 @@
+//! **Table 2**: average percentage of dirty data and average `Tavg`
+//! (cycles between consecutive accesses to the same dirty word/block)
+//! for L1 and L2, averaged over the 15 benchmarks.
+//!
+//! Paper result: dirty data 16% (L1) / 35% (L2); `Tavg` 1828 cycles
+//! (L1) / 378,997 cycles (L2).
+//!
+//! Run with `cargo run -p cppc-bench --bin table2_dirty --release`.
+
+use cppc_bench::{mean, memops, print_header, print_row, run_profile, EVAL_SEED};
+use cppc_workloads::spec2000_profiles;
+
+fn main() {
+    let ops = memops();
+    println!("Table 2: dirty-data residency and Tavg (trace: {ops} memory ops)\n");
+    print_header(&["bench", "L1dirty%", "L2dirty%", "L1 Tavg", "L2 Tavg"], 12);
+
+    let (mut d1, mut d2, mut t1, mut t2) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for profile in spec2000_profiles() {
+        let run = run_profile(&profile, ops, EVAL_SEED);
+        let l1d = run.l1_dirty_fraction * 100.0;
+        let l2d = run.l2_dirty_fraction * 100.0;
+        let l1t = run.l1_tavg.unwrap_or(f64::NAN);
+        let l2t = run.l2_tavg.unwrap_or(f64::NAN);
+        d1.push(l1d);
+        d2.push(l2d);
+        if l1t.is_finite() {
+            t1.push(l1t);
+        }
+        if l2t.is_finite() {
+            t2.push(l2t);
+        }
+        print_row(
+            profile.name,
+            &[
+                format!("{l1d:.1}"),
+                format!("{l2d:.1}"),
+                format!("{l1t:.0}"),
+                format!("{l2t:.0}"),
+            ],
+            12,
+        );
+    }
+    println!();
+    print_row(
+        "average",
+        &[
+            format!("{:.1}", mean(&d1)),
+            format!("{:.1}", mean(&d2)),
+            format!("{:.0}", mean(&t1)),
+            format!("{:.0}", mean(&t2)),
+        ],
+        12,
+    );
+    println!();
+    println!("paper: L1 dirty 16%, L2 dirty 35%, L1 Tavg 1828 cyc, L2 Tavg 378997 cyc");
+}

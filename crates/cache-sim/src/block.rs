@@ -1,0 +1,271 @@
+//! Cache blocks holding real data words with per-word dirty bits.
+
+/// One cache block: tag, validity, the actual 64-bit data words, and a
+/// per-word dirty bitmap.
+///
+/// An L1 CPPC "keeps one dirty bit per word in the cache tag array"
+/// (paper §3), so dirty state is tracked per word here rather than per
+/// block; block-level dirtiness is derived (`is_dirty`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheBlock {
+    tag: u64,
+    valid: bool,
+    words: Vec<u64>,
+    dirty: u64,
+}
+
+impl CacheBlock {
+    /// Creates an invalid block with room for `words_per_block` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_block` is zero or greater than 64 (the dirty
+    /// bitmap is a `u64`).
+    #[must_use]
+    pub fn invalid(words_per_block: usize) -> Self {
+        assert!(
+            (1..=64).contains(&words_per_block),
+            "words per block must be in 1..=64, got {words_per_block}"
+        );
+        CacheBlock {
+            tag: 0,
+            valid: false,
+            words: vec![0; words_per_block],
+            dirty: 0,
+        }
+    }
+
+    /// `true` if this way holds a valid block.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The tag of the resident block (meaningless when invalid).
+    #[must_use]
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// `true` if any word of the block is dirty.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty != 0
+    }
+
+    /// The per-word dirty bitmap (bit `i` set ⇔ word `i` dirty).
+    #[must_use]
+    pub fn dirty_mask(&self) -> u64 {
+        self.dirty
+    }
+
+    /// `true` if word `w` is dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[must_use]
+    pub fn is_word_dirty(&self, w: usize) -> bool {
+        assert!(w < self.words.len(), "word {w} out of range");
+        self.dirty >> w & 1 == 1
+    }
+
+    /// Number of dirty words.
+    #[must_use]
+    pub fn dirty_word_count(&self) -> u32 {
+        self.dirty.count_ones()
+    }
+
+    /// The data words.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads word `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[must_use]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Fills the block with `data` under `tag`, marking it valid & clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` length differs from the block's word count.
+    pub fn fill(&mut self, tag: u64, data: &[u64]) {
+        assert_eq!(data.len(), self.words.len(), "fill width mismatch");
+        self.tag = tag;
+        self.valid = true;
+        self.dirty = 0;
+        self.words.copy_from_slice(data);
+    }
+
+    /// Writes word `w`, marks it dirty, and returns `(old_value,
+    /// was_already_dirty)` — the two facts the CPPC write path needs
+    /// (old data is XORed into R2 only when the word was already dirty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn store_word(&mut self, w: usize, value: u64) -> (u64, bool) {
+        let old = self.words[w];
+        let was_dirty = self.is_word_dirty(w);
+        self.words[w] = value;
+        self.dirty |= 1 << w;
+        (old, was_dirty)
+    }
+
+    /// Writes a single byte inside word `w` (a partial store), marks the
+    /// word dirty, and returns `(old_word, was_already_dirty)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `byte` is out of range.
+    pub fn store_byte(&mut self, w: usize, byte: usize, value: u8) -> (u64, bool) {
+        assert!(byte < 8, "byte {byte} out of range");
+        let old = self.words[w];
+        let was_dirty = self.is_word_dirty(w);
+        let shift = 8 * byte as u32;
+        self.words[w] = (old & !(0xFFu64 << shift)) | (u64::from(value) << shift);
+        self.dirty |= 1 << w;
+        (old, was_dirty)
+    }
+
+    /// Overwrites word `w` *without* touching the dirty bit — used by
+    /// recovery to write corrected data back in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn patch_word(&mut self, w: usize, value: u64) {
+        self.words[w] = value;
+    }
+
+    /// Clears all dirty bits (after a write-back made memory consistent).
+    pub fn clean(&mut self) {
+        self.dirty = 0;
+    }
+
+    /// Invalidates the block.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.dirty = 0;
+    }
+
+    /// Flips bit `bit` of word `w` — fault injection's entry point into
+    /// the data array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `bit` is out of range.
+    pub fn flip_bit(&mut self, w: usize, bit: u32) {
+        assert!(bit < 64, "bit {bit} out of range");
+        assert!(w < self.words.len(), "word {w} out of range");
+        self.words[w] ^= 1u64 << bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_block_starts_clean() {
+        let b = CacheBlock::invalid(4);
+        assert!(!b.is_valid());
+        assert!(!b.is_dirty());
+        assert_eq!(b.dirty_word_count(), 0);
+    }
+
+    #[test]
+    fn fill_makes_valid_clean() {
+        let mut b = CacheBlock::invalid(4);
+        b.fill(7, &[1, 2, 3, 4]);
+        assert!(b.is_valid());
+        assert!(!b.is_dirty());
+        assert_eq!(b.tag(), 7);
+        assert_eq!(b.words(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn store_word_reports_old_and_dirty_state() {
+        let mut b = CacheBlock::invalid(2);
+        b.fill(0, &[10, 20]);
+        let (old, was_dirty) = b.store_word(1, 99);
+        assert_eq!((old, was_dirty), (20, false));
+        let (old, was_dirty) = b.store_word(1, 100);
+        assert_eq!((old, was_dirty), (99, true));
+        assert!(b.is_word_dirty(1));
+        assert!(!b.is_word_dirty(0));
+        assert_eq!(b.dirty_mask(), 0b10);
+    }
+
+    #[test]
+    fn store_byte_patches_correct_lane() {
+        let mut b = CacheBlock::invalid(1);
+        b.fill(0, &[0x1111_2222_3333_4444]);
+        let (old, dirty) = b.store_byte(0, 2, 0xAB);
+        assert_eq!(old, 0x1111_2222_3333_4444);
+        assert!(!dirty);
+        assert_eq!(b.word(0), 0x1111_2222_33AB_4444);
+        assert!(b.is_word_dirty(0));
+    }
+
+    #[test]
+    fn patch_word_preserves_dirty_bits() {
+        let mut b = CacheBlock::invalid(2);
+        b.fill(0, &[0, 0]);
+        b.store_word(0, 5);
+        b.patch_word(0, 6);
+        assert_eq!(b.word(0), 6);
+        assert!(b.is_word_dirty(0));
+        b.patch_word(1, 9);
+        assert!(!b.is_word_dirty(1), "patch must not set dirty");
+    }
+
+    #[test]
+    fn clean_clears_all_dirty() {
+        let mut b = CacheBlock::invalid(4);
+        b.fill(0, &[0; 4]);
+        b.store_word(0, 1);
+        b.store_word(3, 1);
+        b.clean();
+        assert!(!b.is_dirty());
+    }
+
+    #[test]
+    fn flip_bit_corrupts_exactly_one_bit() {
+        let mut b = CacheBlock::invalid(2);
+        b.fill(0, &[0, 0]);
+        b.flip_bit(1, 63);
+        assert_eq!(b.word(1), 1u64 << 63);
+        assert_eq!(b.word(0), 0);
+    }
+
+    #[test]
+    fn invalidate_resets() {
+        let mut b = CacheBlock::invalid(1);
+        b.fill(3, &[42]);
+        b.store_word(0, 43);
+        b.invalidate();
+        assert!(!b.is_valid());
+        assert!(!b.is_dirty());
+    }
+
+    #[test]
+    #[should_panic(expected = "words per block")]
+    fn zero_words_panics() {
+        let _ = CacheBlock::invalid(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fill width mismatch")]
+    fn fill_wrong_width_panics() {
+        CacheBlock::invalid(2).fill(0, &[1]);
+    }
+}

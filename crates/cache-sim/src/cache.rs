@@ -1,0 +1,764 @@
+//! The write-back, write-allocate set-associative cache.
+
+use crate::block::CacheBlock;
+use crate::geometry::{CacheGeometry, WORD_BYTES};
+use crate::memory::MainMemory;
+use crate::replacement::{ReplacementPolicy, SetReplacementState};
+use crate::stats::CacheStats;
+
+/// Anything that can stand below a cache: the next cache level or main
+/// memory. Fetches return real data; write-backs carry the dirty mask so
+/// only modified words propagate.
+pub trait Backing {
+    /// Fetches the block of `words` 64-bit words at block-aligned `base`.
+    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64>;
+
+    /// Accepts a write-back of the dirty words of the block at `base`
+    /// (`dirty_mask` bit `i` set ⇔ `data[i]` is dirty).
+    fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64);
+}
+
+impl Backing for MainMemory {
+    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
+        self.read_block(base, words)
+    }
+
+    fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
+        self.write_back_dirty(base, data, dirty_mask);
+    }
+}
+
+/// A block evicted by a fill, handed back so protected caches can update
+/// their bookkeeping (e.g. CPPC XORs evicted dirty words into R2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction {
+    /// Block base address of the evicted block.
+    pub base: u64,
+    /// The evicted data words.
+    pub words: Vec<u64>,
+    /// Per-word dirty mask at eviction time.
+    pub dirty_mask: u64,
+}
+
+/// A write-back, write-allocate set-associative cache holding real data.
+///
+/// # Example
+///
+/// ```
+/// use cppc_cache_sim::{Cache, CacheGeometry, MainMemory, ReplacementPolicy};
+///
+/// let geo = CacheGeometry::new(1024, 2, 32)?;
+/// let mut mem = MainMemory::new();
+/// let mut c = Cache::new(geo, ReplacementPolicy::Lru);
+/// c.store_word(0x40, 99, &mut mem);
+/// assert_eq!(c.load_word(0x40, &mut mem), 99);
+/// assert_eq!(c.stats().store_misses, 1);
+/// assert_eq!(c.stats().load_hits, 1);
+/// # Ok::<(), cppc_cache_sim::GeometryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geo: CacheGeometry,
+    sets: Vec<Vec<CacheBlock>>,
+    repl: Vec<SetReplacementState>,
+    stats: CacheStats,
+    dirty_words: u64,
+    scrub_cursor: usize,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry and policy.
+    /// Random replacement is seeded deterministically per set.
+    #[must_use]
+    pub fn new(geo: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        let wpb = geo.words_per_block();
+        let sets = (0..geo.num_sets())
+            .map(|_| (0..geo.associativity()).map(|_| CacheBlock::invalid(wpb)).collect())
+            .collect();
+        let repl = (0..geo.num_sets())
+            .map(|s| SetReplacementState::new(policy, geo.associativity(), s as u64 ^ 0x9E37_79B9))
+            .collect();
+        Cache {
+            geo,
+            sets,
+            repl,
+            stats: CacheStats::default(),
+            dirty_words: 0,
+            scrub_cursor: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geo
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (for dirty-residency sampling by drivers).
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// Zeroes the statistics (cache contents untouched) — used to
+    /// exclude warm-up from measurements.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of dirty words currently resident (maintained
+    /// incrementally; O(1)).
+    #[must_use]
+    pub fn dirty_word_count(&self) -> u64 {
+        self.dirty_words
+    }
+
+    /// Looks up `addr`; returns `(set, way)` on a hit without updating
+    /// replacement state or statistics.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> Option<(usize, usize)> {
+        let set = self.geo.set_index(addr);
+        let tag = self.geo.tag(addr);
+        self.sets[set]
+            .iter()
+            .position(|b| b.is_valid() && b.tag() == tag)
+            .map(|way| (set, way))
+    }
+
+    /// Reads the word at `addr` if resident, without side effects.
+    #[must_use]
+    pub fn peek_word(&self, addr: u64) -> Option<u64> {
+        let (set, way) = self.probe(addr)?;
+        Some(self.sets[set][way].word(self.geo.word_index(addr)))
+    }
+
+    /// Loads the 64-bit word at `addr`, filling from `backing` on a miss.
+    pub fn load_word<B: Backing>(&mut self, addr: u64, backing: &mut B) -> u64 {
+        let w = self.geo.word_index(addr);
+        match self.probe(addr) {
+            Some((set, way)) => {
+                self.stats.load_hits += 1;
+                self.repl[set].touch(way);
+                self.sets[set][way].word(w)
+            }
+            None => {
+                self.stats.load_misses += 1;
+                let (set, way, _) = self.fill(addr, backing);
+                self.sets[set][way].word(w)
+            }
+        }
+    }
+
+    /// Stores the 64-bit word `value` at `addr` (write-allocate).
+    /// Returns `(old_word, was_dirty)` for the written word.
+    pub fn store_word<B: Backing>(
+        &mut self,
+        addr: u64,
+        value: u64,
+        backing: &mut B,
+    ) -> (u64, bool) {
+        let w = self.geo.word_index(addr);
+        let (set, way) = match self.probe(addr) {
+            Some(hit) => {
+                self.stats.store_hits += 1;
+                hit
+            }
+            None => {
+                self.stats.store_misses += 1;
+                let (set, way, _) = self.fill(addr, backing);
+                (set, way)
+            }
+        };
+        self.repl[set].touch(way);
+        let (old, was_dirty) = self.sets[set][way].store_word(w, value);
+        if was_dirty {
+            self.stats.stores_to_dirty += 1;
+        } else {
+            self.dirty_words += 1;
+        }
+        (old, was_dirty)
+    }
+
+    /// Stores one byte at `addr` (partial store). Returns `(old_word,
+    /// was_dirty)`.
+    pub fn store_byte<B: Backing>(
+        &mut self,
+        addr: u64,
+        value: u8,
+        backing: &mut B,
+    ) -> (u64, bool) {
+        let w = self.geo.word_index(addr);
+        let byte = self.geo.byte_in_word(addr);
+        let (set, way) = match self.probe(addr) {
+            Some(hit) => {
+                self.stats.store_hits += 1;
+                hit
+            }
+            None => {
+                self.stats.store_misses += 1;
+                let (set, way, _) = self.fill(addr, backing);
+                (set, way)
+            }
+        };
+        self.repl[set].touch(way);
+        let (old, was_dirty) = self.sets[set][way].store_byte(w, byte, value);
+        if was_dirty {
+            self.stats.stores_to_dirty += 1;
+        } else {
+            self.dirty_words += 1;
+        }
+        (old, was_dirty)
+    }
+
+    /// Reads the whole block containing `addr` (one access), filling on a
+    /// miss. Used when this cache is the backing of a level above.
+    pub fn read_block<B: Backing>(&mut self, addr: u64, backing: &mut B) -> Vec<u64> {
+        match self.probe(addr) {
+            Some((set, way)) => {
+                self.stats.load_hits += 1;
+                self.repl[set].touch(way);
+                self.sets[set][way].words().to_vec()
+            }
+            None => {
+                self.stats.load_misses += 1;
+                let (set, way, _) = self.fill(addr, backing);
+                self.sets[set][way].words().to_vec()
+            }
+        }
+    }
+
+    /// Accepts a block-granularity write (e.g. a write-back from the
+    /// level above): words selected by `mask` are stored and marked
+    /// dirty. Returns `(old_words, any_target_dirty)` — the latter is the
+    /// L2 CPPC read-before-write trigger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one block wide.
+    pub fn write_block<B: Backing>(
+        &mut self,
+        addr: u64,
+        data: &[u64],
+        mask: u64,
+        backing: &mut B,
+    ) -> (Vec<u64>, bool) {
+        assert_eq!(data.len(), self.geo.words_per_block(), "block width");
+        let (set, way) = match self.probe(addr) {
+            Some(hit) => {
+                self.stats.store_hits += 1;
+                hit
+            }
+            None => {
+                self.stats.store_misses += 1;
+                let (set, way, _) = self.fill(addr, backing);
+                (set, way)
+            }
+        };
+        self.repl[set].touch(way);
+        let block = &mut self.sets[set][way];
+        let old = block.words().to_vec();
+        let mut any_dirty = false;
+        for (w, &value) in data.iter().enumerate() {
+            if mask >> w & 1 == 1 {
+                let (_, was_dirty) = block.store_word(w, value);
+                if was_dirty {
+                    any_dirty = true;
+                } else {
+                    self.dirty_words += 1;
+                }
+            }
+        }
+        if any_dirty {
+            self.stats.stores_to_dirty += 1;
+        }
+        (old, any_dirty)
+    }
+
+    /// Chooses the way a fill for `addr`'s set would land in: the first
+    /// invalid way if any, otherwise the replacement victim. Protected
+    /// caches call this *before* [`Cache::fill_into`] so they can process
+    /// the outgoing block (e.g. CPPC XORs evicted dirty words into R2 and
+    /// parity-checks them first).
+    pub fn choose_way_for_fill(&mut self, set: usize) -> usize {
+        assert!(set < self.geo.num_sets(), "set {set} out of range");
+        self.sets[set]
+            .iter()
+            .position(|b| !b.is_valid())
+            .unwrap_or_else(|| self.repl[set].victim())
+    }
+
+    /// Brings the block containing `addr` into the cache, evicting as
+    /// needed. Returns `(set, way, eviction)`.
+    pub fn fill<B: Backing>(&mut self, addr: u64, backing: &mut B) -> (usize, usize, Option<Eviction>) {
+        let set = self.geo.set_index(addr);
+        let way = self.choose_way_for_fill(set);
+        let eviction = self.fill_into(addr, way, backing);
+        (set, way, eviction)
+    }
+
+    /// Brings the block containing `addr` into way `way` of its set,
+    /// writing back the displaced block if dirty. Returns the eviction,
+    /// if a valid block was displaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn fill_into<B: Backing>(
+        &mut self,
+        addr: u64,
+        way: usize,
+        backing: &mut B,
+    ) -> Option<Eviction> {
+        let set = self.geo.set_index(addr);
+        let tag = self.geo.tag(addr);
+        assert!(way < self.geo.associativity(), "way {way} out of range");
+
+        let eviction = self.evict_way(set, way, backing);
+        let base = self.geo.block_base(addr);
+        let data = backing.fetch_block(base, self.geo.words_per_block());
+        self.sets[set][way].fill(tag, &data);
+        self.stats.fills += 1;
+        self.repl[set].filled(way);
+        eviction
+    }
+
+    fn evict_way<B: Backing>(&mut self, set: usize, way: usize, backing: &mut B) -> Option<Eviction> {
+        let block = &mut self.sets[set][way];
+        if !block.is_valid() {
+            return None;
+        }
+        let base = self.geo.address_of(block.tag(), set);
+        let mask = block.dirty_mask();
+        let words = block.words().to_vec();
+        if mask != 0 {
+            backing.write_back(base, &words, mask);
+            self.stats.writebacks += 1;
+            self.stats.writeback_words += u64::from(mask.count_ones());
+            self.dirty_words -= u64::from(mask.count_ones());
+        } else {
+            self.stats.clean_evictions += 1;
+        }
+        block.invalidate();
+        Some(Eviction {
+            base,
+            words,
+            dirty_mask: mask,
+        })
+    }
+
+    /// Stores `value` into word `w` of the resident block at `(set,
+    /// way)`, maintaining the dirty-word counter, replacement state and
+    /// the `stores_to_dirty` statistic (but *not* hit/miss counters —
+    /// the caller has already classified the access). Returns
+    /// `(old_word, was_dirty)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is invalid or indices are out of range.
+    pub fn store_word_in_place(
+        &mut self,
+        set: usize,
+        way: usize,
+        w: usize,
+        value: u64,
+    ) -> (u64, bool) {
+        assert!(self.sets[set][way].is_valid(), "block ({set},{way}) invalid");
+        self.repl[set].touch(way);
+        let (old, was_dirty) = self.sets[set][way].store_word(w, value);
+        if was_dirty {
+            self.stats.stores_to_dirty += 1;
+        } else {
+            self.dirty_words += 1;
+        }
+        (old, was_dirty)
+    }
+
+    /// Byte-granularity variant of [`Cache::store_word_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is invalid or indices are out of range.
+    pub fn store_byte_in_place(
+        &mut self,
+        set: usize,
+        way: usize,
+        w: usize,
+        byte: usize,
+        value: u8,
+    ) -> (u64, bool) {
+        assert!(self.sets[set][way].is_valid(), "block ({set},{way}) invalid");
+        self.repl[set].touch(way);
+        let (old, was_dirty) = self.sets[set][way].store_byte(w, byte, value);
+        if was_dirty {
+            self.stats.stores_to_dirty += 1;
+        } else {
+            self.dirty_words += 1;
+        }
+        (old, was_dirty)
+    }
+
+    /// Records a replacement-policy touch of `(set, way)` without any
+    /// data movement (used when a wrapper classifies hits itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn touch(&mut self, set: usize, way: usize) {
+        assert!(way < self.geo.associativity(), "way {way} out of range");
+        self.repl[set].touch(way);
+    }
+
+    /// Writes the dirty words of the block at `(set, way)` back to
+    /// `backing` and cleans the block, leaving it resident. No-op for
+    /// clean or invalid blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn writeback_block<B: Backing>(&mut self, set: usize, way: usize, backing: &mut B) {
+        let block = &mut self.sets[set][way];
+        if !block.is_valid() || !block.is_dirty() {
+            return;
+        }
+        let base = self.geo.address_of(block.tag(), set);
+        backing.write_back(base, block.words(), block.dirty_mask());
+        self.stats.writebacks += 1;
+        self.stats.writeback_words += u64::from(block.dirty_mask().count_ones());
+        self.dirty_words -= u64::from(block.dirty_mask().count_ones());
+        block.clean();
+    }
+
+    /// Invalidates the block at `(set, way)` without writing it back;
+    /// dirty words are dropped (callers wanting them preserved run
+    /// [`Cache::writeback_block`] first). Returns the number of dirty
+    /// words dropped. No-op on invalid blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn invalidate_way(&mut self, set: usize, way: usize) -> u32 {
+        let block = &mut self.sets[set][way];
+        if !block.is_valid() {
+            return 0;
+        }
+        let dropped = block.dirty_mask().count_ones();
+        self.dirty_words -= u64::from(dropped);
+        block.invalidate();
+        dropped
+    }
+
+    /// Bumps the hit/miss counters directly — used by protected-cache
+    /// wrappers that classify accesses themselves before using the
+    /// in-place primitives.
+    pub fn record_access(&mut self, is_store: bool, hit: bool) {
+        match (is_store, hit) {
+            (false, true) => self.stats.load_hits += 1,
+            (false, false) => self.stats.load_misses += 1,
+            (true, true) => self.stats.store_hits += 1,
+            (true, false) => self.stats.store_misses += 1,
+        }
+    }
+
+    /// Early write-back (the related-work policy of [2, 15] the paper
+    /// §2 discusses): walks the sets round-robin from an internal cursor
+    /// and writes back up to `max_blocks` dirty blocks, cleaning them in
+    /// place. Returns how many blocks were written back.
+    ///
+    /// Reduces dirty residency (and hence parity-cache vulnerability) at
+    /// the price of extra write-back traffic — the trade-off the paper
+    /// contrasts CPPC against.
+    pub fn early_writeback<B: Backing>(&mut self, max_blocks: usize, backing: &mut B) -> usize {
+        let sets = self.geo.num_sets();
+        let ways = self.geo.associativity();
+        let mut cleaned = 0;
+        for step in 0..sets * ways {
+            if cleaned >= max_blocks {
+                break;
+            }
+            let idx = (self.scrub_cursor + step) % (sets * ways);
+            let (set, way) = (idx / ways, idx % ways);
+            if self.sets[set][way].is_valid() && self.sets[set][way].is_dirty() {
+                self.writeback_block(set, way, backing);
+                cleaned += 1;
+                self.scrub_cursor = (idx + 1) % (sets * ways);
+            }
+        }
+        cleaned
+    }
+
+    /// Writes every dirty block back to `backing` and cleans it (cache
+    /// contents stay resident).
+    pub fn flush<B: Backing>(&mut self, backing: &mut B) {
+        for set in 0..self.geo.num_sets() {
+            for way in 0..self.geo.associativity() {
+                let block = &mut self.sets[set][way];
+                if block.is_valid() && block.is_dirty() {
+                    let base = self.geo.address_of(block.tag(), set);
+                    backing.write_back(base, block.words(), block.dirty_mask());
+                    self.stats.writebacks += 1;
+                    self.stats.writeback_words += u64::from(block.dirty_mask().count_ones());
+                    self.dirty_words -= u64::from(block.dirty_mask().count_ones());
+                    block.clean();
+                }
+            }
+        }
+    }
+
+    /// Iterates over `(set, way, block)` for every valid block.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, &CacheBlock)> {
+        self.sets.iter().enumerate().flat_map(|(s, ways)| {
+            ways.iter()
+                .enumerate()
+                .filter(|(_, b)| b.is_valid())
+                .map(move |(w, b)| (s, w, b))
+        })
+    }
+
+    /// Iterates over every dirty word as `(set, way, word_index, value)`.
+    pub fn iter_dirty_words(&self) -> impl Iterator<Item = (usize, usize, usize, u64)> + '_ {
+        self.iter_blocks().flat_map(|(s, w, b)| {
+            (0..b.words().len())
+                .filter(move |&i| b.is_word_dirty(i))
+                .map(move |i| (s, w, i, b.word(i)))
+        })
+    }
+
+    /// Direct block access (fault injection / recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set`/`way` are out of range.
+    #[must_use]
+    pub fn block(&self, set: usize, way: usize) -> &CacheBlock {
+        &self.sets[set][way]
+    }
+
+    /// Direct mutable block access (fault injection / recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set`/`way` are out of range.
+    pub fn block_mut(&mut self, set: usize, way: usize) -> &mut CacheBlock {
+        &mut self.sets[set][way]
+    }
+
+    /// Reconstructs the block base address of the block at `(set, way)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is invalid.
+    #[must_use]
+    pub fn block_address(&self, set: usize, way: usize) -> u64 {
+        let b = &self.sets[set][way];
+        assert!(b.is_valid(), "block ({set},{way}) is invalid");
+        self.geo.address_of(b.tag(), set)
+    }
+
+    /// The address of word `w` of the block at `(set, way)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is invalid or `w` out of range.
+    #[must_use]
+    pub fn word_address(&self, set: usize, way: usize, w: usize) -> u64 {
+        assert!(w < self.geo.words_per_block(), "word {w} out of range");
+        self.block_address(set, way) + (w * WORD_BYTES) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn small() -> (Cache, MainMemory) {
+        let geo = CacheGeometry::new(256, 2, 32).unwrap(); // 4 sets
+        (Cache::new(geo, ReplacementPolicy::Lru), MainMemory::new())
+    }
+
+    #[test]
+    fn store_then_load_hits() {
+        let (mut c, mut m) = small();
+        c.store_word(0x40, 7, &mut m);
+        assert_eq!(c.load_word(0x40, &mut m), 7);
+        assert_eq!(c.stats().store_misses, 1);
+        assert_eq!(c.stats().load_hits, 1);
+        assert_eq!(c.dirty_word_count(), 1);
+    }
+
+    #[test]
+    fn dirty_data_not_in_memory_until_eviction() {
+        let (mut c, mut m) = small();
+        c.store_word(0x40, 7, &mut m);
+        assert_eq!(m.peek_word(0x40), 0, "write-back: memory stale");
+        // Evict set 2 (0x40 >> 5 = 2) by touching two more blocks mapping there.
+        c.load_word(0x40 + 256, &mut m);
+        c.load_word(0x40 + 512, &mut m);
+        assert_eq!(m.peek_word(0x40), 7, "write-back happened on eviction");
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.dirty_word_count(), 0);
+    }
+
+    #[test]
+    fn store_to_dirty_counted() {
+        let (mut c, mut m) = small();
+        c.store_word(0x40, 1, &mut m);
+        assert_eq!(c.stats().stores_to_dirty, 0);
+        c.store_word(0x40, 2, &mut m);
+        assert_eq!(c.stats().stores_to_dirty, 1);
+        // A different word in the same block is a fresh dirty word.
+        c.store_word(0x48, 3, &mut m);
+        assert_eq!(c.stats().stores_to_dirty, 1);
+        assert_eq!(c.dirty_word_count(), 2);
+    }
+
+    #[test]
+    fn store_byte_merges() {
+        let (mut c, mut m) = small();
+        m.write_word(0x40, 0x1111_1111_1111_1111);
+        c.store_byte(0x42, 0xAB, &mut m);
+        assert_eq!(c.load_word(0x40, &mut m), 0x1111_1111_11AB_1111);
+    }
+
+    #[test]
+    fn flush_writes_everything() {
+        let (mut c, mut m) = small();
+        c.store_word(0x00, 1, &mut m);
+        c.store_word(0x20, 2, &mut m);
+        c.store_word(0x48, 3, &mut m);
+        c.flush(&mut m);
+        assert_eq!(m.peek_word(0x00), 1);
+        assert_eq!(m.peek_word(0x20), 2);
+        assert_eq!(m.peek_word(0x48), 3);
+        assert_eq!(c.dirty_word_count(), 0);
+        // Data still resident after flush:
+        assert_eq!(c.peek_word(0x48), Some(3));
+    }
+
+    #[test]
+    fn clean_eviction_counted() {
+        let (mut c, mut m) = small();
+        c.load_word(0x40, &mut m);
+        c.load_word(0x40 + 256, &mut m);
+        c.load_word(0x40 + 512, &mut m);
+        assert_eq!(c.stats().clean_evictions, 1);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn iter_dirty_words_finds_all() {
+        let (mut c, mut m) = small();
+        c.store_word(0x00, 11, &mut m);
+        c.store_word(0x58, 22, &mut m);
+        let dirty: Vec<u64> = c.iter_dirty_words().map(|(_, _, _, v)| v).collect();
+        assert_eq!(dirty.len(), 2);
+        assert!(dirty.contains(&11) && dirty.contains(&22));
+    }
+
+    #[test]
+    fn write_block_marks_masked_words() {
+        let (mut c, mut m) = small();
+        let (_, any_dirty) = c.write_block(0x40, &[1, 2, 3, 4], 0b0110, &mut m);
+        assert!(!any_dirty);
+        assert_eq!(c.peek_word(0x48), Some(2));
+        assert_eq!(c.peek_word(0x40), Some(0), "unmasked word keeps fill data");
+        assert_eq!(c.dirty_word_count(), 2);
+        // Second write over the same words reports dirtiness.
+        let (_, any_dirty) = c.write_block(0x40, &[9, 9, 9, 9], 0b0010, &mut m);
+        assert!(any_dirty);
+        assert_eq!(c.stats().stores_to_dirty, 1);
+    }
+
+    #[test]
+    fn lru_keeps_hot_block() {
+        let (mut c, mut m) = small();
+        c.load_word(0x40, &mut m); // A
+        c.load_word(0x40 + 256, &mut m); // B
+        c.load_word(0x40, &mut m); // touch A
+        c.load_word(0x40 + 512, &mut m); // C evicts B
+        assert!(c.probe(0x40).is_some(), "A stays");
+        assert!(c.probe(0x40 + 256).is_none(), "B evicted");
+    }
+
+    #[test]
+    fn word_address_roundtrip() {
+        let (mut c, mut m) = small();
+        c.store_word(0x1248, 5, &mut m);
+        let (set, way) = c.probe(0x1248).unwrap();
+        let w = c.geometry().word_index(0x1248);
+        assert_eq!(c.word_address(set, way, w), 0x1248);
+    }
+
+    /// Functional transparency: a cache + memory must behave exactly like
+    /// a flat memory for any access sequence.
+    #[test]
+    fn randomised_vs_flat_memory_oracle() {
+        let mut rng = StdRng::seed_from_u64(0xCAC4E);
+        let geo = CacheGeometry::new(512, 2, 32).unwrap();
+        let mut cache = Cache::new(geo, ReplacementPolicy::Lru);
+        let mut mem = MainMemory::new();
+        let mut oracle: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let addr = (rng.random_range(0..4096u64)) & !7;
+            if rng.random_bool(0.4) {
+                let v: u64 = rng.random();
+                cache.store_word(addr, v, &mut mem);
+                oracle.insert(addr, v);
+            } else {
+                let got = cache.load_word(addr, &mut mem);
+                assert_eq!(got, *oracle.get(&addr).unwrap_or(&0), "addr {addr:#x}");
+            }
+        }
+        cache.flush(&mut mem);
+        for (addr, v) in oracle {
+            assert_eq!(m_peek(&mem, addr), v);
+        }
+        fn m_peek(m: &MainMemory, a: u64) -> u64 {
+            m.peek_word(a)
+        }
+    }
+
+    #[test]
+    fn dirty_count_matches_iteration() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let geo = CacheGeometry::new(256, 2, 32).unwrap();
+        let mut c = Cache::new(geo, ReplacementPolicy::Lru);
+        let mut m = MainMemory::new();
+        for _ in 0..500 {
+            let addr = (rng.random_range(0..2048u64)) & !7;
+            if rng.random_bool(0.5) {
+                c.store_word(addr, rng.random(), &mut m);
+            } else {
+                c.load_word(addr, &mut m);
+            }
+            assert_eq!(c.dirty_word_count(), c.iter_dirty_words().count() as u64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_transparency(ops in prop::collection::vec((any::<u16>(), any::<u64>(), any::<bool>()), 1..200)) {
+            let geo = CacheGeometry::new(256, 2, 32).unwrap();
+            let mut cache = Cache::new(geo, ReplacementPolicy::Fifo);
+            let mut mem = MainMemory::new();
+            let mut oracle: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            for (a, v, is_store) in ops {
+                let addr = u64::from(a) & !7;
+                if is_store {
+                    cache.store_word(addr, v, &mut mem);
+                    oracle.insert(addr, v);
+                } else {
+                    prop_assert_eq!(cache.load_word(addr, &mut mem), *oracle.get(&addr).unwrap_or(&0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Two-level (L1 + L2 + memory) functional hierarchy.
+//!
+//! Runs memory operations through an L1 backed by an L2 backed by main
+//! memory, collecting per-level statistics plus the two measurements the
+//! paper's reliability model needs (Table 2):
+//!
+//! * **dirty residency** — periodic samples of how many words are dirty;
+//! * **Tavg** — the mean interval between consecutive accesses to the
+//!   same dirty word (L1) or dirty block (L2).
+
+use std::collections::HashMap;
+
+use crate::cache::{Backing, Cache};
+use crate::geometry::CacheGeometry;
+use crate::memory::MainMemory;
+use crate::replacement::ReplacementPolicy;
+use crate::stats::CacheStats;
+
+/// One memory operation of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// A 64-bit load.
+    Load(u64),
+    /// A 64-bit store of the given value.
+    Store(u64, u64),
+    /// A single-byte (partial) store — the access class that forces
+    /// read-modify-writes on block-ECC schemes (paper §1) and exercises
+    /// CPPC's byte path (§3.1).
+    StoreByte(u64, u8),
+}
+
+impl MemOp {
+    /// The byte address this operation touches.
+    #[must_use]
+    pub fn addr(&self) -> u64 {
+        match *self {
+            MemOp::Load(a) | MemOp::Store(a, _) => a,
+            MemOp::StoreByte(a, _) => a,
+        }
+    }
+
+    /// `true` for stores.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        matches!(self, MemOp::Store(..) | MemOp::StoreByte(..))
+    }
+}
+
+/// Tracks intervals between consecutive accesses to currently-dirty
+/// entities (words or blocks), producing the paper's `Tavg`.
+#[derive(Debug, Clone, Default)]
+struct DirtyIntervalTracker {
+    last_touch: HashMap<u64, u64>,
+    interval_sum: u128,
+    interval_count: u64,
+}
+
+impl DirtyIntervalTracker {
+    /// Records an access at `now` to `key`, which is dirty *after* the
+    /// access if `dirty_after` (stores make words dirty; loads leave
+    /// state unchanged).
+    fn touch(&mut self, key: u64, now: u64, dirty_after: bool) {
+        if let Some(&last) = self.last_touch.get(&key) {
+            self.interval_sum += u128::from(now - last);
+            self.interval_count += 1;
+        }
+        if dirty_after {
+            self.last_touch.insert(key, now);
+        } else if self.last_touch.contains_key(&key) {
+            // Word was dirty and stays dirty on a load: refresh the stamp.
+            self.last_touch.insert(key, now);
+        }
+    }
+
+    fn forget(&mut self, key: u64) {
+        self.last_touch.remove(&key);
+    }
+
+    fn tavg(&self) -> Option<f64> {
+        if self.interval_count == 0 {
+            None
+        } else {
+            Some(self.interval_sum as f64 / self.interval_count as f64)
+        }
+    }
+}
+
+/// An L1 + L2 + memory functional simulator.
+///
+/// Both levels must share the same block size (as in the paper's Table 1
+/// configuration, 32-byte lines at both levels).
+///
+/// # Example
+///
+/// ```
+/// use cppc_cache_sim::hierarchy::{MemOp, TwoLevelHierarchy};
+/// use cppc_cache_sim::{CacheGeometry, ReplacementPolicy};
+///
+/// let l1 = CacheGeometry::new(32 * 1024, 2, 32)?;
+/// let l2 = CacheGeometry::new(1024 * 1024, 4, 32)?;
+/// let mut h = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
+/// h.run([MemOp::Store(0x100, 42), MemOp::Load(0x100)]);
+/// assert_eq!(h.l1().stats().load_hits, 1);
+/// # Ok::<(), cppc_cache_sim::GeometryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevelHierarchy {
+    l1: Cache,
+    l2: Cache,
+    mem: MainMemory,
+    cycle: u64,
+    cycles_per_op: u64,
+    sample_interval: u64,
+    ops_since_sample: u64,
+    l1_intervals: DirtyIntervalTracker,
+    l2_intervals: DirtyIntervalTracker,
+}
+
+struct L2Backing<'a> {
+    l2: &'a mut Cache,
+    mem: &'a mut MainMemory,
+    intervals: &'a mut DirtyIntervalTracker,
+    cycle: u64,
+}
+
+impl Backing for L2Backing<'_> {
+    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
+        debug_assert_eq!(words, self.l2.geometry().words_per_block());
+        // An L1 miss that hits a dirty L2 block is an access to dirty L2
+        // data for Tavg purposes.
+        let dirty_before = self
+            .l2
+            .probe(base)
+            .map(|(s, w)| self.l2.block(s, w).is_dirty())
+            .unwrap_or(false);
+        if dirty_before {
+            self.intervals.touch(base, self.cycle, true);
+        }
+        self.l2.read_block(base, self.mem)
+    }
+
+    fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
+        let (_, was_dirty) = self.l2.write_block(base, data, dirty_mask, self.mem);
+        let _ = was_dirty;
+        self.intervals.touch(base, self.cycle, true);
+    }
+}
+
+impl TwoLevelHierarchy {
+    /// Builds the hierarchy with empty caches and zeroed memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two levels have different block sizes.
+    #[must_use]
+    pub fn new(l1_geo: CacheGeometry, l2_geo: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        assert_eq!(
+            l1_geo.block_bytes(),
+            l2_geo.block_bytes(),
+            "L1 and L2 must share a block size"
+        );
+        TwoLevelHierarchy {
+            l1: Cache::new(l1_geo, policy),
+            l2: Cache::new(l2_geo, policy),
+            mem: MainMemory::new(),
+            cycle: 0,
+            cycles_per_op: 1,
+            sample_interval: 1024,
+            ops_since_sample: 0,
+            l1_intervals: DirtyIntervalTracker::default(),
+            l2_intervals: DirtyIntervalTracker::default(),
+        }
+    }
+
+    /// Sets how many cycles each trace operation advances the clock
+    /// (use the workload's cycles-per-memory-op estimate so Tavg comes
+    /// out in cycles, as in Table 2).
+    pub fn set_cycles_per_op(&mut self, cycles: u64) {
+        assert!(cycles > 0, "cycles per op must be positive");
+        self.cycles_per_op = cycles;
+    }
+
+    /// Sets the dirty-residency sampling interval in operations.
+    pub fn set_sample_interval(&mut self, ops: u64) {
+        assert!(ops > 0, "sample interval must be positive");
+        self.sample_interval = ops;
+    }
+
+    /// Executes one operation.
+    pub fn step(&mut self, op: MemOp) -> u64 {
+        self.cycle += self.cycles_per_op;
+        let addr = op.addr();
+        let word_key = addr & !7;
+
+        // Track L1 dirty-interval before the access mutates state.
+        let l1_dirty_before = self
+            .l1
+            .probe(addr)
+            .map(|(s, w)| self.l1.block(s, w).is_word_dirty(self.l1.geometry().word_index(addr)))
+            .unwrap_or(false);
+
+        let mut backing = L2Backing {
+            l2: &mut self.l2,
+            mem: &mut self.mem,
+            intervals: &mut self.l2_intervals,
+            cycle: self.cycle,
+        };
+        let result = match op {
+            MemOp::Load(a) => {
+                let v = self.l1.load_word(a, &mut backing);
+                if l1_dirty_before {
+                    self.l1_intervals.touch(word_key, self.cycle, true);
+                }
+                v
+            }
+            MemOp::Store(a, v) => {
+                self.l1.store_word(a, v, &mut backing);
+                self.l1_intervals.touch(word_key, self.cycle, true);
+                0
+            }
+            MemOp::StoreByte(a, v) => {
+                self.l1.store_byte(a, v, &mut backing);
+                self.l1_intervals.touch(word_key, self.cycle, true);
+                0
+            }
+        };
+
+        self.ops_since_sample += 1;
+        if self.ops_since_sample >= self.sample_interval {
+            self.ops_since_sample = 0;
+            let d1 = self.l1.dirty_word_count();
+            let d2 = self.l2.dirty_word_count();
+            self.l1.stats_mut().sample_dirty(d1);
+            self.l2.stats_mut().sample_dirty(d2);
+        }
+        result
+    }
+
+    /// Runs a whole trace.
+    pub fn run<I: IntoIterator<Item = MemOp>>(&mut self, trace: I) {
+        for op in trace {
+            self.step(op);
+        }
+    }
+
+    /// Zeroes both levels' statistics (cache contents and the clock are
+    /// untouched) — call after a warm-up phase so measurements reflect
+    /// steady state rather than compulsory misses.
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.ops_since_sample = 0;
+    }
+
+    /// The L1 cache.
+    #[must_use]
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The L2 cache.
+    #[must_use]
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The backing memory.
+    #[must_use]
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Current cycle count.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Mean interval (cycles) between consecutive accesses to the same
+    /// dirty L1 word, if any dirty word was ever re-accessed.
+    #[must_use]
+    pub fn l1_tavg(&self) -> Option<f64> {
+        self.l1_intervals.tavg()
+    }
+
+    /// Mean interval (cycles) between consecutive accesses to the same
+    /// dirty L2 block.
+    #[must_use]
+    pub fn l2_tavg(&self) -> Option<f64> {
+        self.l2_intervals.tavg()
+    }
+
+    /// Mean fraction of L1 words dirty across samples (Table 2's
+    /// "percentage of dirty data", as a 0..1 fraction).
+    #[must_use]
+    pub fn l1_dirty_fraction(&self) -> f64 {
+        self.l1.stats().mean_dirty_words() / self.l1.geometry().total_words() as f64
+    }
+
+    /// Mean fraction of L2 words dirty across samples.
+    #[must_use]
+    pub fn l2_dirty_fraction(&self) -> f64 {
+        self.l2.stats().mean_dirty_words() / self.l2.geometry().total_words() as f64
+    }
+
+    /// Convenience: `(l1_stats, l2_stats)` snapshot.
+    #[must_use]
+    pub fn stats(&self) -> (CacheStats, CacheStats) {
+        (*self.l1.stats(), *self.l2.stats())
+    }
+
+    /// Forgets interval stamps for evicted L1 words — exposed for tests;
+    /// in normal operation stale stamps only add slack to Tavg when a
+    /// word is re-fetched and re-dirtied, which mirrors the paper's
+    /// access-interval definition closely enough.
+    pub fn forget_l1_word(&mut self, word_addr: u64) {
+        self.l1_intervals.forget(word_addr & !7);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn tiny() -> TwoLevelHierarchy {
+        let l1 = CacheGeometry::new(256, 2, 32).unwrap();
+        let l2 = CacheGeometry::new(1024, 2, 32).unwrap();
+        TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru)
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut h = tiny();
+        h.step(MemOp::Store(0x100, 77));
+        assert_eq!(h.step(MemOp::Load(0x100)), 77);
+    }
+
+    #[test]
+    fn l1_miss_fills_l2_first() {
+        let mut h = tiny();
+        h.step(MemOp::Load(0x100));
+        assert_eq!(h.l1().stats().load_misses, 1);
+        assert_eq!(h.l2().stats().load_misses, 1);
+        h.step(MemOp::Load(0x108)); // same block: L1 hit
+        assert_eq!(h.l1().stats().load_hits, 1);
+        assert_eq!(h.l2().stats().loads(), 1, "no extra L2 access");
+    }
+
+    #[test]
+    fn l1_writeback_lands_in_l2_not_memory() {
+        let mut h = tiny();
+        h.step(MemOp::Store(0x40, 5));
+        // Force the L1 set to turn over (set count = 4 blocks apart 256B):
+        h.step(MemOp::Load(0x40 + 256));
+        h.step(MemOp::Load(0x40 + 512));
+        assert_eq!(h.l1().stats().writebacks, 1);
+        assert_eq!(h.memory().peek_word(0x40), 0, "L2 absorbed the write-back");
+        assert_eq!(h.l2().peek_word(0x40), Some(5));
+    }
+
+    #[test]
+    fn value_survives_both_levels() {
+        let mut h = tiny();
+        h.step(MemOp::Store(0x40, 123));
+        // Thrash both levels thoroughly.
+        for i in 0..64u64 {
+            h.step(MemOp::Load(0x1000 + i * 32));
+        }
+        assert_eq!(h.step(MemOp::Load(0x40)), 123);
+    }
+
+    #[test]
+    fn tavg_measured_for_reused_dirty_words() {
+        let mut h = tiny();
+        h.set_cycles_per_op(10);
+        h.step(MemOp::Store(0x40, 1)); // cycle 10, dirty
+        h.step(MemOp::Load(0x200)); // cycle 20
+        h.step(MemOp::Store(0x40, 2)); // cycle 30 → interval 20
+        let tavg = h.l1_tavg().unwrap();
+        assert!((tavg - 20.0).abs() < 1e-9, "tavg = {tavg}");
+    }
+
+    #[test]
+    fn tavg_none_without_dirty_reuse() {
+        let mut h = tiny();
+        h.step(MemOp::Load(0x40));
+        h.step(MemOp::Load(0x80));
+        assert!(h.l1_tavg().is_none());
+    }
+
+    #[test]
+    fn dirty_fraction_sampled() {
+        let mut h = tiny();
+        h.set_sample_interval(1);
+        h.step(MemOp::Store(0x40, 1));
+        // 1 dirty word / 32 total words
+        assert!((h.l1_dirty_fraction() - 1.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn randomised_transparency_through_two_levels() {
+        let mut rng = StdRng::seed_from_u64(0x11EE);
+        let mut h = tiny();
+        let mut oracle: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for _ in 0..30_000 {
+            let addr = (rng.random_range(0..8192u64)) & !7;
+            if rng.random_bool(0.35) {
+                let v: u64 = rng.random();
+                h.step(MemOp::Store(addr, v));
+                oracle.insert(addr, v);
+            } else {
+                let got = h.step(MemOp::Load(addr));
+                assert_eq!(got, *oracle.get(&addr).unwrap_or(&0), "addr {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a block size")]
+    fn mismatched_block_sizes_panic() {
+        let l1 = CacheGeometry::new(256, 2, 32).unwrap();
+        let l2 = CacheGeometry::new(1024, 2, 64).unwrap();
+        let _ = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn memop_accessors() {
+        assert_eq!(MemOp::Load(8).addr(), 8);
+        assert!(MemOp::Store(8, 1).is_store());
+        assert!(!MemOp::Load(8).is_store());
+    }
+}

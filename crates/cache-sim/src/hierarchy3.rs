@@ -1,0 +1,280 @@
+//! Three-level (L1 + L2 + L3 + memory) functional hierarchy.
+//!
+//! The paper's §7 expects "the energy overhead of an L3 CPPC to be even
+//! less" than the L2's 7%, because read-before-write operations become
+//! rarer the further the store stream is filtered. This hierarchy
+//! produces the per-level statistics that test the claim.
+
+use crate::cache::{Backing, Cache};
+use crate::geometry::CacheGeometry;
+use crate::hierarchy::MemOp;
+use crate::memory::MainMemory;
+use crate::replacement::ReplacementPolicy;
+use crate::stats::CacheStats;
+
+/// An L1 + L2 + L3 + memory functional simulator. All levels share one
+/// block size.
+#[derive(Debug, Clone)]
+pub struct ThreeLevelHierarchy {
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    mem: MainMemory,
+    ops: u64,
+    sample_interval: u64,
+    ops_since_sample: u64,
+}
+
+struct L3Backing<'a> {
+    l3: &'a mut Cache,
+    mem: &'a mut MainMemory,
+}
+
+impl Backing for L3Backing<'_> {
+    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
+        debug_assert_eq!(words, self.l3.geometry().words_per_block());
+        self.l3.read_block(base, self.mem)
+    }
+
+    fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
+        let _ = self.l3.write_block(base, data, dirty_mask, self.mem);
+    }
+}
+
+struct L2Backing<'a> {
+    l2: &'a mut Cache,
+    l3: &'a mut Cache,
+    mem: &'a mut MainMemory,
+}
+
+impl Backing for L2Backing<'_> {
+    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
+        debug_assert_eq!(words, self.l2.geometry().words_per_block());
+        let mut lower = L3Backing {
+            l3: self.l3,
+            mem: self.mem,
+        };
+        self.l2.read_block(base, &mut lower)
+    }
+
+    fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
+        let mut lower = L3Backing {
+            l3: self.l3,
+            mem: self.mem,
+        };
+        let _ = self.l2.write_block(base, data, dirty_mask, &mut lower);
+    }
+}
+
+impl ThreeLevelHierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the levels disagree on block size.
+    #[must_use]
+    pub fn new(
+        l1_geo: CacheGeometry,
+        l2_geo: CacheGeometry,
+        l3_geo: CacheGeometry,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        assert_eq!(l1_geo.block_bytes(), l2_geo.block_bytes(), "block sizes");
+        assert_eq!(l2_geo.block_bytes(), l3_geo.block_bytes(), "block sizes");
+        ThreeLevelHierarchy {
+            l1: Cache::new(l1_geo, policy),
+            l2: Cache::new(l2_geo, policy),
+            l3: Cache::new(l3_geo, policy),
+            mem: MainMemory::new(),
+            ops: 0,
+            sample_interval: 1024,
+            ops_since_sample: 0,
+        }
+    }
+
+    /// Executes one operation.
+    pub fn step(&mut self, op: MemOp) -> u64 {
+        self.ops += 1;
+        let mut backing = L2Backing {
+            l2: &mut self.l2,
+            l3: &mut self.l3,
+            mem: &mut self.mem,
+        };
+        let result = match op {
+            MemOp::Load(a) => self.l1.load_word(a, &mut backing),
+            MemOp::Store(a, v) => {
+                self.l1.store_word(a, v, &mut backing);
+                0
+            }
+            MemOp::StoreByte(a, v) => {
+                self.l1.store_byte(a, v, &mut backing);
+                0
+            }
+        };
+        self.ops_since_sample += 1;
+        if self.ops_since_sample >= self.sample_interval {
+            self.ops_since_sample = 0;
+            let (d1, d2, d3) = (
+                self.l1.dirty_word_count(),
+                self.l2.dirty_word_count(),
+                self.l3.dirty_word_count(),
+            );
+            self.l1.stats_mut().sample_dirty(d1);
+            self.l2.stats_mut().sample_dirty(d2);
+            self.l3.stats_mut().sample_dirty(d3);
+        }
+        result
+    }
+
+    /// Runs a whole trace.
+    pub fn run<I: IntoIterator<Item = MemOp>>(&mut self, trace: I) {
+        for op in trace {
+            self.step(op);
+        }
+    }
+
+    /// Zeroes all statistics (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.l3.reset_stats();
+        self.ops_since_sample = 0;
+    }
+
+    /// The L1 cache.
+    #[must_use]
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The L2 cache.
+    #[must_use]
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The L3 cache.
+    #[must_use]
+    pub fn l3(&self) -> &Cache {
+        &self.l3
+    }
+
+    /// The backing memory.
+    #[must_use]
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// `(l1, l2, l3)` statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        (*self.l1.stats(), *self.l2.stats(), *self.l3.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn tiny() -> ThreeLevelHierarchy {
+        ThreeLevelHierarchy::new(
+            CacheGeometry::new(256, 2, 32).unwrap(),
+            CacheGeometry::new(1024, 2, 32).unwrap(),
+            CacheGeometry::new(4096, 4, 32).unwrap(),
+            ReplacementPolicy::Lru,
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_three_levels() {
+        let mut h = tiny();
+        h.step(MemOp::Store(0x100, 77));
+        assert_eq!(h.step(MemOp::Load(0x100)), 77);
+    }
+
+    #[test]
+    fn miss_cascades_down() {
+        let mut h = tiny();
+        h.step(MemOp::Load(0x100));
+        assert_eq!(h.l1().stats().load_misses, 1);
+        assert_eq!(h.l2().stats().load_misses, 1);
+        assert_eq!(h.l3().stats().load_misses, 1);
+        // Second block in the same L1 line: all levels hit or idle.
+        h.step(MemOp::Load(0x108));
+        assert_eq!(h.l1().stats().load_hits, 1);
+        assert_eq!(h.l2().stats().loads(), 1);
+    }
+
+    #[test]
+    fn writeback_cascade_reaches_l3_not_memory() {
+        let mut h = tiny();
+        h.step(MemOp::Store(0x40, 5));
+        // Push it out of L1 (4 sets x 32B = 256B stride) and out of L2
+        // (8 sets -> 1024B stride).
+        for i in 1..=8u64 {
+            h.step(MemOp::Load(0x40 + i * 256));
+        }
+        assert!(h.l1().stats().writebacks >= 1);
+        assert_eq!(h.memory().peek_word(0x40), 0, "L2/L3 absorbed it");
+        // Wherever it sits, loading it back returns the stored value.
+        assert_eq!(h.step(MemOp::Load(0x40)), 5);
+    }
+
+    #[test]
+    fn randomised_transparency() {
+        let mut rng = StdRng::seed_from_u64(0x3133);
+        let mut h = tiny();
+        let mut oracle = std::collections::HashMap::new();
+        for _ in 0..30_000 {
+            let addr = (rng.random_range(0..16384u64)) & !7;
+            if rng.random_bool(0.4) {
+                let v: u64 = rng.random();
+                h.step(MemOp::Store(addr, v));
+                oracle.insert(addr, v);
+            } else {
+                assert_eq!(h.step(MemOp::Load(addr)), *oracle.get(&addr).unwrap_or(&0));
+            }
+        }
+    }
+
+    #[test]
+    fn store_filtering_attenuates_down_the_hierarchy() {
+        // The §7 intuition: when the write working set fits the upper
+        // level, the L1 absorbs the re-store traffic and the lower
+        // levels see almost no read-before-write events.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut h = tiny();
+        for _ in 0..50_000 {
+            if rng.random_bool(0.4) {
+                // Hot store region: 2 blocks mapping to L1 sets 0-1,
+                // which the loads below never touch — so the dirty
+                // blocks are never evicted from L1.
+                let addr = (rng.random_range(0..64u64)) & !7;
+                h.step(MemOp::Store(addr, rng.random()));
+            } else {
+                // Loads confined to L1 sets 2-3 (offsets 0x40..0x7F of
+                // each 256-byte stride).
+                let stride = rng.random_range(0..32u64);
+                let offset = 0x40 + (rng.random_range(0..0x40u64) & !7);
+                h.step(MemOp::Load(stride * 256 + offset));
+            }
+        }
+        let (l1, l2, l3) = h.stats();
+        assert!(l1.stores_to_dirty > 1_000, "L1 absorbs the re-store stream");
+        assert_eq!(l2.stores_to_dirty, 0, "nothing dirty ever reaches L2");
+        assert_eq!(l3.stores_to_dirty, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block sizes")]
+    fn mismatched_blocks_panic() {
+        let _ = ThreeLevelHierarchy::new(
+            CacheGeometry::new(256, 2, 32).unwrap(),
+            CacheGeometry::new(1024, 2, 64).unwrap(),
+            CacheGeometry::new(4096, 4, 32).unwrap(),
+            ReplacementPolicy::Lru,
+        );
+    }
+}

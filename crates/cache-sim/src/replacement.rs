@@ -1,0 +1,169 @@
+//! Replacement policies.
+//!
+//! Per-set replacement state lives in [`SetReplacementState`]; the cache
+//! calls `touch` on every access and `victim` when it must evict. Random
+//! replacement is deterministic (an xorshift stream seeded per cache) so
+//! every experiment in the workspace is reproducible.
+
+/// Which replacement policy a cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (the default, and what the paper's
+    /// SimpleScalar configuration uses).
+    #[default]
+    Lru,
+    /// First-in first-out.
+    Fifo,
+    /// Pseudo-random (deterministic xorshift).
+    Random,
+}
+
+/// Per-set replacement bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetReplacementState {
+    policy: ReplacementPolicy,
+    /// For LRU: order[0] is the most recently used way.
+    /// For FIFO: order[0] is the most recently *filled* way.
+    order: Vec<usize>,
+    rng_state: u64,
+}
+
+impl SetReplacementState {
+    /// Creates state for a set of `ways` ways. `seed` only matters for
+    /// [`ReplacementPolicy::Random`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    #[must_use]
+    pub fn new(policy: ReplacementPolicy, ways: usize, seed: u64) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        SetReplacementState {
+            policy,
+            order: (0..ways).collect(),
+            // xorshift must never be seeded with zero.
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Records an access (hit) to `way`.
+    pub fn touch(&mut self, way: usize) {
+        if self.policy == ReplacementPolicy::Lru {
+            self.promote(way);
+        }
+    }
+
+    /// Records that `way` was just filled with a new block.
+    pub fn filled(&mut self, way: usize) {
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self.promote(way),
+            ReplacementPolicy::Random => {}
+        }
+    }
+
+    fn promote(&mut self, way: usize) {
+        if let Some(pos) = self.order.iter().position(|&w| w == way) {
+            self.order.remove(pos);
+            self.order.insert(0, way);
+        }
+    }
+
+    /// Chooses the way to evict. Invalid ways should be preferred by the
+    /// caller before consulting this.
+    pub fn victim(&mut self) -> usize {
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => *self
+                .order
+                .last()
+                .expect("constructor guarantees non-empty order"),
+            ReplacementPolicy::Random => {
+                // xorshift64*
+                let mut x = self.rng_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng_state = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % self.order.len() as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = SetReplacementState::new(ReplacementPolicy::Lru, 4, 0);
+        s.filled(0);
+        s.filled(1);
+        s.filled(2);
+        s.filled(3);
+        s.touch(0); // 0 becomes MRU; 1 is now LRU
+        assert_eq!(s.victim(), 1);
+        s.touch(1);
+        assert_eq!(s.victim(), 2);
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut s = SetReplacementState::new(ReplacementPolicy::Fifo, 3, 0);
+        s.filled(0);
+        s.filled(1);
+        s.filled(2);
+        s.touch(0); // must not promote under FIFO
+        assert_eq!(s.victim(), 0, "oldest fill evicted regardless of touches");
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let mut a = SetReplacementState::new(ReplacementPolicy::Random, 4, 42);
+        let mut b = SetReplacementState::new(ReplacementPolicy::Random, 4, 42);
+        for _ in 0..100 {
+            let (va, vb) = (a.victim(), b.victim());
+            assert_eq!(va, vb);
+            assert!(va < 4);
+        }
+    }
+
+    #[test]
+    fn random_differs_across_seeds() {
+        let mut a = SetReplacementState::new(ReplacementPolicy::Random, 8, 1);
+        let mut b = SetReplacementState::new(ReplacementPolicy::Random, 8, 2);
+        let seq_a: Vec<usize> = (0..32).map(|_| a.victim()).collect();
+        let seq_b: Vec<usize> = (0..32).map(|_| b.victim()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn single_way_always_victim_zero() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let mut s = SetReplacementState::new(policy, 1, 7);
+            assert_eq!(s.victim(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _ = SetReplacementState::new(ReplacementPolicy::Lru, 0, 0);
+    }
+
+    #[test]
+    fn lru_full_rotation() {
+        let mut s = SetReplacementState::new(ReplacementPolicy::Lru, 2, 0);
+        s.filled(0);
+        s.filled(1);
+        // Alternate touches; victim must always be the other way.
+        for i in 0..10 {
+            let way = i % 2;
+            s.touch(way);
+            assert_eq!(s.victim(), 1 - way);
+        }
+    }
+}

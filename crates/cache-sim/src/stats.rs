@@ -1,0 +1,160 @@
+//! Access-event counters.
+//!
+//! These counters are exactly the quantities the paper's evaluation needs:
+//! read/write hits (energy per access), stores to already-dirty words
+//! (CPPC's read-before-write events), misses and write-backs (traffic to
+//! the next level), and dirty-residency sampling (Table 2).
+
+/// Counter bundle maintained by every cache in the workspace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Load (read) accesses that hit.
+    pub load_hits: u64,
+    /// Load accesses that missed.
+    pub load_misses: u64,
+    /// Store (write) accesses that hit.
+    pub store_hits: u64,
+    /// Store accesses that missed (write-allocate: these also fill).
+    pub store_misses: u64,
+    /// Stores whose target word was already dirty — each of these is a
+    /// read-before-write in a CPPC (paper §3.1).
+    pub stores_to_dirty: u64,
+    /// Dirty blocks written back to the next level.
+    pub writebacks: u64,
+    /// Dirty *words* written back (sum of dirty-mask popcounts).
+    pub writeback_words: u64,
+    /// Clean blocks silently evicted.
+    pub clean_evictions: u64,
+    /// Blocks filled from the next level.
+    pub fills: u64,
+    /// Running sum of `dirty_words` samples (for averaging).
+    pub dirty_word_samples_sum: u64,
+    /// Number of dirty-residency samples taken.
+    pub dirty_word_samples: u64,
+}
+
+impl CacheStats {
+    /// Total loads.
+    #[must_use]
+    pub fn loads(&self) -> u64 {
+        self.load_hits + self.load_misses
+    }
+
+    /// Total stores.
+    #[must_use]
+    pub fn stores(&self) -> u64 {
+        self.store_hits + self.store_misses
+    }
+
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.loads() + self.stores()
+    }
+
+    /// Total misses.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.load_misses + self.store_misses
+    }
+
+    /// Miss rate over all accesses (0 when there were no accesses).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let acc = self.accesses();
+        if acc == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / acc as f64
+        }
+    }
+
+    /// Records a dirty-residency sample of `dirty_words` (out of
+    /// `total_words`, which the caller tracks).
+    pub fn sample_dirty(&mut self, dirty_words: u64) {
+        self.dirty_word_samples_sum += dirty_words;
+        self.dirty_word_samples += 1;
+    }
+
+    /// Mean number of dirty words across all samples.
+    #[must_use]
+    pub fn mean_dirty_words(&self) -> f64 {
+        if self.dirty_word_samples == 0 {
+            0.0
+        } else {
+            self.dirty_word_samples_sum as f64 / self.dirty_word_samples as f64
+        }
+    }
+
+    /// Merges another counter bundle into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.load_hits += other.load_hits;
+        self.load_misses += other.load_misses;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.stores_to_dirty += other.stores_to_dirty;
+        self.writebacks += other.writebacks;
+        self.writeback_words += other.writeback_words;
+        self.clean_evictions += other.clean_evictions;
+        self.fills += other.fills;
+        self.dirty_word_samples_sum += other.dirty_word_samples_sum;
+        self.dirty_word_samples += other.dirty_word_samples;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_totals() {
+        let s = CacheStats {
+            load_hits: 90,
+            load_misses: 10,
+            store_hits: 45,
+            store_misses: 5,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.loads(), 100);
+        assert_eq!(s.stores(), 50);
+        assert_eq!(s.accesses(), 150);
+        assert_eq!(s.misses(), 15);
+        assert!((s.miss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_zero_when_idle() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn dirty_sampling_averages() {
+        let mut s = CacheStats::default();
+        s.sample_dirty(10);
+        s.sample_dirty(20);
+        assert!((s.mean_dirty_words() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_dirty_zero_without_samples() {
+        assert_eq!(CacheStats::default().mean_dirty_words(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheStats {
+            load_hits: 1,
+            writebacks: 2,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            load_hits: 3,
+            stores_to_dirty: 4,
+            ..CacheStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.load_hits, 4);
+        assert_eq!(a.writebacks, 2);
+        assert_eq!(a.stores_to_dirty, 4);
+    }
+}

@@ -1,0 +1,229 @@
+//! Victim buffer.
+//!
+//! Write-back caches typically stage evicted dirty blocks in a small
+//! FIFO victim buffer and drain them to the next level in the
+//! background (paper §3.1 — this is why XORing evicted dirty words into
+//! R2 is off the critical path). The buffer also services hits on
+//! recently evicted blocks, avoiding a round trip to the next level.
+
+use crate::cache::Backing;
+
+/// One staged write-back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    base: u64,
+    words: Vec<u64>,
+    dirty_mask: u64,
+}
+
+/// A FIFO victim buffer of bounded capacity, interposed between a cache
+/// and its backing store.
+///
+/// # Example
+///
+/// ```
+/// use cppc_cache_sim::victim::VictimBuffer;
+/// use cppc_cache_sim::memory::MainMemory;
+///
+/// let mut mem = MainMemory::new();
+/// let mut vb = VictimBuffer::new(4);
+/// vb.push(0x40, vec![1, 2, 3, 4], 0b1111, &mut mem);
+/// assert_eq!(vb.lookup(0x40), Some(&[1u64, 2, 3, 4][..]));
+/// vb.drain_all(&mut mem);
+/// assert_eq!(mem.peek_word(0x40), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VictimBuffer {
+    entries: Vec<Entry>,
+    capacity: usize,
+    hits: u64,
+    drains: u64,
+}
+
+impl VictimBuffer {
+    /// Creates a buffer holding up to `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "victim buffer needs capacity");
+        VictimBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            drains: 0,
+        }
+    }
+
+    /// Number of blocks currently staged.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hits serviced from the buffer.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Blocks drained to the next level.
+    #[must_use]
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// Stages an evicted block. If the buffer is full, the oldest entry
+    /// is drained to `backing` first (the foreground stall a deeper
+    /// buffer avoids).
+    pub fn push<B: Backing>(&mut self, base: u64, words: Vec<u64>, dirty_mask: u64, backing: &mut B) {
+        if let Some(pos) = self.entries.iter().position(|e| e.base == base) {
+            // Same block evicted again before draining: coalesce.
+            let old = self.entries.remove(pos);
+            let mut merged = Entry {
+                base,
+                words,
+                dirty_mask: dirty_mask | old.dirty_mask,
+            };
+            // Words dirty only in the old copy keep the old data.
+            for w in 0..merged.words.len() {
+                if old.dirty_mask >> w & 1 == 1 && dirty_mask >> w & 1 == 0 {
+                    merged.words[w] = old.words[w];
+                }
+            }
+            self.entries.push(merged);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let oldest = self.entries.remove(0);
+            if oldest.dirty_mask != 0 {
+                backing.write_back(oldest.base, &oldest.words, oldest.dirty_mask);
+            }
+            self.drains += 1;
+        }
+        self.entries.push(Entry {
+            base,
+            words,
+            dirty_mask,
+        });
+    }
+
+    /// Checks whether the block at `base` is staged, returning its data
+    /// (a victim-buffer hit).
+    pub fn lookup(&mut self, base: u64) -> Option<&[u64]> {
+        let found = self.entries.iter().position(|e| e.base == base)?;
+        self.hits += 1;
+        Some(&self.entries[found].words)
+    }
+
+    /// Removes and returns the staged block at `base` (for re-filling it
+    /// into the cache without a next-level access).
+    pub fn take(&mut self, base: u64) -> Option<(Vec<u64>, u64)> {
+        let pos = self.entries.iter().position(|e| e.base == base)?;
+        let e = self.entries.remove(pos);
+        self.hits += 1;
+        Some((e.words, e.dirty_mask))
+    }
+
+    /// Drains one entry (background write-back slot). Returns `true` if
+    /// something was drained.
+    pub fn drain_one<B: Backing>(&mut self, backing: &mut B) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let e = self.entries.remove(0);
+        if e.dirty_mask != 0 {
+            backing.write_back(e.base, &e.words, e.dirty_mask);
+        }
+        self.drains += 1;
+        true
+    }
+
+    /// Drains everything.
+    pub fn drain_all<B: Backing>(&mut self, backing: &mut B) {
+        while self.drain_one(backing) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MainMemory;
+
+    #[test]
+    fn push_lookup_take() {
+        let mut mem = MainMemory::new();
+        let mut vb = VictimBuffer::new(2);
+        vb.push(0x40, vec![1, 2, 3, 4], 0b1111, &mut mem);
+        assert_eq!(vb.lookup(0x40), Some(&[1u64, 2, 3, 4][..]));
+        assert_eq!(vb.lookup(0x80), None);
+        let (words, mask) = vb.take(0x40).unwrap();
+        assert_eq!(words, vec![1, 2, 3, 4]);
+        assert_eq!(mask, 0b1111);
+        assert!(vb.is_empty());
+        assert_eq!(vb.hits(), 2);
+    }
+
+    #[test]
+    fn overflow_drains_oldest() {
+        let mut mem = MainMemory::new();
+        let mut vb = VictimBuffer::new(2);
+        vb.push(0x00, vec![9, 0, 0, 0], 0b0001, &mut mem);
+        vb.push(0x20, vec![8, 0, 0, 0], 0b0001, &mut mem);
+        vb.push(0x40, vec![7, 0, 0, 0], 0b0001, &mut mem);
+        assert_eq!(vb.len(), 2);
+        assert_eq!(mem.peek_word(0x00), 9, "oldest drained");
+        assert_eq!(mem.peek_word(0x20), 0, "newer still staged");
+        assert_eq!(vb.drains(), 1);
+    }
+
+    #[test]
+    fn clean_entries_drain_silently() {
+        let mut mem = MainMemory::new();
+        let mut vb = VictimBuffer::new(1);
+        vb.push(0x00, vec![5, 5, 5, 5], 0, &mut mem);
+        vb.drain_all(&mut mem);
+        assert_eq!(mem.peek_word(0x00), 0, "clean block never written");
+        assert_eq!(mem.writes(), 0);
+    }
+
+    #[test]
+    fn coalesces_re_eviction() {
+        let mut mem = MainMemory::new();
+        let mut vb = VictimBuffer::new(4);
+        vb.push(0x40, vec![1, 0, 0, 0], 0b0001, &mut mem);
+        // Same block evicted again with a different dirty word.
+        vb.push(0x40, vec![0, 2, 0, 0], 0b0010, &mut mem);
+        assert_eq!(vb.len(), 1);
+        vb.drain_all(&mut mem);
+        assert_eq!(mem.peek_word(0x40), 1, "old dirty word kept");
+        assert_eq!(mem.peek_word(0x48), 2, "new dirty word kept");
+    }
+
+    #[test]
+    fn drain_one_is_fifo() {
+        let mut mem = MainMemory::new();
+        let mut vb = VictimBuffer::new(3);
+        vb.push(0x00, vec![1, 0, 0, 0], 1, &mut mem);
+        vb.push(0x20, vec![2, 0, 0, 0], 1, &mut mem);
+        assert!(vb.drain_one(&mut mem));
+        assert_eq!(mem.peek_word(0x00), 1);
+        assert_eq!(mem.peek_word(0x20), 0);
+        assert!(vb.drain_one(&mut mem));
+        assert!(!vb.drain_one(&mut mem));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_panics() {
+        let _ = VictimBuffer::new(0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Tiny dependency-free argument parsing: `--key value` pairs and
+//! positional subcommands.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: one subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    command: String,
+    options: HashMap<String, String>,
+}
+
+/// Error produced by parsing or option lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` appeared without a value.
+    MissingValue(String),
+    /// A stray positional argument appeared after the subcommand.
+    UnexpectedPositional(String),
+    /// An option's value failed to parse.
+    BadValue {
+        /// Option name.
+        option: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingCommand => write!(f, "no subcommand given (try `help`)"),
+            ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgsError::UnexpectedPositional(p) => {
+                write!(f, "unexpected positional argument '{p}'")
+            }
+            ArgsError::BadValue { option, value } => {
+                write!(f, "cannot parse '{value}' for --{option}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl ParsedArgs {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgsError> {
+        let mut iter = args.into_iter();
+        let command = iter.next().ok_or(ArgsError::MissingCommand)?;
+        let mut options = HashMap::new();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter.next().ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
+                options.insert(key.to_string(), value);
+            } else {
+                return Err(ArgsError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(ParsedArgs { command, options })
+    }
+
+    /// The subcommand.
+    #[must_use]
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A string option.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A string option with a default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] when present but unparseable.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                option: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<ParsedArgs, ArgsError> {
+        ParsedArgs::parse(words.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn basic_parse() {
+        let a = parse(&["simulate", "--bench", "gcc", "--ops", "1000"]).unwrap();
+        assert_eq!(a.command(), "simulate");
+        assert_eq!(a.get("bench"), Some("gcc"));
+        assert_eq!(a.get_parsed("ops", 0usize).unwrap(), 1000);
+        assert_eq!(a.get_parsed("missing", 7usize).unwrap(), 7);
+        assert_eq!(a.get_or("scheme", "paper"), "paper");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse(&[]), Err(ArgsError::MissingCommand));
+        assert_eq!(
+            parse(&["x", "--flag"]),
+            Err(ArgsError::MissingValue("flag".into()))
+        );
+        assert_eq!(
+            parse(&["x", "stray"]),
+            Err(ArgsError::UnexpectedPositional("stray".into()))
+        );
+        let a = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(matches!(
+            a.get_parsed("n", 1usize),
+            Err(ArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgsError::MissingCommand.to_string().contains("help"));
+        assert!(ArgsError::MissingValue("x".into()).to_string().contains("--x"));
+    }
+}

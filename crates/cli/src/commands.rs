@@ -1,0 +1,421 @@
+//! The CLI subcommands.
+
+use std::error::Error;
+
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::memory::MainMemory;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_core::{CppcCache, CppcConfig};
+use cppc_energy::scheme::{AccessCounts, ProtectionKind, SchemeEnergy};
+use cppc_energy::tech::TechnologyNode;
+use cppc_energy::AreaModel;
+use cppc_fault::campaign::{Campaign, Outcome, OutcomeTally};
+use cppc_fault::model::{FaultGenerator, FaultModel};
+use cppc_reliability::mttf::{
+    aliasing_vulnerable_bits, mttf_aliasing_years, mttf_cppc_years, mttf_one_dim_parity_years,
+    mttf_secded_years,
+};
+use cppc_reliability::{ReliabilityParams, SeuRate};
+use cppc_timing::{L1Scheme, MachineConfig, TimingModel};
+use cppc_workloads::spec2000_profiles;
+use rand::RngExt;
+
+use crate::args::ParsedArgs;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Prints usage.
+pub fn print_help() {
+    println!(
+        "cppc-cli — Correctable Parity Protected Cache (ISCA 2011) tools
+
+USAGE: cppc-cli <COMMAND> [--key value ...]
+
+COMMANDS:
+  benchmarks   list the synthetic SPEC2000-like workloads
+  simulate     run one benchmark through the Table 1 machine
+                 --bench <name>   benchmark (default gcc)
+                 --ops <n>        memory operations (default 200000)
+                 --seed <n>       trace seed (default 42)
+  inject       run a fault-injection campaign on an L1 CPPC
+                 --config basic|paper|two-pairs|eight-pairs (default paper)
+                 --fault single|2xvert|8xhoriz|4x4|8x8 (default 4x4)
+                 --trials <n>     campaign size (default 400)
+  mttf         print the analytical MTTF table
+                 --level l1|l2    evaluation point (default l1)
+                 --fit <f>        SEU rate, FIT/bit (default 0.001)
+                 --avf <f>        AVF (default 0.7)
+  sweep        design-space sweep
+                 --what pairs|ways (default pairs)
+  trace        record a synthetic trace to a file
+                 --bench <name>   benchmark (default gcc)
+                 --ops <n>        operations (default 100000)
+                 --out <path>     output file (default trace.txt)
+                 --seed <n>       trace seed (default 42)
+  montecarlo   validate the MTTF model at accelerated rates
+                 --rate <f>       faults/hour over dirty bits (default 40)
+                 --domains <n>    protection domains (default 8)
+                 --tavg <f>       window, hours (default 0.0004)
+                 --trials <n>     trials (default 3000)
+  coherence    multiprocessor CPPC read-before-write sweep
+                 --cores <n>      cores (default 4)
+                 --ops <n>        total ops (default 100000)
+  help         this text"
+    );
+}
+
+/// `benchmarks`
+pub fn benchmarks() -> CliResult {
+    println!("{:<10} {:>8} {:>8} {:>12} {:>10}", "name", "ld/ki", "st/ki", "footprint", "base CPI");
+    for p in spec2000_profiles() {
+        println!(
+            "{:<10} {:>8} {:>8} {:>9} KB {:>10.2}",
+            p.name,
+            p.loads_per_kinst,
+            p.stores_per_kinst,
+            p.working_set_bytes / 1024,
+            p.base_cpi
+        );
+    }
+    Ok(())
+}
+
+/// `simulate`
+pub fn simulate(args: &ParsedArgs) -> CliResult {
+    let bench = args.get_or("bench", "gcc");
+    let ops: usize = args.get_parsed("ops", 200_000)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+
+    let profiles = spec2000_profiles();
+    let profile = profiles
+        .iter()
+        .find(|p| p.name == bench)
+        .ok_or_else(|| format!("unknown benchmark '{bench}' (see `benchmarks`)"))?;
+
+    let machine = MachineConfig::table1();
+    let model = TimingModel::new(machine);
+    let base = model.simulate(profile, L1Scheme::OneDimParity, ops, seed);
+
+    println!("benchmark {bench}: {ops} memory ops on the Table 1 machine\n");
+    println!(
+        "L1: miss rate {:5.2}%   stores-to-dirty {:6}   write-backs {:6}",
+        base.l1_stats.miss_rate() * 100.0,
+        base.l1_stats.stores_to_dirty,
+        base.l1_stats.writebacks
+    );
+    println!(
+        "L2: miss rate {:5.2}%   accesses {:9}",
+        base.l2_stats.miss_rate() * 100.0,
+        base.l2_stats.accesses()
+    );
+    println!();
+    for (name, scheme) in [
+        ("1D parity", L1Scheme::OneDimParity),
+        ("CPPC", L1Scheme::Cppc),
+        ("2D parity", L1Scheme::TwoDimParity),
+    ] {
+        let b = model.breakdown_from_stats(profile, scheme, ops, base.l1_stats, base.l2_stats);
+        println!(
+            "CPI {name:<10} {:.4}  ({:+.3}% vs parity)",
+            b.cpi(),
+            (b.cpi() / base.cpi() - 1.0) * 100.0
+        );
+    }
+
+    let node = TechnologyNode::Nm32;
+    let counts = AccessCounts {
+        reads: base.l1_stats.load_hits,
+        writes: base.l1_stats.store_hits + base.l1_stats.fills,
+        stores_to_dirty: base.l1_stats.stores_to_dirty,
+        miss_fills: base.l1_stats.fills,
+        words_per_line: 4,
+    };
+    let parity = SchemeEnergy::new(32 * 1024, 2, 32, ProtectionKind::OneDimParity { ways: 8 }, node);
+    println!();
+    for (name, kind) in [
+        ("CPPC", ProtectionKind::Cppc { ways: 8 }),
+        ("SECDED", ProtectionKind::Secded { interleaved: true }),
+        ("2D parity", ProtectionKind::TwoDimParity { ways: 8 }),
+    ] {
+        let e = SchemeEnergy::new(32 * 1024, 2, 32, kind, node);
+        println!(
+            "L1 energy {name:<10} {:.3}x parity",
+            e.total_pj(&counts) / parity.total_pj(&counts)
+        );
+    }
+    Ok(())
+}
+
+fn parse_config(name: &str) -> Result<CppcConfig, String> {
+    match name {
+        "basic" => Ok(CppcConfig::basic()),
+        "paper" => Ok(CppcConfig::paper()),
+        "two-pairs" => Ok(CppcConfig::two_pairs()),
+        "eight-pairs" => Ok(CppcConfig::eight_pairs()),
+        other => Err(format!("unknown config '{other}'")),
+    }
+}
+
+fn parse_fault(name: &str) -> Result<FaultModel, String> {
+    match name {
+        "single" => Ok(FaultModel::TemporalSingleBit),
+        "2xvert" => Ok(FaultModel::VerticalStripe { rows: 2 }),
+        "8xhoriz" => Ok(FaultModel::HorizontalBurst { cols: 8 }),
+        "4x4" => Ok(FaultModel::SpatialSquare {
+            rows: 4,
+            cols: 4,
+            density: 1.0,
+        }),
+        "8x8" => Ok(FaultModel::SpatialSquare {
+            rows: 8,
+            cols: 8,
+            density: 1.0,
+        }),
+        other => Err(format!("unknown fault model '{other}'")),
+    }
+}
+
+/// `inject`
+pub fn inject(args: &ParsedArgs) -> CliResult {
+    let config = parse_config(args.get_or("config", "paper"))?;
+    let fault = parse_fault(args.get_or("fault", "4x4"))?;
+    let trials: u64 = args.get_parsed("trials", 400)?;
+
+    let geo = CacheGeometry::new(2048, 2, 32)?;
+    let tally: OutcomeTally = Campaign::new(0xC11).run(trials, |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = CppcCache::new_l1(geo, config, ReplacementPolicy::Lru)
+            .expect("validated config");
+        let mut fill: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(trial);
+        let mut truth = Vec::new();
+        for set in 0..geo.num_sets() {
+            for word in 0..geo.words_per_block() {
+                let addr = geo.address_of(0, set) + (word * 8) as u64;
+                let v: u64 = fill.random();
+                cache.store_word(addr, v, &mut mem).expect("no faults yet");
+                truth.push((addr, v));
+            }
+        }
+        let mut generator = FaultGenerator::new(cache.layout().num_rows() / 2, rng.random());
+        if cache.inject(&generator.sample(fault)) == 0 {
+            return Outcome::Masked;
+        }
+        match cache.recover_all(&mut mem) {
+            Err(_) => Outcome::DetectedUnrecoverable,
+            Ok(_) => {
+                if truth.iter().all(|&(a, v)| cache.peek_word(a) == Some(v)) {
+                    Outcome::Corrected
+                } else {
+                    Outcome::SilentCorruption
+                }
+            }
+        }
+    });
+
+    println!("campaign: {trials} trials");
+    println!("corrected: {:>6}  ({:.1}%)", tally.corrected, pct(tally.corrected, &tally));
+    println!("DUE:       {:>6}  ({:.1}%)", tally.due, pct(tally.due, &tally));
+    println!("SDC:       {:>6}  ({:.1}%)", tally.sdc, pct(tally.sdc, &tally));
+    println!("masked:    {:>6}  ({:.1}%)", tally.masked, pct(tally.masked, &tally));
+    Ok(())
+}
+
+fn pct(n: u64, t: &OutcomeTally) -> f64 {
+    n as f64 / t.total() as f64 * 100.0
+}
+
+/// `mttf`
+pub fn mttf(args: &ParsedArgs) -> CliResult {
+    let level = args.get_or("level", "l1");
+    let fit: f64 = args.get_parsed("fit", 0.001)?;
+    let avf: f64 = args.get_parsed("avf", 0.7)?;
+    let mut params = match level {
+        "l1" => ReliabilityParams::paper_l1(),
+        "l2" => ReliabilityParams::paper_l2(),
+        other => return Err(format!("unknown level '{other}' (use l1|l2)").into()),
+    };
+    params.rate = SeuRate::from_fit_per_bit(fit);
+    params.avf = avf;
+
+    println!("MTTF at the paper's {level} point ({fit} FIT/bit, AVF {avf}):");
+    println!("  1D parity: {:>12.3e} years", mttf_one_dim_parity_years(&params));
+    println!("  CPPC:      {:>12.3e} years", mttf_cppc_years(&params, 8));
+    let secded_bits = if level == "l1" { 64.0 } else { 256.0 };
+    println!("  SECDED:    {:>12.3e} years", mttf_secded_years(&params, secded_bits));
+    Ok(())
+}
+
+/// `trace`
+pub fn trace(args: &ParsedArgs) -> CliResult {
+    use cppc_workloads::{write_trace, TraceGenerator};
+    let bench = args.get_or("bench", "gcc");
+    let ops: usize = args.get_parsed("ops", 100_000)?;
+    let out_path = args.get_or("out", "trace.txt").to_string();
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let profiles = spec2000_profiles();
+    let profile = profiles
+        .iter()
+        .find(|p| p.name == bench)
+        .ok_or_else(|| format!("unknown benchmark '{bench}' (see `benchmarks`)"))?;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
+    let n = write_trace(&mut file, TraceGenerator::new(profile, seed).take(ops))?;
+    println!("wrote {n} operations of '{bench}' (seed {seed}) to {out_path}");
+    Ok(())
+}
+
+/// `montecarlo`
+pub fn montecarlo(args: &ParsedArgs) -> CliResult {
+    use cppc_reliability::montecarlo::{
+        analytic_mttf_hours, simulate_double_fault_mttf, MonteCarloConfig,
+    };
+    let cfg = MonteCarloConfig {
+        faults_per_hour: args.get_parsed("rate", 40.0)?,
+        domains: args.get_parsed("domains", 8)?,
+        tavg_hours: args.get_parsed("tavg", 0.0004)?,
+        trials: args.get_parsed("trials", 3000)?,
+    };
+    let mc = simulate_double_fault_mttf(&cfg, 0xCA7);
+    let analytic = analytic_mttf_hours(&cfg);
+    println!("accelerated double-fault MTTF ({} trials):", cfg.trials);
+    println!("  simulated: {:.2} h  (+/- {:.2})", mc.mttf_hours, mc.std_error_hours);
+    println!("  analytic:  {analytic:.2} h");
+    println!(
+        "  deviation: {:+.1}%   mean faults absorbed per failure: {:.1}",
+        (mc.mttf_hours / analytic - 1.0) * 100.0,
+        mc.mean_faults_to_failure
+    );
+    Ok(())
+}
+
+/// `coherence`
+pub fn coherence(args: &ParsedArgs) -> CliResult {
+    use cppc_coherence::{CppcCoherentSystem, SharedTraceGenerator};
+    let cores: usize = args.get_parsed("cores", 4)?;
+    let ops: usize = args.get_parsed("ops", 100_000)?;
+    println!("multiprocessor CPPC: {cores} cores, MSI write-invalidate, {ops} ops\n");
+    println!("{:>10} {:>12} {:>12} {:>12}", "sharing", "rbw/store", "dirty-inv", "invariants");
+    for sharing_pct in [0u32, 10, 25, 50, 75] {
+        let mut sys = CppcCoherentSystem::new(
+            cores,
+            CacheGeometry::new(32 * 1024, 2, 32)?,
+            CacheGeometry::new(1024 * 1024, 4, 32)?,
+            CppcConfig::paper(),
+            ReplacementPolicy::Lru,
+        );
+        let generator = SharedTraceGenerator::new(
+            cores,
+            64 * 1024,
+            16 * 1024,
+            f64::from(sharing_pct) / 100.0,
+            0.35,
+            0xC0DE ^ u64::from(sharing_pct),
+        );
+        let mut stores = 0u64;
+        for op in generator.take(ops) {
+            if matches!(op, cppc_coherence::CoreOp::Store { .. }) {
+                stores += 1;
+            }
+            sys.step(op).map_err(|e| format!("unexpected DUE: {e}"))?;
+        }
+        println!(
+            "{:>9}% {:>12.4} {:>12} {:>12}",
+            sharing_pct,
+            sys.total_read_before_writes() as f64 / stores as f64,
+            sys.stats().dirty_invalidations,
+            if sys.verify_invariants() { "ok" } else { "VIOLATED" }
+        );
+    }
+    Ok(())
+}
+
+/// `sweep`
+pub fn sweep(args: &ParsedArgs) -> CliResult {
+    let what = args.get_or("what", "pairs");
+    let params = ReliabilityParams::paper_l1();
+    match what {
+        "pairs" => {
+            println!("{:<8} {:>16} {:>12}", "pairs", "alias MTTF (y)", "area ovh");
+            for pairs in [1usize, 2, 4, 8] {
+                let alias = mttf_aliasing_years(&params, aliasing_vulnerable_bits(pairs));
+                let area = AreaModel::cppc(32 * 1024, 8, pairs, 64).overhead_fraction();
+                let alias_str = if alias.is_infinite() {
+                    "eliminated".to_string()
+                } else {
+                    format!("{alias:.2e}")
+                };
+                println!("{pairs:<8} {alias_str:>16} {:>11.2}%", area * 100.0);
+            }
+        }
+        "ways" => {
+            println!("{:<8} {:>16} {:>12}", "ways", "MTTF (y)", "area ovh");
+            for ways in [1u32, 2, 4, 8] {
+                let m = mttf_cppc_years(&params, ways);
+                let area = AreaModel::cppc(32 * 1024, ways, 1, 64).overhead_fraction();
+                println!("{ways:<8} {m:>16.2e} {:>11.2}%", area * 100.0);
+            }
+        }
+        other => return Err(format!("unknown sweep '{other}' (use pairs|ways)").into()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_parsing() {
+        assert_eq!(parse_config("paper"), Ok(CppcConfig::paper()));
+        assert_eq!(parse_config("basic"), Ok(CppcConfig::basic()));
+        assert_eq!(parse_config("two-pairs"), Ok(CppcConfig::two_pairs()));
+        assert_eq!(parse_config("eight-pairs"), Ok(CppcConfig::eight_pairs()));
+        assert!(parse_config("bogus").is_err());
+    }
+
+    #[test]
+    fn fault_parsing() {
+        assert!(parse_fault("single").is_ok());
+        assert!(parse_fault("2xvert").is_ok());
+        assert!(parse_fault("8xhoriz").is_ok());
+        assert!(parse_fault("4x4").is_ok());
+        assert!(parse_fault("8x8").is_ok());
+        assert!(parse_fault("9x9").is_err());
+    }
+
+    #[test]
+    fn benchmarks_command_runs() {
+        benchmarks().unwrap();
+    }
+
+    #[test]
+    fn sweep_commands_run() {
+        let pairs = crate::args::ParsedArgs::parse(["sweep".into()]).unwrap();
+        sweep(&pairs).unwrap();
+        let ways = crate::args::ParsedArgs::parse(
+            ["sweep".into(), "--what".into(), "ways".into()],
+        )
+        .unwrap();
+        sweep(&ways).unwrap();
+        let bad = crate::args::ParsedArgs::parse(
+            ["sweep".into(), "--what".into(), "nope".into()],
+        )
+        .unwrap();
+        assert!(sweep(&bad).is_err());
+    }
+
+    #[test]
+    fn mttf_command_runs() {
+        let a = crate::args::ParsedArgs::parse(["mttf".into()]).unwrap();
+        mttf(&a).unwrap();
+        let l2 = crate::args::ParsedArgs::parse(
+            ["mttf".into(), "--level".into(), "l2".into()],
+        )
+        .unwrap();
+        mttf(&l2).unwrap();
+        let bad = crate::args::ParsedArgs::parse(
+            ["mttf".into(), "--level".into(), "l9".into()],
+        )
+        .unwrap();
+        assert!(mttf(&bad).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! `cppc-cli` — command-line driver for the CPPC reproduction.
+//!
+//! ```console
+//! $ cppc-cli help
+//! $ cppc-cli simulate --bench mcf --ops 200000
+//! $ cppc-cli inject --config paper --fault 4x4 --trials 500
+//! $ cppc-cli mttf --level l1
+//! $ cppc-cli sweep --what pairs
+//! $ cppc-cli benchmarks
+//! ```
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::print_help();
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command() {
+        "help" | "-h" | "--help" => {
+            commands::print_help();
+            Ok(())
+        }
+        "benchmarks" => commands::benchmarks(),
+        "simulate" => commands::simulate(&parsed),
+        "inject" => commands::inject(&parsed),
+        "mttf" => commands::mttf(&parsed),
+        "sweep" => commands::sweep(&parsed),
+        "trace" => commands::trace(&parsed),
+        "montecarlo" => commands::montecarlo(&parsed),
+        "coherence" => commands::coherence(&parsed),
+        other => {
+            eprintln!("error: unknown subcommand '{other}'");
+            commands::print_help();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,303 @@
+//! The multiprocessor CPPC (§7): private *CPPC-protected* L1s kept
+//! coherent by the MSI write-invalidate protocol over a shared L2.
+//!
+//! This answers §7's question end-to-end: coherence actions (downgrades
+//! and invalidations) parity-check outgoing dirty data and move it into
+//! R2, so the register invariant survives arbitrary sharing — and
+//! faults in dirty data are corrected even when it is a *remote* core's
+//! access that forces the data out.
+
+use cppc_cache_sim::cache::{Backing, Cache};
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::memory::MainMemory;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_core::{CppcCache, CppcConfig, Due};
+
+use crate::system::{CoherenceStats, CoreOp};
+
+struct L2Backing<'a> {
+    l2: &'a mut Cache,
+    mem: &'a mut MainMemory,
+}
+
+impl Backing for L2Backing<'_> {
+    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
+        debug_assert_eq!(words, self.l2.geometry().words_per_block());
+        self.l2.read_block(base, self.mem)
+    }
+
+    fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
+        let _ = self.l2.write_block(base, data, dirty_mask, self.mem);
+    }
+}
+
+/// An `n`-core system whose private L1s are CPPC-protected.
+#[derive(Debug, Clone)]
+pub struct CppcCoherentSystem {
+    cores: Vec<CppcCache>,
+    l2: Cache,
+    mem: MainMemory,
+    stats: CoherenceStats,
+}
+
+impl CppcCoherentSystem {
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, the CPPC configuration is invalid, or the
+    /// block sizes differ between levels.
+    #[must_use]
+    pub fn new(
+        n: usize,
+        l1_geo: CacheGeometry,
+        l2_geo: CacheGeometry,
+        config: CppcConfig,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        assert!(n > 0, "need at least one core");
+        assert_eq!(
+            l1_geo.block_bytes(),
+            l2_geo.block_bytes(),
+            "L1 and L2 must share a block size"
+        );
+        CppcCoherentSystem {
+            cores: (0..n)
+                .map(|_| {
+                    CppcCache::new_l1(l1_geo, config, policy).expect("validated configuration")
+                })
+                .collect(),
+            l2: Cache::new(l2_geo, policy),
+            mem: MainMemory::new(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Protocol statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CoherenceStats {
+        &self.stats
+    }
+
+    /// Core `c`'s CPPC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn core(&self, c: usize) -> &CppcCache {
+        &self.cores[c]
+    }
+
+    /// Mutable access to core `c`'s CPPC (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn core_mut(&mut self, c: usize) -> &mut CppcCache {
+        &mut self.cores[c]
+    }
+
+    /// Machine-wide read-before-write count.
+    #[must_use]
+    pub fn total_read_before_writes(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().read_before_writes).sum()
+    }
+
+    /// Every core's register invariant.
+    #[must_use]
+    pub fn verify_invariants(&self) -> bool {
+        self.cores.iter().all(CppcCache::verify_invariant)
+    }
+
+    fn snoop(&mut self, requester: usize, addr: u64, for_store: bool) -> Result<(), Due> {
+        for c in 0..self.cores.len() {
+            if c == requester || self.cores[c].probe(addr).is_none() {
+                continue;
+            }
+            let dirty = {
+                let (set, way) = self.cores[c].probe(addr).expect("probed above");
+                self.cores[c].tag_state_of(set, way).is_some_and(|(_, mask)| mask != 0)
+            };
+            let mut backing = L2Backing {
+                l2: &mut self.l2,
+                mem: &mut self.mem,
+            };
+            if for_store {
+                self.cores[c].invalidate_block(addr, &mut backing)?;
+                self.stats.invalidations += 1;
+                if dirty {
+                    self.stats.dirty_invalidations += 1;
+                }
+            } else if dirty {
+                self.cores[c].clean_block(addr, &mut backing)?;
+                self.stats.downgrades += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one operation, returning the loaded value (0 for
+    /// stores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Due`] when a fault anywhere in the protocol path is
+    /// uncorrectable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core index is out of range.
+    pub fn step(&mut self, op: CoreOp) -> Result<u64, Due> {
+        match op {
+            CoreOp::Load { core, addr } => {
+                self.snoop(core, addr, false)?;
+                let mut backing = L2Backing {
+                    l2: &mut self.l2,
+                    mem: &mut self.mem,
+                };
+                self.cores[core].load_word(addr, &mut backing)
+            }
+            CoreOp::Store { core, addr, value } => {
+                self.snoop(core, addr, true)?;
+                let mut backing = L2Backing {
+                    l2: &mut self.l2,
+                    mem: &mut self.mem,
+                };
+                self.cores[core].store_word(addr, value, &mut backing)?;
+                Ok(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::collections::HashMap;
+
+    fn system(cores: usize) -> CppcCoherentSystem {
+        CppcCoherentSystem::new(
+            cores,
+            CacheGeometry::new(1024, 2, 32).unwrap(),
+            CacheGeometry::new(8192, 4, 32).unwrap(),
+            CppcConfig::paper(),
+            ReplacementPolicy::Lru,
+        )
+    }
+
+    #[test]
+    fn cross_core_visibility_with_protection() {
+        let mut sys = system(2);
+        sys.step(CoreOp::Store {
+            core: 0,
+            addr: 0x100,
+            value: 42,
+        })
+        .unwrap();
+        assert_eq!(
+            sys.step(CoreOp::Load { core: 1, addr: 0x100 }).unwrap(),
+            42
+        );
+        assert!(sys.verify_invariants());
+    }
+
+    #[test]
+    fn fault_corrected_when_remote_core_forces_writeback() {
+        // The §7 scenario: core 0 holds corrupted dirty data; core 1's
+        // load forces the downgrade, whose parity check triggers
+        // recovery — the fault never propagates.
+        let mut sys = system(2);
+        sys.step(CoreOp::Store {
+            core: 0,
+            addr: 0x200,
+            value: 0xFEED,
+        })
+        .unwrap();
+        sys.core_mut(0).flip_data_bit_at(0x200, 11);
+        assert_eq!(
+            sys.step(CoreOp::Load { core: 1, addr: 0x200 }).unwrap(),
+            0xFEED
+        );
+        assert!(sys.core(0).stats().corrected_dirty >= 1);
+        assert!(sys.verify_invariants());
+    }
+
+    #[test]
+    fn fault_corrected_when_remote_store_invalidates() {
+        let mut sys = system(2);
+        sys.step(CoreOp::Store {
+            core: 0,
+            addr: 0x300,
+            value: 0xAAAA,
+        })
+        .unwrap();
+        sys.core_mut(0).flip_data_bit_at(0x300, 50);
+        // Core 1 writes the same block: core 0's copy is invalidated,
+        // its corrupted dirty data recovered before the write-back.
+        sys.step(CoreOp::Store {
+            core: 1,
+            addr: 0x308,
+            value: 0xBBBB,
+        })
+        .unwrap();
+        assert_eq!(
+            sys.step(CoreOp::Load { core: 1, addr: 0x300 }).unwrap(),
+            0xAAAA
+        );
+        assert!(sys.verify_invariants());
+    }
+
+    #[test]
+    fn randomized_sharing_oracle_with_invariants() {
+        let mut rng = StdRng::seed_from_u64(0x77);
+        let mut sys = system(3);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for i in 0..15_000 {
+            let core = rng.random_range(0..3);
+            let addr = (rng.random_range(0..4096u64)) & !7;
+            if rng.random_bool(0.4) {
+                let v: u64 = rng.random();
+                sys.step(CoreOp::Store { core, addr, value: v }).unwrap();
+                oracle.insert(addr, v);
+            } else {
+                let got = sys.step(CoreOp::Load { core, addr }).unwrap();
+                assert_eq!(got, *oracle.get(&addr).unwrap_or(&0), "addr {addr:#x}");
+            }
+            if i % 1000 == 0 {
+                assert!(sys.verify_invariants(), "op {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_reduces_rbw_on_protected_l1s_too() {
+        // §7's efficiency hypothesis measured on the real CPPC.
+        let run = |sharing: f64| {
+            let mut sys = system(2);
+            let gen = crate::sharing::SharedTraceGenerator::new(2, 512, 128, sharing, 0.4, 3);
+            let mut stores = 0u64;
+            for op in gen.take(30_000) {
+                if matches!(op, CoreOp::Store { .. }) {
+                    stores += 1;
+                }
+                sys.step(op).unwrap();
+            }
+            sys.total_read_before_writes() as f64 / stores as f64
+        };
+        let private_only = run(0.0);
+        let heavy_sharing = run(0.6);
+        assert!(
+            heavy_sharing < private_only,
+            "{heavy_sharing} vs {private_only}"
+        );
+    }
+}

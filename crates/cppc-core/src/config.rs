@@ -1,0 +1,250 @@
+//! CPPC configuration.
+
+use std::fmt;
+
+/// How many rotation classes the byte-shifting design uses (paper §4.3:
+/// eight classes, selected by three bits of the store address, matching
+/// the 8-way interleaved parity and the 8x8 correctable square).
+pub const ROTATION_CLASSES: usize = 8;
+
+/// Error returned for inconsistent CPPC configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Parity ways must divide 64.
+    BadParityWays(u32),
+    /// Register pair count must be 1, 2, 4 or 8.
+    BadRegisterPairs(usize),
+    /// Byte shifting requires 8-way interleaved parity (the shifter works
+    /// at byte granularity, one byte per parity group).
+    ShiftingNeedsByteParity(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadParityWays(w) => {
+                write!(f, "parity ways must divide 64, got {w}")
+            }
+            ConfigError::BadRegisterPairs(p) => {
+                write!(f, "register pairs must be 1, 2, 4 or 8, got {p}")
+            }
+            ConfigError::ShiftingNeedsByteParity(w) => {
+                write!(f, "byte shifting requires 8-way interleaved parity, got {w}-way")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration of a CPPC instance.
+///
+/// The paper's evaluated design (§6) is [`CppcConfig::paper`]: 8-way
+/// interleaved parity, one register pair, byte shifting enabled. The
+/// §4.11 all-registers variant is [`CppcConfig::eight_pairs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CppcConfig {
+    /// `k`-way interleaved parity per word (1 = plain word parity).
+    pub parity_ways: u32,
+    /// Number of (R1, R2) register pairs: 1, 2, 4 or 8. Pairs are
+    /// interleaved across rotation classes (§4.6/§4.11): with `p` pairs,
+    /// classes `[i*8/p, (i+1)*8/p)` belong to pair `i`.
+    pub register_pairs: usize,
+    /// Whether the barrel byte-shifter rotates data before XORing into
+    /// the registers (§4.3). Disabled in the 8-pair design (§4.11).
+    pub byte_shifting: bool,
+}
+
+impl CppcConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid parameter combinations.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.parity_ways == 0 || 64 % self.parity_ways != 0 {
+            return Err(ConfigError::BadParityWays(self.parity_ways));
+        }
+        if ![1, 2, 4, 8].contains(&self.register_pairs) {
+            return Err(ConfigError::BadRegisterPairs(self.register_pairs));
+        }
+        if self.byte_shifting && self.parity_ways != 8 {
+            return Err(ConfigError::ShiftingNeedsByteParity(self.parity_ways));
+        }
+        Ok(())
+    }
+
+    /// The basic CPPC of §3: one parity bit per word, one register pair,
+    /// no byte shifting. Corrects temporal single-bit faults in dirty
+    /// words; no spatial-MBE correction.
+    #[must_use]
+    pub fn basic() -> Self {
+        CppcConfig {
+            parity_ways: 1,
+            register_pairs: 1,
+            byte_shifting: false,
+        }
+    }
+
+    /// The paper's evaluated configuration (§6): 8 interleaved parity
+    /// bits per word, two registers (one pair), byte shifting.
+    #[must_use]
+    pub fn paper() -> Self {
+        CppcConfig {
+            parity_ways: 8,
+            register_pairs: 1,
+            byte_shifting: true,
+        }
+    }
+
+    /// Two register pairs + byte shifting (§4.6): closes the full-8x8 and
+    /// distance-4 ambiguities of the single-pair design.
+    #[must_use]
+    pub fn two_pairs() -> Self {
+        CppcConfig {
+            parity_ways: 8,
+            register_pairs: 2,
+            byte_shifting: true,
+        }
+    }
+
+    /// Eight register pairs, no byte shifting (§4.11): every rotation
+    /// class has a private pair, all spatial MBEs in an 8x8 square are
+    /// correctable, and temporal-alias miscorrection is eliminated.
+    #[must_use]
+    pub fn eight_pairs() -> Self {
+        CppcConfig {
+            parity_ways: 8,
+            register_pairs: 8,
+            byte_shifting: false,
+        }
+    }
+
+    /// The register pair that protects rotation class `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= ROTATION_CLASSES`.
+    #[must_use]
+    pub fn pair_of_class(&self, class: usize) -> usize {
+        assert!(class < ROTATION_CLASSES, "class {class} out of range");
+        class / (ROTATION_CLASSES / self.register_pairs)
+    }
+
+    /// The byte-rotation amount applied to data of rotation class
+    /// `class` before XORing into its registers (0 when byte shifting is
+    /// disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= ROTATION_CLASSES`.
+    #[must_use]
+    pub fn rotation_of_class(&self, class: usize) -> u32 {
+        assert!(class < ROTATION_CLASSES, "class {class} out of range");
+        if self.byte_shifting {
+            class as u32
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for CppcConfig {
+    fn default() -> Self {
+        CppcConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for c in [
+            CppcConfig::basic(),
+            CppcConfig::paper(),
+            CppcConfig::two_pairs(),
+            CppcConfig::eight_pairs(),
+        ] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parity_ways() {
+        let c = CppcConfig {
+            parity_ways: 7,
+            ..CppcConfig::basic()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::BadParityWays(7)));
+    }
+
+    #[test]
+    fn rejects_bad_pairs() {
+        let c = CppcConfig {
+            register_pairs: 3,
+            ..CppcConfig::paper()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::BadRegisterPairs(3)));
+    }
+
+    #[test]
+    fn rejects_shifting_without_byte_parity() {
+        let c = CppcConfig {
+            parity_ways: 1,
+            byte_shifting: true,
+            register_pairs: 1,
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ShiftingNeedsByteParity(1)));
+    }
+
+    #[test]
+    fn pair_assignment_single_pair() {
+        let c = CppcConfig::paper();
+        for class in 0..8 {
+            assert_eq!(c.pair_of_class(class), 0);
+        }
+    }
+
+    #[test]
+    fn pair_assignment_two_pairs_splits_at_four() {
+        // §4.6: classes 0-3 on one pair, classes 4-7 on the other.
+        let c = CppcConfig::two_pairs();
+        for class in 0..4 {
+            assert_eq!(c.pair_of_class(class), 0);
+        }
+        for class in 4..8 {
+            assert_eq!(c.pair_of_class(class), 1);
+        }
+    }
+
+    #[test]
+    fn pair_assignment_eight_pairs_is_identity() {
+        let c = CppcConfig::eight_pairs();
+        for class in 0..8 {
+            assert_eq!(c.pair_of_class(class), class);
+        }
+    }
+
+    #[test]
+    fn rotation_follows_class_when_enabled() {
+        let c = CppcConfig::paper();
+        for class in 0..8 {
+            assert_eq!(c.rotation_of_class(class), class as u32);
+        }
+        let c = CppcConfig::eight_pairs();
+        for class in 0..8 {
+            assert_eq!(c.rotation_of_class(class), 0, "no shifter in 8-pair design");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ConfigError::BadParityWays(7).to_string().contains("divide 64"));
+        assert!(ConfigError::BadRegisterPairs(3).to_string().contains("1, 2, 4 or 8"));
+        assert!(ConfigError::ShiftingNeedsByteParity(1)
+            .to_string()
+            .contains("8-way"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The fully protected cache: CPPC data protection plus CPPC tag/state
+//! protection in one assembly — the complete design §7 sketches.
+//!
+//! The data side is a [`CppcCache`]; the tag side is a [`TagCppc`]
+//! shadow holding one packed `(tag, state)` entry per `(set, way)`,
+//! where the state byte carries the per-word dirty mask. Every lookup
+//! reads the addressed set's tag entries through the protected path
+//! (parity checked, single faults reconstructed), exactly as a real
+//! tag-array read would; data operations then proceed on the data CPPC.
+//!
+//! The shadow is reconciled after each operation from the data cache's
+//! ground truth — allocation on fill, replacement on eviction,
+//! state-byte updates as dirty masks change — so its R1/R2 invariant
+//! tracks the live tag contents.
+
+use cppc_cache_sim::cache::Backing;
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_fault::model::FaultPattern;
+
+use crate::cache::{CppcCache, Due};
+use crate::config::{ConfigError, CppcConfig};
+use crate::tags::{pack_entry, TagCppc, TagDue};
+
+use std::fmt;
+
+/// A fault neither side of the assembly could correct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtectedFault {
+    /// The data CPPC declared a DUE.
+    Data(Due),
+    /// The tag CPPC declared a DUE.
+    Tag(TagDue),
+}
+
+impl fmt::Display for ProtectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectedFault::Data(e) => write!(f, "data: {e}"),
+            ProtectedFault::Tag(e) => write!(f, "tag: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtectedFault {}
+
+impl From<Due> for ProtectedFault {
+    fn from(e: Due) -> Self {
+        ProtectedFault::Data(e)
+    }
+}
+
+impl From<TagDue> for ProtectedFault {
+    fn from(e: TagDue) -> Self {
+        ProtectedFault::Tag(e)
+    }
+}
+
+/// A CPPC-protected cache with a CPPC-protected tag array.
+///
+/// # Example
+///
+/// ```
+/// use cppc_cache_sim::{CacheGeometry, MainMemory, ReplacementPolicy};
+/// use cppc_core::config::CppcConfig;
+/// use cppc_core::full::FullyProtectedCache;
+///
+/// let geo = CacheGeometry::new(1024, 2, 32)?;
+/// let mut mem = MainMemory::new();
+/// let mut cache = FullyProtectedCache::new_l1(geo, CppcConfig::paper(), ReplacementPolicy::Lru)?;
+/// cache.store_word(0x40, 7, &mut mem)?;
+/// cache.flip_tag_bit_at(0x40, 13); // strike on the tag SRAM
+/// assert_eq!(cache.load_word(0x40, &mut mem)?, 7); // tag reconstructed
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullyProtectedCache {
+    data: CppcCache,
+    tags: TagCppc,
+}
+
+impl FullyProtectedCache {
+    /// Creates an L1 assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid CPPC configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than 8 words per block (the tag
+    /// state byte carries the dirty mask).
+    pub fn new_l1(
+        geo: CacheGeometry,
+        config: CppcConfig,
+        policy: ReplacementPolicy,
+    ) -> Result<Self, ConfigError> {
+        assert!(
+            geo.words_per_block() <= 8,
+            "dirty mask must fit the state byte"
+        );
+        let data = CppcCache::new_l1(geo, config, policy)?;
+        let slots = geo.num_sets() * geo.associativity();
+        Ok(FullyProtectedCache {
+            data,
+            tags: TagCppc::new(slots, config.parity_ways),
+        })
+    }
+
+    /// The data-side CPPC.
+    #[must_use]
+    pub fn data(&self) -> &CppcCache {
+        &self.data
+    }
+
+    /// The tag-side CPPC.
+    #[must_use]
+    pub fn tags(&self) -> &TagCppc {
+        &self.tags
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.data.geometry().associativity() + way
+    }
+
+    /// Expected packed tag entry for `(set, way)` from the data cache's
+    /// ground truth, or `None` for an invalid way.
+    fn expected_entry(&self, set: usize, way: usize) -> Option<u64> {
+        let (tag, mask) = self.data.tag_state_of(set, way)?;
+        Some(pack_entry(tag, mask))
+    }
+
+    /// Reconciles the shadow entries of one set with the data cache.
+    fn reconcile_set(&mut self, set: usize) {
+        for way in 0..self.data.geometry().associativity() {
+            let slot = self.slot(set, way);
+            let expected = self.expected_entry(set, way);
+            let current = self.tags.entry_unchecked(slot);
+            match (current, expected) {
+                (None, Some(e)) => self.tags.allocate(slot, e),
+                (Some(c), Some(e)) if c != e => {
+                    self.tags.replace(slot, e).expect("shadow entry was sound");
+                }
+                (Some(_), None) => {
+                    self.tags
+                        .invalidate(slot)
+                        .expect("shadow entry was sound");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Reads the addressed set's tag entries through the protected path
+    /// (the tag-array lookup), recovering single tag faults.
+    fn lookup_tags(&mut self, addr: u64) -> Result<(), TagDue> {
+        let set = self.data.geometry().set_index(addr);
+        for way in 0..self.data.geometry().associativity() {
+            let slot = self.slot(set, way);
+            if let Some(result) = self.tags.read(slot) {
+                result?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a word: protected tag lookup, then the data CPPC path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtectedFault`] on an unrecoverable tag or data error.
+    pub fn load_word<B: Backing>(
+        &mut self,
+        addr: u64,
+        backing: &mut B,
+    ) -> Result<u64, ProtectedFault> {
+        self.lookup_tags(addr)?;
+        let value = self.data.load_word(addr, backing)?;
+        self.reconcile_set(self.data.geometry().set_index(addr));
+        Ok(value)
+    }
+
+    /// Stores a word: protected tag lookup, then the data CPPC path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtectedFault`] on an unrecoverable tag or data error.
+    pub fn store_word<B: Backing>(
+        &mut self,
+        addr: u64,
+        value: u64,
+        backing: &mut B,
+    ) -> Result<(), ProtectedFault> {
+        self.lookup_tags(addr)?;
+        self.data.store_word(addr, value, backing)?;
+        self.reconcile_set(self.data.geometry().set_index(addr));
+        Ok(())
+    }
+
+    /// Flushes the data side and reconciles every set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtectedFault`] on an unrecoverable error.
+    pub fn flush<B: Backing>(&mut self, backing: &mut B) -> Result<(), ProtectedFault> {
+        self.data.flush(backing)?;
+        for set in 0..self.data.geometry().num_sets() {
+            self.reconcile_set(set);
+        }
+        Ok(())
+    }
+
+    /// Injects a data-array fault pattern; returns bits flipped.
+    pub fn inject_data(&mut self, pattern: &FaultPattern) -> usize {
+        self.data.inject(pattern)
+    }
+
+    /// Flips a bit in the tag entry covering `addr` (which must be
+    /// resident).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not resident or `bit >= 64`.
+    pub fn flip_tag_bit_at(&mut self, addr: u64, bit: u32) {
+        let (set, way) = self
+            .data
+            .probe(addr)
+            .expect("address must be resident to strike its tag");
+        let slot = self.slot(set, way);
+        self.tags.flip_bit(slot, bit);
+    }
+
+    /// Both invariants: data-side register invariant and tag-side
+    /// register invariant.
+    #[must_use]
+    pub fn verify_invariants(&self) -> bool {
+        self.data.verify_invariant() && self.tags.verify_invariant()
+    }
+
+    /// Reads a resident word without side effects.
+    #[must_use]
+    pub fn peek_word(&self, addr: u64) -> Option<u64> {
+        self.data.peek_word(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cppc_cache_sim::memory::MainMemory;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn build() -> (FullyProtectedCache, MainMemory) {
+        let geo = CacheGeometry::new(1024, 2, 32).unwrap();
+        (
+            FullyProtectedCache::new_l1(geo, CppcConfig::paper(), ReplacementPolicy::Lru).unwrap(),
+            MainMemory::new(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_with_shadow() {
+        let (mut c, mut m) = build();
+        c.store_word(0x100, 42, &mut m).unwrap();
+        assert_eq!(c.load_word(0x100, &mut m).unwrap(), 42);
+        assert!(c.verify_invariants());
+    }
+
+    #[test]
+    fn tag_fault_recovered_on_lookup() {
+        let (mut c, mut m) = build();
+        c.store_word(0x100, 7, &mut m).unwrap();
+        c.store_word(0x500, 8, &mut m).unwrap();
+        c.flip_tag_bit_at(0x100, 20);
+        assert_eq!(c.load_word(0x100, &mut m).unwrap(), 7);
+        assert!(c.tags().stats().corrected >= 1);
+        assert!(c.verify_invariants());
+    }
+
+    #[test]
+    fn state_bit_fault_recovered() {
+        // A flipped dirty-mask bit could silently drop a write-back;
+        // the protected state byte catches it.
+        let (mut c, mut m) = build();
+        c.store_word(0x100, 9, &mut m).unwrap();
+        c.flip_tag_bit_at(0x100, crate::tags::TAG_BITS + 2);
+        assert_eq!(c.load_word(0x100, &mut m).unwrap(), 9);
+        assert!(c.verify_invariants());
+    }
+
+    #[test]
+    fn combined_data_and_tag_faults_in_different_entries() {
+        let (mut c, mut m) = build();
+        c.store_word(0x100, 0xAA, &mut m).unwrap();
+        c.store_word(0x300, 0xBB, &mut m).unwrap();
+        c.flip_tag_bit_at(0x300, 5);
+        // data fault on one word, tag fault on another block
+        let geo = *c.data().geometry();
+        let _ = geo;
+        c.inject_data(&FaultPattern::new(vec![cppc_fault::model::BitFlip {
+            row: c.data().layout().row_of(c.data().probe(0x100).unwrap().0, 0, 0),
+            col: 4,
+        }]));
+        assert_eq!(c.load_word(0x100, &mut m).unwrap(), 0xAA);
+        assert_eq!(c.load_word(0x300, &mut m).unwrap(), 0xBB);
+        assert!(c.verify_invariants());
+    }
+
+    #[test]
+    fn churn_keeps_both_invariants() {
+        let (mut c, mut m) = build();
+        let mut rng = StdRng::seed_from_u64(0xF011);
+        let mut oracle = std::collections::HashMap::new();
+        for i in 0..8_000u64 {
+            let addr = (rng.random_range(0..8192u64)) & !7;
+            if rng.random_bool(0.4) {
+                let v: u64 = rng.random();
+                c.store_word(addr, v, &mut m).unwrap();
+                oracle.insert(addr, v);
+            } else {
+                let got = c.load_word(addr, &mut m).unwrap();
+                assert_eq!(got, *oracle.get(&addr).unwrap_or(&0));
+            }
+            if i % 512 == 0 {
+                assert!(c.verify_invariants(), "op {i}");
+            }
+        }
+        c.flush(&mut m).unwrap();
+        assert!(c.verify_invariants());
+        for (addr, v) in oracle {
+            assert_eq!(m.peek_word(addr), v);
+        }
+    }
+
+    #[test]
+    fn two_tag_faults_are_due() {
+        let (mut c, mut m) = build();
+        c.store_word(0x100, 1, &mut m).unwrap();
+        c.store_word(0x500, 2, &mut m).unwrap();
+        c.flip_tag_bit_at(0x100, 3);
+        c.flip_tag_bit_at(0x500, 3);
+        let err = c.load_word(0x100, &mut m).unwrap_err();
+        assert!(matches!(err, ProtectedFault::Tag(_)));
+    }
+}

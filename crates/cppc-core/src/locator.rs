@@ -1,0 +1,455 @@
+//! The spatial-MBE fault locator (paper §4.5).
+//!
+//! When several dirty words in one protection domain are faulty *and*
+//! they share fired parity groups, simple reconstruction cannot separate
+//! their errors. The locator pins down exactly which bits flipped, using
+//! three pieces of information (paper §4.5):
+//!
+//! 1. which parity bits fired in each faulty word (the syndromes),
+//! 2. the rotation classes of the faulty words,
+//! 3. `R3` — the XOR of `R1 ^ R2` with the rotated *current* (corrupted)
+//!    values of all dirty words in the domain, which equals the XOR of
+//!    the rotated per-word error masks.
+//!
+//! # Algorithm
+//!
+//! A spatial fault contained in an 8x8-bit square occupies, in every
+//! affected word, either a single byte column or two adjacent byte
+//! columns (the paper's "faulty byte or faulty adjacent two bytes").
+//! The locator therefore tries each adjacent byte band `(j, j+1)` and,
+//! within a band, *peels*: whenever some byte of `R3` receives the
+//! contribution of exactly one `(word, byte)` candidate, that word's
+//! error in that byte is read off `R3` directly, the error bits in its
+//! other band byte follow from the syndrome (`e_other = e_known ^
+//! syndrome`, by the per-group parity case analysis), and the word's
+//! full error mask is XORed out of `R3` before repeating.
+//!
+//! A band solution is accepted only if every faulty word is located and
+//! `R3` is completely consumed (ends at zero). If no band yields a
+//! solution, or two bands yield *different* solutions (the irreducible
+//! ambiguities of §4.6, e.g. a full 8x8 strike with one register pair),
+//! the error is a DUE. This accept-only-forced-deductions discipline is
+//! what keeps the locator from ever silently miscorrecting an in-model
+//! fault.
+
+use std::fmt;
+
+use crate::rotate::rotate_left_bytes;
+
+/// One faulty dirty word handed to the locator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Suspect {
+    /// Physical row of the word (for the distance check).
+    pub row: usize,
+    /// Rotation class (`row mod 8` in the byte-shifting design).
+    pub class: usize,
+    /// Fired parity groups, one bit per 8-way-interleaved parity group.
+    pub syndrome: u8,
+}
+
+/// Why the locator declared a DUE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocateError {
+    /// Faulty rows span more than 8 physical rows — outside the
+    /// correctable 8x8 square (paper §4.4 step 5).
+    DistanceExceeded,
+    /// Two faulty words share a rotation class, so their register
+    /// contributions alias (distance-8 pattern, §4.6).
+    ClassAliased,
+    /// No byte band produced a consistent assignment of error bits.
+    NoSolution,
+    /// More than one distinct consistent assignment exists (§4.6's
+    /// irreducible patterns, e.g. the solid 8x8 with one pair).
+    Ambiguous,
+}
+
+impl fmt::Display for LocateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocateError::DistanceExceeded => {
+                write!(f, "faulty rows span more than the 8x8 correctable square")
+            }
+            LocateError::ClassAliased => {
+                write!(f, "two faulty words share a rotation class")
+            }
+            LocateError::NoSolution => write!(f, "no consistent error assignment found"),
+            LocateError::Ambiguous => {
+                write!(f, "multiple consistent error assignments (irreducible ambiguity)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LocateError {}
+
+/// Locates the per-word error masks of a suspected spatial MBE.
+///
+/// `r3` is the XOR of all rotated error masks (see module docs);
+/// `suspects` lists the faulty dirty words of one protection domain.
+/// On success returns one error mask per suspect, in order: XORing each
+/// mask into its word's stored value yields the corrected data.
+///
+/// # Errors
+///
+/// Returns a [`LocateError`] when the fault is outside the correctable
+/// envelope or cannot be unambiguously located — a DUE in the paper's
+/// taxonomy.
+///
+/// # Panics
+///
+/// Panics if `suspects` is empty or any syndrome is zero (callers only
+/// invoke the locator for detected faults).
+pub fn locate_spatial(r3: u64, suspects: &[Suspect]) -> Result<Vec<u64>, LocateError> {
+    assert!(!suspects.is_empty(), "locator needs at least one suspect");
+    assert!(
+        suspects.iter().all(|s| s.syndrome != 0),
+        "suspects must have fired parity"
+    );
+
+    let min_row = suspects.iter().map(|s| s.row).min().expect("non-empty");
+    let max_row = suspects.iter().map(|s| s.row).max().expect("non-empty");
+    if max_row - min_row > 7 {
+        return Err(LocateError::DistanceExceeded);
+    }
+    for (i, a) in suspects.iter().enumerate() {
+        for b in &suspects[i + 1..] {
+            if a.class == b.class {
+                return Err(LocateError::ClassAliased);
+            }
+        }
+    }
+
+    // Step 1-2 (paper §4.5): the non-zero bytes of R3 and, for each, the
+    // set of word bytes that are XORed into it.
+    let faulty_bytes: Vec<u32> = (0..8).filter(|&b| (r3 >> (8 * b)) & 0xFF != 0).collect();
+
+    // Step 3, first half: a single common byte `j` such that every R3
+    // faulty byte is explained by byte `j` of some faulty word.
+    if !faulty_bytes.is_empty() {
+        let mut single_solutions: Vec<Vec<u64>> = Vec::new();
+        for j in 0..8u32 {
+            let covers = faulty_bytes.iter().all(|&b| {
+                suspects
+                    .iter()
+                    .any(|s| (j as usize + s.class) % 8 == b as usize)
+            });
+            if covers {
+                if let Some(masks) = solve_single_byte(r3, suspects, j) {
+                    if !single_solutions.contains(&masks) {
+                        single_solutions.push(masks);
+                    }
+                }
+            }
+        }
+        match single_solutions.len() {
+            1 => return Ok(single_solutions.pop().expect("len checked")),
+            0 => {}
+            // Two different single-byte explanations (e.g. the §4.6
+            // distance-4 alias): irreducibly ambiguous.
+            _ => return Err(LocateError::Ambiguous),
+        }
+    }
+
+    // Step 3, second half + step 4: adjacent byte bands with peeling.
+    let mut solutions: Vec<Vec<u64>> = Vec::new();
+    for band in 0..7u32 {
+        // The paper's precondition: every R3 faulty byte must be
+        // explainable by byte `band` or `band + 1` of some faulty word.
+        let qualifies = faulty_bytes.iter().all(|&b| {
+            suspects.iter().any(|s| {
+                (band as usize + s.class) % 8 == b as usize
+                    || (band as usize + 1 + s.class) % 8 == b as usize
+            })
+        });
+        if !qualifies {
+            continue;
+        }
+        if let Some(masks) = solve_band(r3, suspects, band) {
+            // Physical-plausibility filter: a spatial MBE inside an 8x8
+            // square spans at most 8 consecutive bit columns.
+            if column_span(&masks) <= 8 && !solutions.contains(&masks) {
+                solutions.push(masks);
+            }
+        }
+    }
+    match solutions.len() {
+        0 => Err(LocateError::NoSolution),
+        1 => Ok(solutions.pop().expect("len checked")),
+        _ => Err(LocateError::Ambiguous),
+    }
+}
+
+/// Width in bit columns of the union of all error masks (0 for empty).
+fn column_span(masks: &[u64]) -> u32 {
+    let union = masks.iter().fold(0u64, |acc, m| acc | m);
+    if union == 0 {
+        0
+    } else {
+        64 - union.leading_zeros() - union.trailing_zeros()
+    }
+}
+
+/// Tries to explain the fault entirely within byte `j` of every faulty
+/// word (the paper's single-common-byte case). Each suspect's error byte
+/// is read directly off R3; consistency demands that it equals the
+/// suspect's syndrome (byte-aligned bits are their own parity groups)
+/// and that the contributions reproduce R3 exactly.
+fn solve_single_byte(r3: u64, suspects: &[Suspect], j: u32) -> Option<Vec<u64>> {
+    let mut masks = Vec::with_capacity(suspects.len());
+    let mut reconstructed = 0u64;
+    for s in suspects {
+        let b = (j as usize + s.class) % 8;
+        let e_byte = ((r3 >> (8 * b)) & 0xFF) as u8;
+        if e_byte != s.syndrome {
+            return None;
+        }
+        let mask = u64::from(e_byte) << (8 * j);
+        reconstructed ^= rotate_left_bytes(mask, s.class as u32);
+        masks.push(mask);
+    }
+    (reconstructed == r3).then_some(masks)
+}
+
+/// Attempts to explain the fault entirely within word bytes `band` and
+/// `band + 1`. Returns the per-suspect error masks on success.
+fn solve_band(r3: u64, suspects: &[Suspect], band: u32) -> Option<Vec<u64>> {
+    let jj_lo = band;
+    let jj_hi = band + 1;
+    let n = suspects.len();
+
+    // members[b] = candidate (suspect index, word byte) pairs whose
+    // rotated contribution lands in byte b of R3.
+    let mut members: Vec<Vec<(usize, u32)>> = vec![Vec::new(); 8];
+    for (i, s) in suspects.iter().enumerate() {
+        for jj in [jj_lo, jj_hi] {
+            let b = (jj as usize + s.class) % 8;
+            members[b].push((i, jj));
+        }
+    }
+
+    let mut r3 = r3;
+    let mut masks: Vec<Option<u64>> = vec![None; n];
+    let mut remaining = n;
+
+    while remaining > 0 {
+        // Find a forced deduction: an R3 byte with exactly one candidate.
+        let singleton = (0..8).find(|&b| members[b].len() == 1)?;
+        let (idx, jj) = members[singleton][0];
+        let s = suspects[idx];
+
+        let e_known = ((r3 >> (8 * singleton)) & 0xFF) as u8;
+        // Per-group case analysis: a group fires iff an odd number of its
+        // band bits flipped; each band byte holds exactly one bit of each
+        // group, so the other byte's bit is e_known ^ syndrome.
+        let e_other = e_known ^ s.syndrome;
+        let jj_other = if jj == jj_lo { jj_hi } else { jj_lo };
+        let mask = (u64::from(e_known) << (8 * jj)) | (u64::from(e_other) << (8 * jj_other));
+
+        masks[idx] = Some(mask);
+        r3 ^= rotate_left_bytes(mask, s.class as u32);
+        for list in &mut members {
+            list.retain(|&(i, _)| i != idx);
+        }
+        remaining -= 1;
+    }
+
+    // Accept only a fully consistent explanation.
+    if r3 != 0 {
+        return None;
+    }
+    Some(masks.into_iter().map(|m| m.expect("all located")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds (r3, suspects) from ground-truth error masks, mimicking
+    /// what the recovery engine computes from the real cache.
+    fn make_case(errors: &[(usize, u64)]) -> (u64, Vec<Suspect>) {
+        let mut r3 = 0;
+        let mut suspects = Vec::new();
+        for &(row, e) in errors {
+            assert_ne!(e, 0);
+            let class = row % 8;
+            r3 ^= rotate_left_bytes(e, class as u32);
+            let mut syndrome = 0u8;
+            for bit in 0..64u32 {
+                if e >> bit & 1 == 1 {
+                    syndrome ^= 1 << (bit % 8);
+                }
+            }
+            suspects.push(Suspect {
+                row,
+                class,
+                syndrome,
+            });
+        }
+        (r3, suspects)
+    }
+
+    fn check_located(errors: &[(usize, u64)]) {
+        let (r3, suspects) = make_case(errors);
+        let masks = locate_spatial(r3, &suspects).expect("locatable");
+        for (i, &(_, e)) in errors.iter().enumerate() {
+            assert_eq!(masks[i], e, "error mask of suspect {i}");
+        }
+    }
+
+    #[test]
+    fn vertical_two_bit_stripe() {
+        // The paper's Figure 4/5 scenario: bit 0 of two adjacent rows.
+        check_located(&[(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn vertical_full_column_eight_rows_is_ambiguous_or_located() {
+        // Bit 0 of 8 adjacent rows: classes 0..7 all faulty, single
+        // column. The solid same-column stripe across all 8 classes is
+        // one of the §4.6 hard patterns family; accept either a correct
+        // location or a DUE, but never a wrong mask.
+        let errors: Vec<(usize, u64)> = (0..8).map(|r| (r, 1u64)).collect();
+        let (r3, suspects) = make_case(&errors);
+        match locate_spatial(r3, &suspects) {
+            Ok(masks) => {
+                for (i, &(_, e)) in errors.iter().enumerate() {
+                    assert_eq!(masks[i], e);
+                }
+            }
+            Err(LocateError::Ambiguous) | Err(LocateError::NoSolution) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_section_4_5_example() {
+        // §4.5's worked example: a spatial fault in bits 5-12 of four
+        // words of classes 0-3 (bits 5-7 of byte 0, bits 0-4 of byte 1).
+        let e = 0b1_1111_1110_0000u64; // bits 5..=12
+        let errors: Vec<(usize, u64)> = (0..4).map(|r| (r, e)).collect();
+        check_located(&errors);
+    }
+
+    #[test]
+    fn three_bit_vertical_in_byte_zero() {
+        // §4.3's example: 3-bit vertical fault in bit 0 of first three rows.
+        check_located(&[(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn diagonal_pattern_within_square() {
+        check_located(&[(0, 1 << 3), (1, 1 << 4), (2, 1 << 5)]);
+    }
+
+    #[test]
+    fn two_byte_band_mixed_bits() {
+        // Errors straddling the byte 0/1 boundary, confined to columns
+        // 4..=11 (an 8-wide window): word A flips bits 7,8,9; word B
+        // flips bits 4 and 11.
+        check_located(&[(4, 0b0011_1000_0000), (5, 0b1000_0001_0000)]);
+    }
+
+    #[test]
+    fn full_8x8_square_is_due() {
+        // §4.6: all bits of an 8x8 square — unlocatable with one pair.
+        let errors: Vec<(usize, u64)> = (0..8).map(|r| (r, 0xFFu64)).collect();
+        let (r3, suspects) = make_case(&errors);
+        assert!(matches!(
+            locate_spatial(r3, &suspects),
+            Err(LocateError::Ambiguous) | Err(LocateError::NoSolution)
+        ));
+    }
+
+    #[test]
+    fn distance_four_alias_is_due_or_correct() {
+        // §4.6: byte 0 of class 0 and byte 0 of class 4: content of R3
+        // identical to byte-4 interpretation — must not silently pick a
+        // wrong one. Distance 4 rows, same byte.
+        let errors = [(0usize, 0x07u64), (4usize, 0x03u64)];
+        let (r3, suspects) = make_case(&errors);
+        match locate_spatial(r3, &suspects) {
+            Ok(masks) => assert_eq!(masks, vec![0x07, 0x03], "if located, must be exact"),
+            Err(LocateError::Ambiguous) | Err(LocateError::NoSolution) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distance_beyond_square_rejected() {
+        let errors = [(0usize, 1u64), (9usize, 1u64)];
+        let (r3, suspects) = make_case(&errors);
+        assert_eq!(
+            locate_spatial(r3, &suspects),
+            Err(LocateError::DistanceExceeded)
+        );
+    }
+
+    #[test]
+    fn shared_class_rejected() {
+        let s = Suspect {
+            row: 0,
+            class: 0,
+            syndrome: 1,
+        };
+        let t = Suspect {
+            row: 3,
+            class: 0,
+            syndrome: 1,
+        };
+        assert_eq!(locate_spatial(1, &[s, t]), Err(LocateError::ClassAliased));
+    }
+
+    #[test]
+    fn never_miscorrects_exhaustive_two_row_bands() {
+        // Exhaustive-ish sweep: every 2-row pattern within every band,
+        // a few bit combinations. The locator must either return the
+        // exact masks or refuse.
+        for band in 0..7u32 {
+            for bits_a in [0b1u64, 0b1000_0000, 0b1_0000_0001, 0b1111] {
+                for bits_b in [0b1u64, 0b10, 0b1000_0001] {
+                    let shift = 8 * band;
+                    let ea = bits_a << shift;
+                    let eb = bits_b << shift;
+                    // keep within the 16-bit band
+                    if ea >> shift > 0xFFFF || eb >> shift > 0xFFFF {
+                        continue;
+                    }
+                    // Skip patterns with even flips per parity group —
+                    // those are undetectable by 8-way parity (hardware
+                    // would not see them either).
+                    let syn = |e: u64| {
+                        (0..64u32).fold(0u8, |s, b| {
+                            if e >> b & 1 == 1 {
+                                s ^ (1 << (b % 8))
+                            } else {
+                                s
+                            }
+                        })
+                    };
+                    if syn(ea) == 0 || syn(eb) == 0 {
+                        continue;
+                    }
+                    for r0 in 0..3usize {
+                        let errors = [(r0, ea), (r0 + 1, eb)];
+                        let (r3, suspects) = make_case(&errors);
+                        match locate_spatial(r3, &suspects) {
+                            Ok(masks) => {
+                                assert_eq!(masks, vec![ea, eb], "band {band} rows {r0}");
+                            }
+                            Err(
+                                LocateError::Ambiguous | LocateError::NoSolution,
+                            ) => {}
+                            Err(other) => panic!("unexpected {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one suspect")]
+    fn empty_suspects_panics() {
+        let _ = locate_spatial(0, &[]);
+    }
+}

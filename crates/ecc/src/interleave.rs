@@ -1,0 +1,204 @@
+//! Physical bit interleaving layout arithmetic.
+//!
+//! Bit interleaving stores bit *i* of several different words in adjacent
+//! physical cells, so a spatial multi-bit upset striking `d` adjacent
+//! cells flips at most one bit in each of `d` different words — turning a
+//! spatial MBE into several independently-correctable single-bit errors.
+//! This is how the paper's SECDED baseline tolerates spatial MBEs, at the
+//! cost of precharging `degree ×` more bitlines per access (the energy
+//! penalty quantified in Figures 11/12).
+
+/// An interleaving layout: `degree` logical words of `bits_per_word` bits
+/// share one physical row of `degree * bits_per_word` columns.
+///
+/// Physical column `c` holds bit `c / degree` of word `c % degree`.
+///
+/// # Example
+///
+/// ```
+/// use cppc_ecc::interleave::BitInterleaving;
+///
+/// let il = BitInterleaving::new(8, 64);
+/// assert_eq!(il.column_to_logical(0), (0, 0));
+/// assert_eq!(il.column_to_logical(9), (1, 1)); // word 1, bit 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitInterleaving {
+    degree: u32,
+    bits_per_word: u32,
+}
+
+impl BitInterleaving {
+    /// Creates a layout interleaving `degree` words of `bits_per_word`
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(degree: u32, bits_per_word: u32) -> Self {
+        assert!(degree > 0 && bits_per_word > 0, "degree and width must be non-zero");
+        BitInterleaving {
+            degree,
+            bits_per_word,
+        }
+    }
+
+    /// The interleaving degree (words sharing a physical row).
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Total physical columns per row.
+    #[must_use]
+    pub fn row_width(&self) -> u32 {
+        self.degree * self.bits_per_word
+    }
+
+    /// Maps physical column → `(word_index, bit_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column >= row_width()`.
+    #[must_use]
+    pub fn column_to_logical(&self, column: u32) -> (u32, u32) {
+        assert!(column < self.row_width(), "column {column} out of range");
+        (column % self.degree, column / self.degree)
+    }
+
+    /// Maps `(word_index, bit_index)` → physical column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= degree` or `bit >= bits_per_word`.
+    #[must_use]
+    pub fn logical_to_column(&self, word: u32, bit: u32) -> u32 {
+        assert!(word < self.degree, "word {word} out of range");
+        assert!(bit < self.bits_per_word, "bit {bit} out of range");
+        bit * self.degree + word
+    }
+
+    /// Decomposes a horizontal burst of `len` adjacent physical columns
+    /// starting at `start` into per-word bit-flip lists.
+    ///
+    /// Returns `(word_index, bits_flipped)` pairs for each affected word.
+    /// When `len <= degree`, every list contains at most one bit — the
+    /// property that makes interleaved SECDED spatial-MBE tolerant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst runs past the end of the row.
+    #[must_use]
+    pub fn burst_to_flips(&self, start: u32, len: u32) -> Vec<(u32, Vec<u32>)> {
+        assert!(
+            start + len <= self.row_width(),
+            "burst [{start}, {}) exceeds row width {}",
+            start + len,
+            self.row_width()
+        );
+        let mut per_word: Vec<(u32, Vec<u32>)> = Vec::new();
+        for column in start..start + len {
+            let (word, bit) = self.column_to_logical(column);
+            match per_word.iter_mut().find(|(w, _)| *w == word) {
+                Some((_, bits)) => bits.push(bit),
+                None => per_word.push((word, vec![bit])),
+            }
+        }
+        per_word.sort_by_key(|(w, _)| *w);
+        per_word
+    }
+
+    /// `true` iff any horizontal burst of `len` columns flips at most one
+    /// bit per word (i.e. `len <= degree`).
+    #[must_use]
+    pub fn tolerates_burst(&self, len: u32) -> bool {
+        len <= self.degree
+    }
+
+    /// The bitline-energy multiplier relative to a non-interleaved array:
+    /// every access must precharge `degree ×` the bitlines (paper §6.2,
+    /// following \[12\]).
+    #[must_use]
+    pub fn bitline_energy_multiplier(&self) -> f64 {
+        f64::from(self.degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mapping_roundtrip() {
+        let il = BitInterleaving::new(8, 64);
+        for col in 0..il.row_width() {
+            let (w, b) = il.column_to_logical(col);
+            assert_eq!(il.logical_to_column(w, b), col);
+        }
+    }
+
+    #[test]
+    fn burst_within_degree_hits_distinct_words() {
+        let il = BitInterleaving::new(8, 64);
+        for start in 0..(il.row_width() - 8) {
+            let flips = il.burst_to_flips(start, 8);
+            assert_eq!(flips.len(), 8, "start {start}: 8 distinct words");
+            for (_, bits) in &flips {
+                assert_eq!(bits.len(), 1, "one bit per word");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_beyond_degree_doubles_up() {
+        let il = BitInterleaving::new(4, 16);
+        let flips = il.burst_to_flips(0, 5);
+        // 5 columns over degree 4: word 0 takes two flips.
+        assert_eq!(flips[0].0, 0);
+        assert_eq!(flips[0].1.len(), 2);
+    }
+
+    #[test]
+    fn tolerates_burst_boundary() {
+        let il = BitInterleaving::new(8, 64);
+        assert!(il.tolerates_burst(8));
+        assert!(!il.tolerates_burst(9));
+    }
+
+    #[test]
+    fn energy_multiplier_is_degree() {
+        assert!((BitInterleaving::new(8, 64).bitline_energy_multiplier() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds row width")]
+    fn overlong_burst_panics() {
+        let _ = BitInterleaving::new(2, 4).burst_to_flips(6, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(degree in 1u32..16, bits in 1u32..128, seed: u32) {
+            let il = BitInterleaving::new(degree, bits);
+            let col = seed % il.row_width();
+            let (w, b) = il.column_to_logical(col);
+            prop_assert_eq!(il.logical_to_column(w, b), col);
+        }
+
+        #[test]
+        fn prop_burst_le_degree_one_flip_per_word(
+            degree in 1u32..16,
+            start_frac: u32,
+            len_frac: u32,
+        ) {
+            let il = BitInterleaving::new(degree, 64);
+            let len = 1 + len_frac % degree;
+            let start = start_frac % (il.row_width() - len);
+            for (_, bits) in il.burst_to_flips(start, len) {
+                prop_assert_eq!(bits.len(), 1);
+            }
+        }
+    }
+}

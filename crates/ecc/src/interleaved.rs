@@ -1,0 +1,209 @@
+//! *k*-way interleaved parity (paper §3.6).
+//!
+//! Interleaved parities are XORs of non-adjacent bits of a protection
+//! domain: `P[i] = XOR(bit[i], bit[i+k], bit[i+2k], …)`. With `k = 8` on a
+//! 64-bit word, every spatial multi-bit error flipping 8 or fewer
+//! *adjacent* bits inside the word is detected, because no two of those
+//! bits share a parity group.
+
+/// A `k`-way interleaved parity code over 64-bit words.
+///
+/// `k` must divide 64. `k = 1` degenerates to plain word parity; the
+/// paper's CPPC configuration uses `k = 8`.
+///
+/// # Example
+///
+/// ```
+/// use cppc_ecc::interleaved::InterleavedParity;
+///
+/// let code = InterleavedParity::new(8);
+/// let p = code.encode(0x00FF_00FF_00FF_00FF);
+/// assert_eq!(code.syndrome(0x00FF_00FF_00FF_00FF, p), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InterleavedParity {
+    ways: u32,
+}
+
+impl InterleavedParity {
+    /// Creates a `ways`-way interleaved parity code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or does not divide 64.
+    #[must_use]
+    pub fn new(ways: u32) -> Self {
+        assert!(ways > 0 && 64 % ways == 0, "ways must divide 64, got {ways}");
+        InterleavedParity { ways }
+    }
+
+    /// Number of parity groups (= number of parity bits per word).
+    #[must_use]
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Computes the parity bits for `word`. Bit `i` of the result is the
+    /// parity of group `i` (bits `i, i+k, i+2k, …`).
+    #[must_use]
+    pub fn encode(&self, word: u64) -> u64 {
+        let mut parity = 0u64;
+        let mut folded = word;
+        // Fold the word down onto its low `ways` bits by repeated XOR of
+        // the halves — valid because XOR is associative/commutative and
+        // each fold step XORs bit j with bit j + width/2, preserving
+        // group membership (ways divides every intermediate width).
+        let mut width = 64;
+        while width > self.ways {
+            width /= 2;
+            if width >= self.ways {
+                folded = (folded ^ (folded >> width)) & ((1u128 << width) - 1) as u64;
+            } else {
+                // ways is not a power of two; fall back to direct sum.
+                folded = self.encode_direct(word);
+                width = self.ways;
+            }
+        }
+        parity |= folded & (((1u128 << self.ways) - 1) as u64);
+        parity
+    }
+
+    fn encode_direct(&self, word: u64) -> u64 {
+        let mut parity = 0u64;
+        for bit in 0..64u32 {
+            if word >> bit & 1 == 1 {
+                parity ^= 1u64 << (bit % self.ways);
+            }
+        }
+        parity
+    }
+
+    /// Recomputes parity over `word` and XORs with the `stored` parity.
+    /// A non-zero result means the groups whose bits are set detected a
+    /// fault.
+    #[must_use]
+    pub fn syndrome(&self, word: u64, stored: u64) -> u64 {
+        self.encode(word) ^ stored
+    }
+
+    /// Returns `true` iff a *contiguous* horizontal flip of `n` bits
+    /// starting anywhere in the word is guaranteed detectable (`n ≤ k`).
+    #[must_use]
+    pub fn detects_burst(&self, n: u32) -> bool {
+        n >= 1 && n <= self.ways
+    }
+
+    /// The parity-group index of data bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    #[must_use]
+    pub fn group_of(&self, bit: u32) -> u32 {
+        assert!(bit < 64);
+        bit % self.ways
+    }
+}
+
+impl Default for InterleavedParity {
+    /// The paper's configuration: 8-way interleaved parity.
+    fn default() -> Self {
+        InterleavedParity::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference_encode(word: u64, ways: u32) -> u64 {
+        let mut parity = 0u64;
+        for bit in 0..64u32 {
+            if word >> bit & 1 == 1 {
+                parity ^= 1u64 << (bit % ways);
+            }
+        }
+        parity
+    }
+
+    #[test]
+    fn one_way_matches_plain_parity() {
+        let code = InterleavedParity::new(1);
+        for w in [0u64, 1, 3, u64::MAX, 0x8000_0000_0000_0001] {
+            assert_eq!(code.encode(w), u64::from(crate::parity::parity64(w)));
+        }
+    }
+
+    #[test]
+    fn eight_way_all_ones() {
+        // 64 bits = 8 per group → even parity everywhere.
+        assert_eq!(InterleavedParity::new(8).encode(u64::MAX), 0);
+    }
+
+    #[test]
+    fn group_of_is_mod_ways() {
+        let code = InterleavedParity::new(8);
+        assert_eq!(code.group_of(0), 0);
+        assert_eq!(code.group_of(8), 0);
+        assert_eq!(code.group_of(63), 7);
+    }
+
+    #[test]
+    fn detects_burst_up_to_ways() {
+        let code = InterleavedParity::new(8);
+        assert!(code.detects_burst(1));
+        assert!(code.detects_burst(8));
+        assert!(!code.detects_burst(9));
+        assert!(!code.detects_burst(0));
+    }
+
+    #[test]
+    fn burst_of_k_bits_sets_k_syndrome_bits() {
+        let code = InterleavedParity::new(8);
+        let word = 0xDEAD_BEEF_CAFE_F00Du64;
+        let stored = code.encode(word);
+        // Flip bits 10..18 (8 adjacent bits).
+        let fault = 0xFFu64 << 10;
+        let syn = code.syndrome(word ^ fault, stored);
+        assert_eq!(syn.count_ones(), 8, "all 8 groups must fire");
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must divide 64")]
+    fn bad_ways_panics() {
+        let _ = InterleavedParity::new(7);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_matches_reference(word: u64, ways in prop::sample::select(vec![1u32, 2, 4, 8, 16, 32, 64])) {
+            let code = InterleavedParity::new(ways);
+            prop_assert_eq!(code.encode(word), reference_encode(word, ways));
+        }
+
+        #[test]
+        fn clean_syndrome_is_zero(word: u64) {
+            let code = InterleavedParity::new(8);
+            prop_assert_eq!(code.syndrome(word, code.encode(word)), 0);
+        }
+
+        #[test]
+        fn any_burst_le_8_detected(word: u64, start in 0u32..64, len in 1u32..=8) {
+            let code = InterleavedParity::new(8);
+            let stored = code.encode(word);
+            // A burst that would run off the top of the word is clipped —
+            // still at least one bit flips.
+            let len = len.min(64 - start);
+            let mask = if len == 64 { u64::MAX } else { ((1u64 << len) - 1) << start };
+            let syn = code.syndrome(word ^ mask, stored);
+            prop_assert_eq!(syn.count_ones(), len, "each flipped bit its own group");
+        }
+
+        #[test]
+        fn encoding_is_linear(a: u64, b: u64) {
+            let code = InterleavedParity::new(8);
+            prop_assert_eq!(code.encode(a ^ b), code.encode(a) ^ code.encode(b));
+        }
+    }
+}

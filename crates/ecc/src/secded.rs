@@ -1,0 +1,444 @@
+//! SECDED Hamming codes: the paper's strong-correction baseline.
+//!
+//! Implements extended Hamming codes — a standard Hamming code plus one
+//! overall parity bit — for 64-bit data ((72,64), 12.5% overhead, the code
+//! the paper quotes) and 32-bit data ((39,32)). Single-bit errors anywhere
+//! in the codeword (data *or* check bits) are corrected; double-bit errors
+//! are detected but not correctable.
+//!
+//! The codeword layout is the classic one: bit positions are numbered from
+//! 1; positions that are powers of two hold Hamming check bits; all other
+//! positions hold data bits in ascending order; position 0 holds the
+//! overall (extended) parity over every other bit.
+
+/// Outcome of decoding a possibly-corrupted SECDED codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeOutcome {
+    /// No error detected; payload is the stored data.
+    Clean(u64),
+    /// A single-bit error was corrected; payload is the repaired data and
+    /// the 1-based codeword position of the flipped bit (0 = the overall
+    /// parity bit itself).
+    Corrected {
+        /// The repaired data word.
+        data: u64,
+        /// Codeword position of the corrected bit (0 for the overall
+        /// parity bit, otherwise the 1-based Hamming position).
+        position: u32,
+    },
+    /// A double-bit (or other even multi-bit) error was detected; the data
+    /// cannot be trusted. This is a DUE in the paper's terminology.
+    DetectedUncorrectable,
+}
+
+impl DecodeOutcome {
+    /// Returns the usable data word, or `None` on an uncorrectable error.
+    #[must_use]
+    pub fn data(&self) -> Option<u64> {
+        match *self {
+            DecodeOutcome::Clean(d) | DecodeOutcome::Corrected { data: d, .. } => Some(d),
+            DecodeOutcome::DetectedUncorrectable => None,
+        }
+    }
+
+    /// `true` if the decoder had to repair a bit.
+    #[must_use]
+    pub fn was_corrected(&self) -> bool {
+        matches!(self, DecodeOutcome::Corrected { .. })
+    }
+}
+
+/// Shared implementation for extended Hamming codes over `DATA_BITS` data
+/// bits stored in a `u64`, with `CHECK_BITS` Hamming check bits (excluding
+/// the extended parity bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ExtHamming<const DATA_BITS: u32, const CHECK_BITS: u32>;
+
+impl<const DATA_BITS: u32, const CHECK_BITS: u32> ExtHamming<DATA_BITS, CHECK_BITS> {
+    const TOTAL_POSITIONS: u32 = DATA_BITS + CHECK_BITS; // positions 1..=TOTAL
+
+    /// Maps the d-th data bit (0-based) to its 1-based codeword position
+    /// (skipping power-of-two positions).
+    fn data_position(d: u32) -> u32 {
+        debug_assert!(d < DATA_BITS);
+        let mut pos = 1u32;
+        let mut seen = 0;
+        loop {
+            if !pos.is_power_of_two() {
+                if seen == d {
+                    return pos;
+                }
+                seen += 1;
+            }
+            pos += 1;
+        }
+    }
+
+    /// Spreads `data` into a codeword bit-vector indexed by position
+    /// (index 0 unused here; extended parity handled separately).
+    fn spread(data: u64) -> u128 {
+        let mut cw: u128 = 0;
+        let mut d = 0;
+        for pos in 1..=Self::TOTAL_POSITIONS {
+            if !pos.is_power_of_two() {
+                if (data >> d) & 1 == 1 {
+                    cw |= 1u128 << pos;
+                }
+                d += 1;
+            }
+        }
+        debug_assert_eq!(d, DATA_BITS);
+        cw
+    }
+
+    /// Extracts the data word from a codeword bit-vector.
+    fn gather(cw: u128) -> u64 {
+        let mut data = 0u64;
+        let mut d = 0;
+        for pos in 1..=Self::TOTAL_POSITIONS {
+            if !pos.is_power_of_two() {
+                if (cw >> pos) & 1 == 1 {
+                    data |= 1u64 << d;
+                }
+                d += 1;
+            }
+        }
+        data
+    }
+
+    /// Computes the Hamming check bits over codeword data positions and
+    /// inserts them at power-of-two positions.
+    fn with_check_bits(mut cw: u128) -> u128 {
+        for c in 0..CHECK_BITS {
+            let mask_pos = 1u32 << c;
+            let mut parity = 0u128;
+            for pos in 1..=Self::TOTAL_POSITIONS {
+                if pos & mask_pos != 0 && !pos.is_power_of_two() {
+                    parity ^= (cw >> pos) & 1;
+                }
+            }
+            if parity == 1 {
+                cw |= 1u128 << mask_pos;
+            }
+        }
+        cw
+    }
+
+    fn encode(data: u64) -> (u128, u8) {
+        let cw = Self::with_check_bits(Self::spread(data));
+        let overall = (cw.count_ones() & 1) as u8;
+        (cw, overall)
+    }
+
+    fn decode(cw: u128, overall: u8) -> DecodeOutcome {
+        // Syndrome: XOR of positions of all set bits.
+        let mut syndrome = 0u32;
+        for pos in 1..=Self::TOTAL_POSITIONS {
+            if (cw >> pos) & 1 == 1 {
+                syndrome ^= pos;
+            }
+        }
+        let parity_now = (cw.count_ones() & 1) as u8;
+        let overall_ok = parity_now == overall;
+
+        match (syndrome, overall_ok) {
+            (0, true) => DecodeOutcome::Clean(Self::gather(cw)),
+            (0, false) => {
+                // The extended parity bit itself flipped; data is intact.
+                DecodeOutcome::Corrected {
+                    data: Self::gather(cw),
+                    position: 0,
+                }
+            }
+            (s, false) if s <= Self::TOTAL_POSITIONS => {
+                let repaired = cw ^ (1u128 << s);
+                DecodeOutcome::Corrected {
+                    data: Self::gather(repaired),
+                    position: s,
+                }
+            }
+            // Non-zero syndrome with correct overall parity ⇒ even number
+            // of flips ⇒ uncorrectable. Also syndrome beyond the codeword
+            // length (certain multi-bit patterns) is uncorrectable.
+            _ => DecodeOutcome::DetectedUncorrectable,
+        }
+    }
+}
+
+macro_rules! secded_type {
+    ($(#[$doc:meta])* $name:ident, $data_bits:expr, $check_bits:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name {
+            codeword: u128,
+            overall: u8,
+        }
+
+        impl $name {
+            /// Number of data bits protected by one codeword.
+            pub const DATA_BITS: u32 = $data_bits;
+            /// Number of check bits including the extended parity bit.
+            pub const CHECK_BITS: u32 = $check_bits + 1;
+
+            /// Encodes `data` into a SECDED codeword.
+            #[must_use]
+            pub fn encode(data: u64) -> Self {
+                let data = if Self::DATA_BITS < 64 {
+                    data & ((1u64 << Self::DATA_BITS) - 1)
+                } else {
+                    data
+                };
+                let (codeword, overall) =
+                    ExtHamming::<$data_bits, $check_bits>::encode(data);
+                $name { codeword, overall }
+            }
+
+            /// Decodes, correcting a single-bit error or flagging a
+            /// double-bit error.
+            #[must_use]
+            pub fn decode(&self) -> DecodeOutcome {
+                ExtHamming::<$data_bits, $check_bits>::decode(self.codeword, self.overall)
+            }
+
+            /// Flips the codeword bit holding the `bit`-th *data* bit —
+            /// used by fault injection.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `bit >= Self::DATA_BITS`.
+            pub fn flip_data_bit(&mut self, bit: u32) {
+                assert!(bit < Self::DATA_BITS, "data bit {bit} out of range");
+                let pos = ExtHamming::<$data_bits, $check_bits>::data_position(bit);
+                self.codeword ^= 1u128 << pos;
+            }
+
+            /// Flips the `c`-th Hamming check bit (0-based), or the
+            /// extended parity bit when `c == Self::CHECK_BITS - 1`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `c >= Self::CHECK_BITS`.
+            pub fn flip_check_bit(&mut self, c: u32) {
+                assert!(c < Self::CHECK_BITS, "check bit {c} out of range");
+                if c == Self::CHECK_BITS - 1 {
+                    self.overall ^= 1;
+                } else {
+                    self.codeword ^= 1u128 << (1u32 << c);
+                }
+            }
+
+            /// Storage overhead: check bits / data bits (12.5% for the
+            /// (72,64) code, as quoted in the paper's introduction).
+            #[must_use]
+            pub fn overhead() -> f64 {
+                f64::from(Self::CHECK_BITS) / f64::from(Self::DATA_BITS)
+            }
+
+            /// Extracts the stored check bits: bit `c` is the `c`-th
+            /// Hamming check bit, and bit `CHECK_BITS - 1` is the
+            /// extended (overall) parity bit. Together with the data
+            /// word this fully determines the codeword — real caches
+            /// store data and check bits in separate arrays, and
+            /// [`Self::from_parts`] reassembles them.
+            #[must_use]
+            pub fn check_bits(&self) -> u16 {
+                let mut out = 0u16;
+                for c in 0..(Self::CHECK_BITS - 1) {
+                    if (self.codeword >> (1u32 << c)) & 1 == 1 {
+                        out |= 1 << c;
+                    }
+                }
+                out | (u16::from(self.overall) << (Self::CHECK_BITS - 1))
+            }
+
+            /// Reassembles a codeword from a (possibly corrupted) data
+            /// word and separately stored check bits, ready to
+            /// [`Self::decode`].
+            #[must_use]
+            pub fn from_parts(data: u64, check: u16) -> Self {
+                let data = if Self::DATA_BITS < 64 {
+                    data & ((1u64 << Self::DATA_BITS) - 1)
+                } else {
+                    data
+                };
+                let mut codeword = ExtHamming::<$data_bits, $check_bits>::spread(data);
+                for c in 0..(Self::CHECK_BITS - 1) {
+                    if (check >> c) & 1 == 1 {
+                        codeword |= 1u128 << (1u32 << c);
+                    }
+                }
+                let overall = ((check >> (Self::CHECK_BITS - 1)) & 1) as u8;
+                $name { codeword, overall }
+            }
+        }
+    };
+}
+
+secded_type!(
+    /// The (72,64) SECDED code protecting one 64-bit word with 8 check
+    /// bits — the configuration commercial L2/L3 caches use (paper §1).
+    Secded64,
+    64,
+    7
+);
+
+secded_type!(
+    /// The (39,32) SECDED code protecting one 32-bit word with 7 check
+    /// bits.
+    Secded32,
+    32,
+    6
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn overhead_matches_paper() {
+        // "it takes 8 bits to protect a 64-bit word, a 12.5% area overhead"
+        assert!((Secded64::overhead() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_clean() {
+        for d in [0u64, 1, u64::MAX, 0xDEAD_BEEF_0123_4567] {
+            assert_eq!(Secded64::encode(d).decode(), DecodeOutcome::Clean(d));
+        }
+    }
+
+    #[test]
+    fn roundtrip_clean_32() {
+        for d in [0u64, 1, 0xFFFF_FFFF, 0x1234_5678] {
+            assert_eq!(Secded32::encode(d).decode(), DecodeOutcome::Clean(d));
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit_64() {
+        let data = 0xA5A5_5A5A_F00D_CAFE;
+        for bit in 0..64 {
+            let mut cw = Secded64::encode(data);
+            cw.flip_data_bit(bit);
+            let out = cw.decode();
+            assert_eq!(out.data(), Some(data), "bit {bit}");
+            assert!(out.was_corrected());
+        }
+    }
+
+    #[test]
+    fn corrects_every_check_bit_64() {
+        let data = 0x0123_4567_89AB_CDEF;
+        for c in 0..Secded64::CHECK_BITS {
+            let mut cw = Secded64::encode(data);
+            cw.flip_check_bit(c);
+            assert_eq!(cw.decode().data(), Some(data), "check bit {c}");
+        }
+    }
+
+    #[test]
+    fn detects_all_double_data_flips_32() {
+        // Exhaustive over the 32-bit code: every pair of data-bit flips
+        // must be flagged uncorrectable (never silently miscorrected).
+        let data = 0x5A5A_1234u64;
+        for a in 0..32 {
+            for b in (a + 1)..32 {
+                let mut cw = Secded32::encode(data);
+                cw.flip_data_bit(a);
+                cw.flip_data_bit(b);
+                assert_eq!(
+                    cw.decode(),
+                    DecodeOutcome::DetectedUncorrectable,
+                    "bits {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detects_data_plus_check_double_flip() {
+        let data = 0xFEED_F00D_DEAD_BEEF;
+        for c in 0..Secded64::CHECK_BITS {
+            let mut cw = Secded64::encode(data);
+            cw.flip_data_bit(13);
+            cw.flip_check_bit(c);
+            assert_eq!(cw.decode(), DecodeOutcome::DetectedUncorrectable, "check {c}");
+        }
+    }
+
+    #[test]
+    fn corrected_position_is_reported() {
+        let mut cw = Secded64::encode(7);
+        cw.flip_check_bit(Secded64::CHECK_BITS - 1); // extended parity bit
+        match cw.decode() {
+            DecodeOutcome::Corrected { position, .. } => assert_eq!(position, 0),
+            other => panic!("expected corrected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_masked_to_width_32() {
+        // High bits beyond DATA_BITS are ignored for the 32-bit code.
+        let cw = Secded32::encode(0xFFFF_FFFF_0000_0001);
+        assert_eq!(cw.decode(), DecodeOutcome::Clean(1));
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        for d in [0u64, 1, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            let cw = Secded64::encode(d);
+            let rebuilt = Secded64::from_parts(d, cw.check_bits());
+            assert_eq!(rebuilt, cw);
+            assert_eq!(rebuilt.decode(), DecodeOutcome::Clean(d));
+        }
+    }
+
+    #[test]
+    fn parts_decode_corrects_corrupted_data() {
+        let d = 0xFACE_0FF5_1234_5678;
+        let check = Secded64::encode(d).check_bits();
+        let corrupted = d ^ (1 << 40);
+        assert_eq!(Secded64::from_parts(corrupted, check).decode().data(), Some(d));
+    }
+
+    #[test]
+    fn parts_decode_detects_corrupted_check() {
+        let d = 0x42;
+        let check = Secded64::encode(d).check_bits() ^ 0b101; // two check flips
+        assert_eq!(
+            Secded64::from_parts(d, check).decode(),
+            DecodeOutcome::DetectedUncorrectable
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data: u64) {
+            prop_assert_eq!(Secded64::encode(data).decode(), DecodeOutcome::Clean(data));
+        }
+
+        #[test]
+        fn prop_single_flip_corrected(data: u64, bit in 0u32..64) {
+            let mut cw = Secded64::encode(data);
+            cw.flip_data_bit(bit);
+            prop_assert_eq!(cw.decode().data(), Some(data));
+        }
+
+        #[test]
+        fn prop_double_flip_detected(data: u64, a in 0u32..64, b in 0u32..64) {
+            prop_assume!(a != b);
+            let mut cw = Secded64::encode(data);
+            cw.flip_data_bit(a);
+            cw.flip_data_bit(b);
+            prop_assert_eq!(cw.decode(), DecodeOutcome::DetectedUncorrectable);
+        }
+
+        #[test]
+        fn prop_single_flip_corrected_32(data in 0u64..u64::from(u32::MAX), bit in 0u32..32) {
+            let mut cw = Secded32::encode(data);
+            cw.flip_data_bit(bit);
+            prop_assert_eq!(cw.decode().data(), Some(data));
+        }
+    }
+}

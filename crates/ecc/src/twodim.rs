@@ -1,0 +1,318 @@
+//! Two-dimensional parity, the MICRO-40 baseline the paper compares
+//! against (reference \[12\], Kim et al.).
+//!
+//! Horizontal parity (k-way interleaved, along each word) detects errors;
+//! a vertical parity row (the XOR of all data rows, column-wise) corrects
+//! them: the faulty row equals the XOR of the vertical parity row with
+//! every other row.
+//!
+//! The crucial cost the paper highlights: since the vertical parity
+//! changes on *every* store and on *every* miss fill, the old data must be
+//! read before being overwritten ("read-before-write") on all of those
+//! events — not just on stores to dirty words as in CPPC. This module
+//! therefore exposes explicit old-data parameters so callers are forced to
+//! perform (and account for) the read.
+
+use crate::interleaved::InterleavedParity;
+
+/// A vertical parity row plus per-word horizontal interleaved parity over
+/// a logical array of `rows × words_per_row` 64-bit words.
+///
+/// The structure only owns the *parity* state; the data itself lives in
+/// the cache model. This mirrors the hardware split between data array
+/// and code array.
+///
+/// # Example
+///
+/// ```
+/// use cppc_ecc::twodim::TwoDimParity;
+///
+/// let mut p = TwoDimParity::new(4, 2, 8);
+/// // Row 1 becomes [0xFF, 0x00] (old contents were zero).
+/// p.store(1, 0, 0x00, 0xFF);
+/// // Recover row 1 from the other (all-zero) rows:
+/// let recovered = p.recover_row(&[vec![0, 0], vec![0, 0], vec![0, 0]]);
+/// assert_eq!(recovered, vec![0xFF, 0x00]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoDimParity {
+    vertical: Vec<u64>,
+    horizontal: Vec<u64>,
+    rows: usize,
+    words_per_row: usize,
+    code: InterleavedParity,
+    read_before_writes: u64,
+}
+
+impl TwoDimParity {
+    /// Creates parity state for an array of `rows` rows of
+    /// `words_per_row` 64-bit words each, with `ways`-way horizontal
+    /// interleaved parity. All data is assumed initially zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`, `words_per_row` are zero or `ways` does not
+    /// divide 64.
+    #[must_use]
+    pub fn new(rows: usize, words_per_row: usize, ways: u32) -> Self {
+        assert!(rows > 0 && words_per_row > 0, "array must be non-empty");
+        TwoDimParity {
+            vertical: vec![0; words_per_row],
+            horizontal: vec![0; rows * words_per_row],
+            rows,
+            words_per_row,
+            code: InterleavedParity::new(ways),
+            read_before_writes: 0,
+        }
+    }
+
+    /// Number of rows covered by the (single) vertical parity row.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Words per row.
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// How many read-before-write operations this parity state has
+    /// required so far — the quantity behind Figures 11/12.
+    #[must_use]
+    pub fn read_before_writes(&self) -> u64 {
+        self.read_before_writes
+    }
+
+    fn index(&self, row: usize, word: usize) -> usize {
+        assert!(row < self.rows, "row {row} out of range");
+        assert!(word < self.words_per_row, "word {word} out of range");
+        row * self.words_per_row + word
+    }
+
+    /// Records a store of `new` over `old` at (`row`, `word`).
+    ///
+    /// The caller must have *read* `old` from the data array first — this
+    /// is the mandatory read-before-write, counted by this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`word` are out of range.
+    pub fn store(&mut self, row: usize, word: usize, old: u64, new: u64) {
+        let idx = self.index(row, word);
+        self.vertical[word] ^= old ^ new;
+        self.horizontal[idx] = self.code.encode(new);
+        self.read_before_writes += 1;
+    }
+
+    /// Records a whole-row fill (miss refill or write-back replacement):
+    /// `old_row` is the evicted contents, `new_row` the incoming line.
+    ///
+    /// Like [`TwoDimParity::store`], this requires reading the entire old
+    /// line first; one read-before-write is counted per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or the slices are not
+    /// `words_per_row` long.
+    pub fn fill_row(&mut self, row: usize, old_row: &[u64], new_row: &[u64]) {
+        assert_eq!(old_row.len(), self.words_per_row, "old row width");
+        assert_eq!(new_row.len(), self.words_per_row, "new row width");
+        for word in 0..self.words_per_row {
+            let idx = self.index(row, word);
+            self.vertical[word] ^= old_row[word] ^ new_row[word];
+            self.horizontal[idx] = self.code.encode(new_row[word]);
+            self.read_before_writes += 1;
+        }
+    }
+
+    /// Checks the horizontal parity of the word at (`row`, `word`) against
+    /// `data`; non-zero syndrome means a detected fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`word` are out of range.
+    #[must_use]
+    pub fn check_word(&self, row: usize, word: usize, data: u64) -> u64 {
+        let idx = self.index(row, word);
+        self.code.syndrome(data, self.horizontal[idx])
+    }
+
+    /// Reconstructs one (faulty) row by XORing the vertical parity row
+    /// with every *other* row's data, supplied in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other_rows` does not contain exactly `rows - 1` rows of
+    /// the correct width.
+    #[must_use]
+    pub fn recover_row(&self, other_rows: &[Vec<u64>]) -> Vec<u64> {
+        assert_eq!(
+            other_rows.len(),
+            self.rows - 1,
+            "need all rows except the faulty one"
+        );
+        let mut out = self.vertical.clone();
+        for row in other_rows {
+            assert_eq!(row.len(), self.words_per_row, "row width");
+            for (o, w) in out.iter_mut().zip(row) {
+                *o ^= w;
+            }
+        }
+        out
+    }
+
+    /// Re-encodes the horizontal parity for a freshly repaired word (used
+    /// after recovery writes corrected data back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`word` are out of range.
+    pub fn rewrite_horizontal(&mut self, row: usize, word: usize, data: u64) {
+        let idx = self.index(row, word);
+        self.horizontal[idx] = self.code.encode(data);
+    }
+
+    /// The vertical parity row (for invariant checking in tests).
+    #[must_use]
+    pub fn vertical_row(&self) -> &[u64] {
+        &self.vertical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Reference model: real data array + TwoDimParity bookkeeping.
+    struct Array {
+        data: Vec<Vec<u64>>,
+        parity: TwoDimParity,
+    }
+
+    impl Array {
+        fn new(rows: usize, words: usize) -> Self {
+            Array {
+                data: vec![vec![0; words]; rows],
+                parity: TwoDimParity::new(rows, words, 8),
+            }
+        }
+
+        fn store(&mut self, row: usize, word: usize, value: u64) {
+            let old = self.data[row][word];
+            self.parity.store(row, word, old, value);
+            self.data[row][word] = value;
+        }
+
+        fn vertical_invariant_holds(&self) -> bool {
+            let words = self.parity.words_per_row();
+            let mut expect = vec![0u64; words];
+            for row in &self.data {
+                for (e, w) in expect.iter_mut().zip(row) {
+                    *e ^= w;
+                }
+            }
+            expect == self.parity.vertical_row()
+        }
+    }
+
+    #[test]
+    fn vertical_row_tracks_stores() {
+        let mut a = Array::new(4, 2);
+        a.store(0, 0, 0xAAAA);
+        a.store(1, 0, 0x5555);
+        a.store(0, 0, 0x1234); // overwrite
+        a.store(3, 1, u64::MAX);
+        assert!(a.vertical_invariant_holds());
+    }
+
+    #[test]
+    fn recover_single_faulty_row() {
+        let mut a = Array::new(4, 2);
+        a.store(0, 0, 0xDEAD);
+        a.store(1, 1, 0xBEEF);
+        a.store(2, 0, 0xF00D);
+        // Row 1 gets hit by a particle; rebuild it from rows 0, 2, 3.
+        let others: Vec<Vec<u64>> = [0usize, 2, 3].iter().map(|&r| a.data[r].clone()).collect();
+        let rebuilt = a.parity.recover_row(&others);
+        assert_eq!(rebuilt, a.data[1]);
+    }
+
+    #[test]
+    fn fill_row_updates_vertical() {
+        let mut a = Array::new(3, 4);
+        a.store(1, 2, 77);
+        let old = a.data[2].clone();
+        let new = vec![1, 2, 3, 4];
+        a.parity.fill_row(2, &old, &new);
+        a.data[2] = new;
+        assert!(a.vertical_invariant_holds());
+    }
+
+    #[test]
+    fn read_before_write_counted_per_word() {
+        let mut p = TwoDimParity::new(2, 4, 8);
+        p.store(0, 0, 0, 1);
+        assert_eq!(p.read_before_writes(), 1);
+        p.fill_row(1, &[0; 4], &[9; 4]);
+        assert_eq!(p.read_before_writes(), 5);
+    }
+
+    #[test]
+    fn horizontal_detects_burst() {
+        let mut p = TwoDimParity::new(2, 1, 8);
+        p.store(0, 0, 0, 0x0F0F);
+        // 3-bit burst flip:
+        let corrupted = 0x0F0F ^ (0b111 << 20);
+        assert_ne!(p.check_word(0, 0, corrupted), 0);
+        assert_eq!(p.check_word(0, 0, 0x0F0F), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 5 out of range")]
+    fn store_out_of_range_panics() {
+        TwoDimParity::new(2, 1, 8).store(5, 0, 0, 0);
+    }
+
+    #[test]
+    fn randomised_vertical_invariant() {
+        let mut rng = StdRng::seed_from_u64(0x2D1);
+        let mut a = Array::new(16, 4);
+        for _ in 0..2000 {
+            let row = rng.random_range(0..16);
+            let word = rng.random_range(0..4);
+            a.store(row, word, rng.random());
+        }
+        assert!(a.vertical_invariant_holds());
+        // Any single row is recoverable.
+        for victim in 0..16 {
+            let others: Vec<Vec<u64>> = (0..16)
+                .filter(|&r| r != victim)
+                .map(|r| a.data[r].clone())
+                .collect();
+            assert_eq!(a.parity.recover_row(&others), a.data[victim], "row {victim}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_recovery_after_stores(
+            stores in prop::collection::vec((0usize..8, 0usize..2, any::<u64>()), 1..64),
+            victim in 0usize..8,
+        ) {
+            let mut a = Array::new(8, 2);
+            for (row, word, value) in stores {
+                a.store(row, word, value);
+            }
+            let others: Vec<Vec<u64>> = (0..8)
+                .filter(|&r| r != victim)
+                .map(|r| a.data[r].clone())
+                .collect();
+            prop_assert_eq!(a.parity.recover_row(&others), a.data[victim].clone());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-access energy and latency of a cache array.
+//!
+//! The model decomposes a cache access into a **bitline** component
+//! (precharge + swing of the columns actually selected — the part that
+//! physical bit interleaving multiplies) and a **peripheral** component
+//! (decoders, wordlines, sense amplifiers, output drivers).
+//!
+//! Calibration anchors (90nm, from the paper §4.8 / CACTI 5.3):
+//!
+//! * a 32KB 2-way cache ≈ 240 pJ per access;
+//! * an 8KB direct-mapped cache ≈ 0.78 ns access time;
+//! * SECDED with 8-way interleaving costs +42% over parity at L1 and
+//!   +68% at L2 (Figures 11/12), which pins the bitline fraction at
+//!   ≈6% for a 32KB array and ≈10% for a 1MB array — the fraction grows
+//!   with capacity as bitlines lengthen, modelled logarithmically.
+
+use crate::tech::TechnologyNode;
+
+/// Reference per-access energy of the 32KB/2-way anchor at 90nm (pJ).
+const ANCHOR_ENERGY_PJ: f64 = 240.0;
+/// Anchor cache capacity for energy calibration.
+const ANCHOR_ENERGY_BYTES: f64 = 32.0 * 1024.0;
+/// Reference access time of the 8KB direct-mapped anchor at 90nm (ns).
+const ANCHOR_LATENCY_NS: f64 = 0.78;
+/// Anchor cache capacity for latency calibration.
+const ANCHOR_LATENCY_BYTES: f64 = 8.0 * 1024.0;
+
+/// Per-access energy/latency model for one cache array including its
+/// protection-code bits.
+///
+/// # Example
+///
+/// ```
+/// use cppc_energy::cache_energy::CacheEnergyModel;
+/// use cppc_energy::tech::TechnologyNode;
+///
+/// // The paper's L1D with 8 parity bits per 64-bit word:
+/// let m = CacheEnergyModel::new(32 * 1024, 2, 32, 8 * 4, 1, TechnologyNode::Nm90);
+/// assert!(m.read_energy_pj() > 200.0 && m.read_energy_pj() < 320.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheEnergyModel {
+    read_pj: f64,
+    write_pj: f64,
+    bitline_read_pj: f64,
+    latency_ns: f64,
+}
+
+impl CacheEnergyModel {
+    /// Builds the model.
+    ///
+    /// * `size_bytes`, `associativity`, `block_bytes` — data array
+    ///   dimensions.
+    /// * `code_bits_per_block` — protection bits stored alongside each
+    ///   block (e.g. `8 * words_per_block` for byte parity or word-level
+    ///   SECDED).
+    /// * `interleave_degree` — physical bit-interleaving degree: the
+    ///   bitline component is multiplied by this (paper §6.2, rule from
+    ///   \[12\]). Use 1 for non-interleaved arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(
+        size_bytes: usize,
+        associativity: usize,
+        block_bytes: usize,
+        code_bits_per_block: usize,
+        interleave_degree: u32,
+        node: TechnologyNode,
+    ) -> Self {
+        assert!(
+            size_bytes > 0 && associativity > 0 && block_bytes > 0 && interleave_degree > 0,
+            "dimensions must be non-zero"
+        );
+        let size = size_bytes as f64;
+
+        // Bitline fraction grows with capacity: ~6% at 32KB, ~10% at 1MB.
+        let beta = (0.04 + 0.01 * (size / ANCHOR_LATENCY_BYTES).log2()).clamp(0.02, 0.25);
+
+        // Total per-access energy scales sublinearly with capacity
+        // (bigger arrays are banked) — square-root scaling against the
+        // 32KB anchor, linear in the fraction of extra code bits.
+        let data_bits_per_block = (block_bytes * 8) as f64;
+        let width_factor = (data_bits_per_block + code_bits_per_block as f64) / data_bits_per_block;
+        let assoc_factor = 1.0 + 0.1 * ((associativity as f64).log2());
+        let base =
+            ANCHOR_ENERGY_PJ * (size / ANCHOR_ENERGY_BYTES).sqrt() * assoc_factor / 1.1
+                * node.energy_scale();
+
+        let bitline = base * beta * width_factor * f64::from(interleave_degree);
+        let peripheral = base * (1.0 - beta) * (1.0 + 0.3 * (width_factor - 1.0));
+        let read = bitline + peripheral;
+
+        let latency = node.latency_scale()
+            * (0.2 + (ANCHOR_LATENCY_NS - 0.2) * (size / ANCHOR_LATENCY_BYTES).sqrt().sqrt());
+
+        CacheEnergyModel {
+            read_pj: read,
+            write_pj: read * 1.05,
+            bitline_read_pj: bitline,
+            latency_ns: latency,
+        }
+    }
+
+    /// Energy of one read access in picojoules.
+    #[must_use]
+    pub fn read_energy_pj(&self) -> f64 {
+        self.read_pj
+    }
+
+    /// Energy of one write access in picojoules.
+    #[must_use]
+    pub fn write_energy_pj(&self) -> f64 {
+        self.write_pj
+    }
+
+    /// The bitline component of a read (the part interleaving scales).
+    #[must_use]
+    pub fn bitline_read_energy_pj(&self) -> f64 {
+        self.bitline_read_pj
+    }
+
+    /// Access latency in nanoseconds.
+    #[must_use]
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// Access latency in cycles at `freq_ghz`.
+    #[must_use]
+    pub fn latency_cycles(&self, freq_ghz: f64) -> u32 {
+        (self.latency_ns * freq_ghz).ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1_parity(node: TechnologyNode) -> CacheEnergyModel {
+        CacheEnergyModel::new(32 * 1024, 2, 32, 32, 1, node)
+    }
+
+    #[test]
+    fn anchor_energy_reproduced() {
+        // 32KB 2-way, no code bits, 90nm ≈ 240 pJ (±20%).
+        let m = CacheEnergyModel::new(32 * 1024, 2, 32, 0, 1, TechnologyNode::Nm90);
+        assert!(
+            (m.read_energy_pj() - 240.0).abs() < 48.0,
+            "got {}",
+            m.read_energy_pj()
+        );
+    }
+
+    #[test]
+    fn anchor_latency_reproduced() {
+        let m = CacheEnergyModel::new(8 * 1024, 1, 32, 0, 1, TechnologyNode::Nm90);
+        assert!(
+            (m.latency_ns() - 0.78).abs() < 0.1,
+            "got {}",
+            m.latency_ns()
+        );
+    }
+
+    #[test]
+    fn interleaving_multiplies_bitline_only() {
+        let plain = CacheEnergyModel::new(32 * 1024, 2, 32, 32, 1, TechnologyNode::Nm90);
+        let inter = CacheEnergyModel::new(32 * 1024, 2, 32, 32, 8, TechnologyNode::Nm90);
+        let delta = inter.read_energy_pj() - plain.read_energy_pj();
+        assert!(
+            (delta - 7.0 * plain.bitline_read_energy_pj()).abs() < 1e-6,
+            "interleaving adds exactly 7x the bitline energy"
+        );
+        // The paper's Figure 11 ratio: SECDED/parity ≈ 1.42 at L1 size.
+        let ratio = inter.read_energy_pj() / plain.read_energy_pj();
+        assert!((1.25..1.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn l2_interleaving_penalty_larger() {
+        // Bigger array → larger bitline fraction → Figure 12's bigger
+        // SECDED penalty (~1.68).
+        let plain = CacheEnergyModel::new(1024 * 1024, 4, 32, 32, 1, TechnologyNode::Nm90);
+        let inter = CacheEnergyModel::new(1024 * 1024, 4, 32, 32, 8, TechnologyNode::Nm90);
+        let l2_ratio = inter.read_energy_pj() / plain.read_energy_pj();
+        let l1 = l1_parity(TechnologyNode::Nm90);
+        let l1i = CacheEnergyModel::new(32 * 1024, 2, 32, 32, 8, TechnologyNode::Nm90);
+        let l1_ratio = l1i.read_energy_pj() / l1.read_energy_pj();
+        assert!(l2_ratio > l1_ratio, "L2 {l2_ratio} vs L1 {l1_ratio}");
+        assert!((1.5..2.0).contains(&l2_ratio), "L2 ratio {l2_ratio}");
+    }
+
+    #[test]
+    fn code_bits_increase_energy_mildly() {
+        let bare = CacheEnergyModel::new(32 * 1024, 2, 32, 0, 1, TechnologyNode::Nm90);
+        let coded = l1_parity(TechnologyNode::Nm90);
+        let ratio = coded.read_energy_pj() / bare.read_energy_pj();
+        assert!(ratio > 1.0 && ratio < 1.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn technology_scaling_applies() {
+        let e90 = l1_parity(TechnologyNode::Nm90).read_energy_pj();
+        let e32 = l1_parity(TechnologyNode::Nm32).read_energy_pj();
+        assert!((e32 / e90 - TechnologyNode::Nm32.energy_scale()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_cache_costs_more() {
+        let small = CacheEnergyModel::new(32 * 1024, 2, 32, 0, 1, TechnologyNode::Nm32);
+        let big = CacheEnergyModel::new(1024 * 1024, 4, 32, 0, 1, TechnologyNode::Nm32);
+        assert!(big.read_energy_pj() > small.read_energy_pj() * 3.0);
+        assert!(big.latency_ns() > small.latency_ns());
+    }
+
+    #[test]
+    fn latency_cycles_rounds_up() {
+        let m = l1_parity(TechnologyNode::Nm32);
+        let cycles = m.latency_cycles(3.0);
+        assert!(cycles >= 1);
+        assert!((f64::from(cycles) - m.latency_ns() * 3.0) < 1.0);
+    }
+
+    #[test]
+    fn write_slightly_above_read() {
+        let m = l1_parity(TechnologyNode::Nm90);
+        assert!(m.write_energy_pj() > m.read_energy_pj());
+        assert!(m.write_energy_pj() < m.read_energy_pj() * 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be non-zero")]
+    fn zero_size_panics() {
+        let _ = CacheEnergyModel::new(0, 1, 32, 0, 1, TechnologyNode::Nm90);
+    }
+}

@@ -1,0 +1,39 @@
+//! CACTI-substitute analytical cache energy / area / latency model.
+//!
+//! The paper evaluates energy with CACTI 5.3 per-access numbers and
+//! simple operation counting (§6.2): *"we count the number of read hits,
+//! write hits, and read-before-write operations… the dynamic energy
+//! consumption of each operation is estimated by CACTI"*, with one
+//! special rule: *"For interleaved SECDED, we multiply the energy
+//! consumption of bitlines by eight."*
+//!
+//! CACTI itself is a closed, table-driven C++ tool; this crate replaces
+//! it with an analytical model calibrated to the two anchor points the
+//! paper quotes (§4.8): a 32KB 2-way cache costs ≈240 pJ per access and
+//! an 8KB direct-mapped cache has a 0.78 ns access time, both at 90nm.
+//! Absolute joules are not the point — the figures the paper reports are
+//! *normalised* to the one-dimensional-parity cache, so what must be
+//! faithful is the decomposition (bitline vs. peripheral energy, code
+//! array width, operation counts), which this model makes explicit.
+//!
+//! Modules:
+//!
+//! * [`tech`] — technology nodes and scaling.
+//! * [`cache_energy`] — per-access read/write energy and access latency
+//!   for a cache geometry plus its protection-code bits.
+//! * [`area`] — storage overhead model (§5.1).
+//! * [`scheme`] — per-scheme energy accounting combining operation
+//!   counts with per-op energies (drives Figures 11 and 12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod cache_energy;
+pub mod scheme;
+pub mod tech;
+
+pub use area::AreaModel;
+pub use cache_energy::CacheEnergyModel;
+pub use scheme::{AccessCounts, ProtectionKind, SchemeEnergy};
+pub use tech::TechnologyNode;

@@ -1,0 +1,85 @@
+//! Technology nodes and first-order scaling.
+//!
+//! Dynamic energy scales roughly with `C·V²`; with classical scaling
+//! both capacitance and voltage shrink with feature size, so we apply an
+//! `(f / 90nm)²` factor to the 90nm-calibrated energies and a linear
+//! factor to wire-dominated latency. This is the level of fidelity the
+//! relative comparisons need (the paper itself mixes 90nm shifter
+//! numbers with 32nm evaluation parameters).
+
+/// A CMOS technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechnologyNode {
+    /// 90 nm — the node CACTI numbers in §4.8 are quoted at.
+    Nm90,
+    /// 65 nm.
+    Nm65,
+    /// 45 nm.
+    Nm45,
+    /// 32 nm — the paper's evaluation node (Table 1).
+    Nm32,
+}
+
+impl TechnologyNode {
+    /// Feature size in nanometres.
+    #[must_use]
+    pub fn feature_nm(self) -> f64 {
+        match self {
+            TechnologyNode::Nm90 => 90.0,
+            TechnologyNode::Nm65 => 65.0,
+            TechnologyNode::Nm45 => 45.0,
+            TechnologyNode::Nm32 => 32.0,
+        }
+    }
+
+    /// Dynamic-energy scaling factor relative to 90nm (quadratic in
+    /// feature size).
+    #[must_use]
+    pub fn energy_scale(self) -> f64 {
+        let r = self.feature_nm() / 90.0;
+        r * r
+    }
+
+    /// Latency scaling factor relative to 90nm (linear in feature size).
+    #[must_use]
+    pub fn latency_scale(self) -> f64 {
+        self.feature_nm() / 90.0
+    }
+}
+
+impl Default for TechnologyNode {
+    /// The paper's evaluation node.
+    fn default() -> Self {
+        TechnologyNode::Nm32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_monotone() {
+        let nodes = [
+            TechnologyNode::Nm90,
+            TechnologyNode::Nm65,
+            TechnologyNode::Nm45,
+            TechnologyNode::Nm32,
+        ];
+        for pair in nodes.windows(2) {
+            assert!(pair[0].energy_scale() > pair[1].energy_scale());
+            assert!(pair[0].latency_scale() > pair[1].latency_scale());
+        }
+    }
+
+    #[test]
+    fn ninety_nm_is_unity() {
+        assert!((TechnologyNode::Nm90.energy_scale() - 1.0).abs() < 1e-12);
+        assert!((TechnologyNode::Nm90.latency_scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_paper_node() {
+        assert_eq!(TechnologyNode::default(), TechnologyNode::Nm32);
+    }
+}

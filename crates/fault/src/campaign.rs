@@ -1,0 +1,218 @@
+//! Fault-injection campaign runner.
+//!
+//! A campaign runs `trials` independent experiments. Each experiment
+//! receives a freshly seeded RNG stream (derived deterministically from
+//! the campaign seed), builds/loads a system, injects a fault, exercises
+//! the recovery path and reports an [`Outcome`]. The tally mirrors the
+//! standard soft-error taxonomy the paper uses: corrected events,
+//! Detected-Unrecoverable Errors (DUE) and Silent Data Corruptions (SDC).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The outcome of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The fault hit state that was never consumed (or an invalid/empty
+    /// location); the program result is unaffected.
+    Masked,
+    /// The fault was detected and repaired; data verified correct.
+    Corrected,
+    /// The fault was detected but could not be corrected — the machine
+    /// raises a fatal exception (Detected Unrecoverable Error).
+    DetectedUnrecoverable,
+    /// The fault was not detected (or was "corrected" to a wrong value)
+    /// and wrong data was consumed — Silent Data Corruption.
+    SilentCorruption,
+}
+
+/// Tally of campaign outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Count of [`Outcome::Masked`].
+    pub masked: u64,
+    /// Count of [`Outcome::Corrected`].
+    pub corrected: u64,
+    /// Count of [`Outcome::DetectedUnrecoverable`].
+    pub due: u64,
+    /// Count of [`Outcome::SilentCorruption`].
+    pub sdc: u64,
+}
+
+impl OutcomeTally {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Corrected => self.corrected += 1,
+            Outcome::DetectedUnrecoverable => self.due += 1,
+            Outcome::SilentCorruption => self.sdc += 1,
+        }
+    }
+
+    /// Total trials recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.masked + self.corrected + self.due + self.sdc
+    }
+
+    /// Fraction of *unmasked* faults that were corrected (coverage).
+    /// Returns 1.0 when nothing was unmasked.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let unmasked = self.corrected + self.due + self.sdc;
+        if unmasked == 0 {
+            1.0
+        } else {
+            self.corrected as f64 / unmasked as f64
+        }
+    }
+
+    /// Fraction of all trials ending in silent corruption.
+    #[must_use]
+    pub fn sdc_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.sdc as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A deterministic fault-injection campaign.
+///
+/// # Example
+///
+/// ```
+/// use cppc_fault::campaign::{Campaign, Outcome};
+///
+/// // A toy "system" that always corrects:
+/// let tally = Campaign::new(0xC0FFEE).run(100, |_rng, _trial| Outcome::Corrected);
+/// assert_eq!(tally.corrected, 100);
+/// assert_eq!(tally.coverage(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    seed: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign with a master seed; every trial derives its own
+    /// independent RNG from it.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Campaign { seed }
+    }
+
+    /// Runs `trials` experiments. `experiment` receives a per-trial RNG
+    /// and the trial index.
+    pub fn run<F>(&self, trials: u64, mut experiment: F) -> OutcomeTally
+    where
+        F: FnMut(&mut StdRng, u64) -> Outcome,
+    {
+        let mut tally = OutcomeTally::default();
+        for trial in 0..trials {
+            // SplitMix-style stream derivation keeps trials independent.
+            let trial_seed = self
+                .seed
+                .wrapping_add(trial.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(trial_seed);
+            tally.record(experiment(&mut rng, trial));
+        }
+        tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn tally_records_all_kinds() {
+        let mut t = OutcomeTally::default();
+        t.record(Outcome::Masked);
+        t.record(Outcome::Corrected);
+        t.record(Outcome::Corrected);
+        t.record(Outcome::DetectedUnrecoverable);
+        t.record(Outcome::SilentCorruption);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.masked, 1);
+        assert_eq!(t.corrected, 2);
+        assert_eq!(t.due, 1);
+        assert_eq!(t.sdc, 1);
+    }
+
+    #[test]
+    fn coverage_excludes_masked() {
+        let t = OutcomeTally {
+            masked: 100,
+            corrected: 3,
+            due: 1,
+            sdc: 0,
+        };
+        assert!((t.coverage() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_is_one_when_all_masked() {
+        let t = OutcomeTally {
+            masked: 10,
+            ..OutcomeTally::default()
+        };
+        assert_eq!(t.coverage(), 1.0);
+    }
+
+    #[test]
+    fn sdc_rate_over_total() {
+        let t = OutcomeTally {
+            masked: 1,
+            corrected: 1,
+            due: 1,
+            sdc: 1,
+        };
+        assert!((t.sdc_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdc_rate_zero_when_empty() {
+        assert_eq!(OutcomeTally::default().sdc_rate(), 0.0);
+    }
+
+    #[test]
+    fn campaign_trials_are_reproducible() {
+        let collect = |seed| {
+            let mut values = Vec::new();
+            Campaign::new(seed).run(10, |rng, _| {
+                values.push(rng.random::<u64>());
+                Outcome::Masked
+            });
+            values
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn campaign_passes_trial_index() {
+        let mut indices = Vec::new();
+        Campaign::new(1).run(5, |_, t| {
+            indices.push(t);
+            Outcome::Corrected
+        });
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn per_trial_rngs_are_independent() {
+        let mut firsts = Vec::new();
+        Campaign::new(123).run(20, |rng, _| {
+            firsts.push(rng.random::<u64>());
+            Outcome::Masked
+        });
+        let mut dedup = firsts.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), firsts.len(), "trial streams must differ");
+    }
+}

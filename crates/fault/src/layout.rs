@@ -1,0 +1,180 @@
+//! Logical→physical data-array layout.
+//!
+//! The SRAM data array is modelled as `num_rows` rows of 64 bit-columns,
+//! one 64-bit word per row (the paper's Figures 6/7 use exactly this
+//! view). Each way of the cache is a separate bank; within a bank the
+//! words of a set's block occupy consecutive rows, and consecutive sets
+//! follow each other. Two words are *vertical neighbours* iff their row
+//! indices differ by 1 in the same bank.
+//!
+//! CPPC's rotation classes are `row mod classes` (three address bits feed
+//! the barrel shifter in Figure 6), so this module is the single source
+//! of truth for "which rotation class does word (set, way, word) belong
+//! to".
+
+/// Maps cache coordinates `(set, way, word)` onto physical rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysicalLayout {
+    num_sets: usize,
+    ways: usize,
+    words_per_block: usize,
+}
+
+impl PhysicalLayout {
+    /// Creates a layout for a cache of `num_sets x ways` blocks of
+    /// `words_per_block` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(num_sets: usize, ways: usize, words_per_block: usize) -> Self {
+        assert!(
+            num_sets > 0 && ways > 0 && words_per_block > 0,
+            "all layout dimensions must be non-zero"
+        );
+        PhysicalLayout {
+            num_sets,
+            ways,
+            words_per_block,
+        }
+    }
+
+    /// Total number of physical rows (= total words in the cache).
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.num_sets * self.ways * self.words_per_block
+    }
+
+    /// Rows per bank (one bank per way).
+    #[must_use]
+    pub fn rows_per_bank(&self) -> usize {
+        self.num_sets * self.words_per_block
+    }
+
+    /// The physical row of word `word` of the block at `(set, way)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    #[must_use]
+    pub fn row_of(&self, set: usize, way: usize, word: usize) -> usize {
+        assert!(set < self.num_sets, "set {set} out of range");
+        assert!(way < self.ways, "way {way} out of range");
+        assert!(word < self.words_per_block, "word {word} out of range");
+        way * self.rows_per_bank() + set * self.words_per_block + word
+    }
+
+    /// The `(set, way, word)` stored in physical row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn location_of(&self, row: usize) -> (usize, usize, usize) {
+        assert!(row < self.num_rows(), "row {row} out of range");
+        let way = row / self.rows_per_bank();
+        let in_bank = row % self.rows_per_bank();
+        let set = in_bank / self.words_per_block;
+        let word = in_bank % self.words_per_block;
+        (set, way, word)
+    }
+
+    /// CPPC rotation class of a row given `classes` rotation classes
+    /// (8 in the paper's byte-shifting design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    #[must_use]
+    pub fn rotation_class(&self, row: usize, classes: usize) -> usize {
+        assert!(classes > 0, "classes must be non-zero");
+        row % classes
+    }
+
+    /// `true` iff rows `a` and `b` sit in the same bank (faults never
+    /// straddle banks).
+    #[must_use]
+    pub fn same_bank(&self, a: usize, b: usize) -> bool {
+        a / self.rows_per_bank() == b / self.rows_per_bank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_small() {
+        let l = PhysicalLayout::new(4, 2, 4);
+        for row in 0..l.num_rows() {
+            let (s, w, word) = l.location_of(row);
+            assert_eq!(l.row_of(s, w, word), row);
+        }
+    }
+
+    #[test]
+    fn consecutive_words_are_vertical_neighbours() {
+        let l = PhysicalLayout::new(8, 1, 4);
+        let r0 = l.row_of(0, 0, 0);
+        let r1 = l.row_of(0, 0, 1);
+        assert_eq!(r1, r0 + 1);
+        // …and the next set's first word follows the last word of this set.
+        let r3 = l.row_of(0, 0, 3);
+        let next = l.row_of(1, 0, 0);
+        assert_eq!(next, r3 + 1);
+    }
+
+    #[test]
+    fn rotation_classes_cycle() {
+        let l = PhysicalLayout::new(8, 1, 4);
+        let classes: Vec<usize> = (0..16).map(|r| l.rotation_class(r, 8)).collect();
+        assert_eq!(classes[..8], [0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(classes[8..], [0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn banks_partition_rows() {
+        let l = PhysicalLayout::new(4, 2, 4);
+        assert!(l.same_bank(0, 15));
+        assert!(!l.same_bank(15, 16));
+        assert_eq!(l.rows_per_bank(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "set 4 out of range")]
+    fn oob_set_panics() {
+        let _ = PhysicalLayout::new(4, 2, 4).row_of(4, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 32 out of range")]
+    fn oob_row_panics() {
+        let _ = PhysicalLayout::new(4, 2, 4).location_of(32);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(sets in 1usize..64, ways in 1usize..8, wpb in 1usize..16, seed: usize) {
+            let l = PhysicalLayout::new(sets, ways, wpb);
+            let row = seed % l.num_rows();
+            let (s, w, word) = l.location_of(row);
+            prop_assert_eq!(l.row_of(s, w, word), row);
+        }
+
+        #[test]
+        fn prop_distinct_rows(sets in 1usize..16, ways in 1usize..4, wpb in 1usize..8) {
+            let l = PhysicalLayout::new(sets, ways, wpb);
+            let mut seen = std::collections::HashSet::new();
+            for s in 0..sets {
+                for w in 0..ways {
+                    for word in 0..wpb {
+                        prop_assert!(seen.insert(l.row_of(s, w, word)));
+                    }
+                }
+            }
+            prop_assert_eq!(seen.len(), l.num_rows());
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Fault models and deterministic fault-pattern generators.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One flipped bit: physical row + bit column (0–63).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitFlip {
+    /// Physical data-array row.
+    pub row: usize,
+    /// Bit column within the row (0 = LSB of the stored word).
+    pub col: u32,
+}
+
+/// A concrete fault: the set of bits one event flips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPattern {
+    flips: Vec<BitFlip>,
+}
+
+impl FaultPattern {
+    /// Builds a pattern from flips, dropping duplicates.
+    #[must_use]
+    pub fn new(mut flips: Vec<BitFlip>) -> Self {
+        flips.sort();
+        flips.dedup();
+        FaultPattern { flips }
+    }
+
+    /// The individual bit flips.
+    #[must_use]
+    pub fn flips(&self) -> &[BitFlip] {
+        &self.flips
+    }
+
+    /// Number of bits flipped.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// `true` when no bit flips (a fully masked event).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flips.is_empty()
+    }
+
+    /// The bounding box `(rows, cols)` of the pattern (0,0 for empty).
+    #[must_use]
+    pub fn bounding_box(&self) -> (usize, u32) {
+        if self.flips.is_empty() {
+            return (0, 0);
+        }
+        let rmin = self.flips.iter().map(|f| f.row).min().expect("non-empty");
+        let rmax = self.flips.iter().map(|f| f.row).max().expect("non-empty");
+        let cmin = self.flips.iter().map(|f| f.col).min().expect("non-empty");
+        let cmax = self.flips.iter().map(|f| f.col).max().expect("non-empty");
+        (rmax - rmin + 1, cmax - cmin + 1)
+    }
+}
+
+impl FromIterator<BitFlip> for FaultPattern {
+    fn from_iter<T: IntoIterator<Item = BitFlip>>(iter: T) -> Self {
+        FaultPattern::new(iter.into_iter().collect())
+    }
+}
+
+/// Generative fault models. Each `sample` is deterministic given the
+/// generator state, so campaigns are reproducible from their seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModel {
+    /// A single-event upset flipping exactly one bit, uniformly placed.
+    TemporalSingleBit,
+    /// `count` independent single-bit upsets (temporal multi-bit error).
+    TemporalMultiBit {
+        /// Number of independent flips.
+        count: u32,
+    },
+    /// A spatial event: every bit inside a `rows x cols` rectangle flips
+    /// with probability `density` (at least one bit always flips), with
+    /// the rectangle placed uniformly at random. `density = 1.0` gives
+    /// the worst-case solid square (e.g. the paper's 8x8).
+    SpatialSquare {
+        /// Height of the strike footprint in rows.
+        rows: usize,
+        /// Width of the strike footprint in bit columns.
+        cols: u32,
+        /// Per-cell flip probability inside the footprint (0, 1].
+        density: f64,
+    },
+    /// A horizontal burst: `cols` adjacent bits of one row.
+    HorizontalBurst {
+        /// Burst length in bits.
+        cols: u32,
+    },
+    /// A vertical stripe: the same bit column in `rows` adjacent rows.
+    VerticalStripe {
+        /// Stripe height in rows.
+        rows: usize,
+    },
+}
+
+/// Deterministic generator of [`FaultPattern`]s over an array of
+/// `num_rows` rows x 64 columns.
+#[derive(Debug)]
+pub struct FaultGenerator {
+    rng: StdRng,
+    num_rows: usize,
+}
+
+impl FaultGenerator {
+    /// Creates a generator for an array of `num_rows` rows, seeded with
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_rows` is zero.
+    #[must_use]
+    pub fn new(num_rows: usize, seed: u64) -> Self {
+        assert!(num_rows > 0, "array must have rows");
+        FaultGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            num_rows,
+        }
+    }
+
+    /// Samples one fault pattern from `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's footprint exceeds the array, if
+    /// `density` is outside (0, 1], or a multi-bit count is zero.
+    pub fn sample(&mut self, model: FaultModel) -> FaultPattern {
+        match model {
+            FaultModel::TemporalSingleBit => {
+                let row = self.rng.random_range(0..self.num_rows);
+                let col = self.rng.random_range(0..64u32);
+                FaultPattern::new(vec![BitFlip { row, col }])
+            }
+            FaultModel::TemporalMultiBit { count } => {
+                assert!(count > 0, "multi-bit fault needs count >= 1");
+                let mut flips = Vec::with_capacity(count as usize);
+                while flips.len() < count as usize {
+                    let f = BitFlip {
+                        row: self.rng.random_range(0..self.num_rows),
+                        col: self.rng.random_range(0..64u32),
+                    };
+                    if !flips.contains(&f) {
+                        flips.push(f);
+                    }
+                }
+                FaultPattern::new(flips)
+            }
+            FaultModel::SpatialSquare {
+                rows,
+                cols,
+                density,
+            } => {
+                assert!(rows >= 1 && rows <= self.num_rows, "rows out of range");
+                assert!((1..=64).contains(&cols), "cols out of range");
+                assert!(density > 0.0 && density <= 1.0, "density must be in (0,1]");
+                let row0 = self.rng.random_range(0..=self.num_rows - rows);
+                let col0 = self.rng.random_range(0..=64 - cols);
+                loop {
+                    let mut flips = Vec::new();
+                    for dr in 0..rows {
+                        for dc in 0..cols {
+                            if density >= 1.0 || self.rng.random_bool(density) {
+                                flips.push(BitFlip {
+                                    row: row0 + dr,
+                                    col: col0 + dc,
+                                });
+                            }
+                        }
+                    }
+                    if !flips.is_empty() {
+                        return FaultPattern::new(flips);
+                    }
+                }
+            }
+            FaultModel::HorizontalBurst { cols } => {
+                assert!((1..=64).contains(&cols), "cols out of range");
+                let row = self.rng.random_range(0..self.num_rows);
+                let col0 = self.rng.random_range(0..=64 - cols);
+                FaultPattern::new(
+                    (0..cols)
+                        .map(|dc| BitFlip {
+                            row,
+                            col: col0 + dc,
+                        })
+                        .collect(),
+                )
+            }
+            FaultModel::VerticalStripe { rows } => {
+                assert!(rows >= 1 && rows <= self.num_rows, "rows out of range");
+                let row0 = self.rng.random_range(0..=self.num_rows - rows);
+                let col = self.rng.random_range(0..64u32);
+                FaultPattern::new(
+                    (0..rows)
+                        .map(|dr| BitFlip {
+                            row: row0 + dr,
+                            col,
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bit_is_single() {
+        let mut g = FaultGenerator::new(100, 1);
+        for _ in 0..50 {
+            let p = g.sample(FaultModel::TemporalSingleBit);
+            assert_eq!(p.len(), 1);
+            assert!(p.flips()[0].row < 100);
+        }
+    }
+
+    #[test]
+    fn multibit_count_respected_and_distinct() {
+        let mut g = FaultGenerator::new(16, 2);
+        for _ in 0..20 {
+            let p = g.sample(FaultModel::TemporalMultiBit { count: 5 });
+            assert_eq!(p.len(), 5, "flips are distinct");
+        }
+    }
+
+    #[test]
+    fn solid_square_has_exact_footprint() {
+        let mut g = FaultGenerator::new(64, 3);
+        for _ in 0..20 {
+            let p = g.sample(FaultModel::SpatialSquare {
+                rows: 8,
+                cols: 8,
+                density: 1.0,
+            });
+            assert_eq!(p.len(), 64);
+            assert_eq!(p.bounding_box(), (8, 8));
+        }
+    }
+
+    #[test]
+    fn sparse_square_stays_inside_box() {
+        let mut g = FaultGenerator::new(64, 4);
+        for _ in 0..50 {
+            let p = g.sample(FaultModel::SpatialSquare {
+                rows: 4,
+                cols: 6,
+                density: 0.3,
+            });
+            assert!(!p.is_empty());
+            let (r, c) = p.bounding_box();
+            assert!(r <= 4 && c <= 6, "bounding box {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn horizontal_burst_single_row() {
+        let mut g = FaultGenerator::new(8, 5);
+        let p = g.sample(FaultModel::HorizontalBurst { cols: 7 });
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.bounding_box().0, 1);
+        let cols: Vec<u32> = p.flips().iter().map(|f| f.col).collect();
+        assert_eq!(cols.windows(2).filter(|w| w[1] != w[0] + 1).count(), 0);
+    }
+
+    #[test]
+    fn vertical_stripe_single_column() {
+        let mut g = FaultGenerator::new(32, 6);
+        let p = g.sample(FaultModel::VerticalStripe { rows: 5 });
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.bounding_box(), (5, 1));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = FaultGenerator::new(128, 99);
+        let mut b = FaultGenerator::new(128, 99);
+        for _ in 0..10 {
+            assert_eq!(
+                a.sample(FaultModel::SpatialSquare {
+                    rows: 8,
+                    cols: 8,
+                    density: 0.5
+                }),
+                b.sample(FaultModel::SpatialSquare {
+                    rows: 8,
+                    cols: 8,
+                    density: 0.5
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_dedups_and_sorts() {
+        let p = FaultPattern::new(vec![
+            BitFlip { row: 2, col: 1 },
+            BitFlip { row: 1, col: 9 },
+            BitFlip { row: 2, col: 1 },
+        ]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.flips()[0], BitFlip { row: 1, col: 9 });
+    }
+
+    #[test]
+    fn empty_pattern_bounding_box() {
+        assert_eq!(FaultPattern::new(vec![]).bounding_box(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows out of range")]
+    fn square_taller_than_array_panics() {
+        let mut g = FaultGenerator::new(4, 0);
+        let _ = g.sample(FaultModel::SpatialSquare {
+            rows: 8,
+            cols: 8,
+            density: 1.0,
+        });
+    }
+}

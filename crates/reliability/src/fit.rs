@@ -1,0 +1,83 @@
+//! SEU rates and FIT arithmetic.
+//!
+//! One FIT is one failure per 10⁹ device-hours. The paper assumes an
+//! SEU rate of 0.001 FIT per bit (§6.3) — here "failure" means a bit
+//! flip, as the paper notes.
+
+/// Hours per (Julian) year, the paper's implied conversion.
+pub const HOURS_PER_YEAR: f64 = 24.0 * 365.25;
+
+/// A per-bit single-event-upset rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeuRate {
+    fit_per_bit: f64,
+}
+
+impl SeuRate {
+    /// Creates a rate from FIT per bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fit_per_bit` is not positive and finite.
+    #[must_use]
+    pub fn from_fit_per_bit(fit_per_bit: f64) -> Self {
+        assert!(
+            fit_per_bit.is_finite() && fit_per_bit > 0.0,
+            "SEU rate must be positive"
+        );
+        SeuRate { fit_per_bit }
+    }
+
+    /// The paper's assumed rate: 0.001 FIT/bit (§6.3).
+    #[must_use]
+    pub fn paper() -> Self {
+        SeuRate::from_fit_per_bit(0.001)
+    }
+
+    /// FIT per bit.
+    #[must_use]
+    pub fn fit_per_bit(&self) -> f64 {
+        self.fit_per_bit
+    }
+
+    /// Expected bit flips per hour over `bits` bits.
+    #[must_use]
+    pub fn faults_per_hour(&self, bits: f64) -> f64 {
+        self.fit_per_bit * bits / 1e9
+    }
+
+    /// Expected bit flips per hour for a single bit.
+    #[must_use]
+    pub fn per_bit_per_hour(&self) -> f64 {
+        self.fit_per_bit / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rate() {
+        assert!((SeuRate::paper().fit_per_bit() - 0.001).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fit_conversion() {
+        // 1e9 bits at 1 FIT/bit = 1 fault per hour.
+        let r = SeuRate::from_fit_per_bit(1.0);
+        assert!((r.faults_per_hour(1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_bit_rate() {
+        let r = SeuRate::paper();
+        assert!((r.per_bit_per_hour() - 1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_panics() {
+        let _ = SeuRate::from_fit_per_bit(0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Monte Carlo validation of the analytical MTTF model.
+//!
+//! Table 3 is computed from the PARMA-style closed form (see
+//! [`crate::mttf`]). This module validates that formula empirically: it
+//! simulates the underlying stochastic process — Poisson fault arrivals
+//! over the dirty bits, uniformly assigned to protection domains, with
+//! failure declared when two faults land in the same domain within the
+//! scrubbing window `Tavg` — and estimates the MTTF as the mean time to
+//! failure.
+//!
+//! Real SEU rates (0.001 FIT/bit) produce MTTFs of 10²¹ years, which no
+//! simulation can reach directly; instead the validation runs at
+//! *accelerated* rates where both the simulation and the formula are
+//! tractable, and relies on the model's `1/λ²` scaling to carry the
+//! result back — the standard accelerated-testing argument (the paper's
+//! own reference \[1\] does physical accelerated testing with neutron
+//! beams).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::fit::HOURS_PER_YEAR;
+
+/// Configuration of one accelerated Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Total fault rate over the protected (dirty) bits, per hour.
+    pub faults_per_hour: f64,
+    /// Number of equal-size protection domains (8 for the paper's CPPC;
+    /// `dirty_bits / 64` for word SECDED).
+    pub domains: usize,
+    /// The vulnerability window: a second fault in the same domain
+    /// within this many hours of the first is a failure.
+    pub tavg_hours: f64,
+    /// Independent trials to average over.
+    pub trials: u32,
+}
+
+/// The result of a Monte Carlo estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Mean time to failure, hours.
+    pub mttf_hours: f64,
+    /// Standard error of the mean, hours.
+    pub std_error_hours: f64,
+    /// Mean number of faults absorbed before the failing pair.
+    pub mean_faults_to_failure: f64,
+}
+
+impl MonteCarloResult {
+    /// MTTF in years.
+    #[must_use]
+    pub fn mttf_years(&self) -> f64 {
+        self.mttf_hours / HOURS_PER_YEAR
+    }
+}
+
+/// The analytical prediction for the same process (no AVF —
+/// this is raw time-to-double-fault): `1 / (λ_total · λ_domain · Tavg)`.
+#[must_use]
+pub fn analytic_mttf_hours(cfg: &MonteCarloConfig) -> f64 {
+    let lambda_domain = cfg.faults_per_hour / cfg.domains as f64;
+    1.0 / (cfg.faults_per_hour * lambda_domain * cfg.tavg_hours)
+}
+
+/// Runs the accelerated simulation.
+///
+/// # Panics
+///
+/// Panics if any parameter is non-positive.
+#[must_use]
+pub fn simulate_double_fault_mttf(cfg: &MonteCarloConfig, seed: u64) -> MonteCarloResult {
+    assert!(cfg.faults_per_hour > 0.0, "rate must be positive");
+    assert!(cfg.domains > 0, "need domains");
+    assert!(cfg.tavg_hours > 0.0, "window must be positive");
+    assert!(cfg.trials > 0, "need trials");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failure_times = Vec::with_capacity(cfg.trials as usize);
+    let mut total_faults = 0u64;
+
+    for _ in 0..cfg.trials {
+        let mut t = 0.0f64;
+        let mut last_fault: Vec<f64> = vec![f64::NEG_INFINITY; cfg.domains];
+        let mut faults = 0u64;
+        loop {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.random();
+            t += -u.max(f64::MIN_POSITIVE).ln() / cfg.faults_per_hour;
+            faults += 1;
+            let domain = rng.random_range(0..cfg.domains);
+            if t - last_fault[domain] < cfg.tavg_hours {
+                failure_times.push(t);
+                total_faults += faults;
+                break;
+            }
+            last_fault[domain] = t;
+        }
+    }
+
+    let n = failure_times.len() as f64;
+    let mean = failure_times.iter().sum::<f64>() / n;
+    let var = failure_times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+    MonteCarloResult {
+        mttf_hours: mean,
+        std_error_hours: (var / n).sqrt(),
+        mean_faults_to_failure: total_faults as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(domains: usize, rate: f64, tavg: f64) -> MonteCarloConfig {
+        MonteCarloConfig {
+            faults_per_hour: rate,
+            domains,
+            tavg_hours: tavg,
+            trials: 4000,
+        }
+    }
+
+    #[test]
+    fn matches_analytic_model_single_domain() {
+        // Keep lambda*Tavg small: the closed form is a first-order
+        // approximation, exact only in the rare-event limit.
+        let c = cfg(1, 10.0, 0.001);
+        let mc = simulate_double_fault_mttf(&c, 1);
+        let analytic = analytic_mttf_hours(&c);
+        let err = (mc.mttf_hours - analytic).abs() / analytic;
+        assert!(err < 0.10, "MC {} vs analytic {analytic} ({err:.2} rel)", mc.mttf_hours);
+    }
+
+    #[test]
+    fn matches_analytic_model_eight_domains() {
+        // The CPPC configuration: 8 protection domains.
+        let c = cfg(8, 50.0, 0.0005);
+        let mc = simulate_double_fault_mttf(&c, 2);
+        let analytic = analytic_mttf_hours(&c);
+        let err = (mc.mttf_hours - analytic).abs() / analytic;
+        assert!(err < 0.10, "MC {} vs analytic {analytic} ({err:.2} rel)", mc.mttf_hours);
+    }
+
+    #[test]
+    fn more_domains_live_longer() {
+        // §3.4: splitting the protection domain scales reliability.
+        let one = simulate_double_fault_mttf(&cfg(1, 20.0, 0.005), 3);
+        let eight = simulate_double_fault_mttf(&cfg(8, 20.0, 0.005), 3);
+        let ratio = eight.mttf_hours / one.mttf_hours;
+        assert!((6.0..10.5).contains(&ratio), "ratio {ratio} (expected ~8)");
+    }
+
+    #[test]
+    fn shorter_window_lives_longer() {
+        let slow = simulate_double_fault_mttf(&cfg(4, 20.0, 0.01), 4);
+        let fast = simulate_double_fault_mttf(&cfg(4, 20.0, 0.001), 4);
+        let ratio = fast.mttf_hours / slow.mttf_hours;
+        assert!((7.0..13.5).contains(&ratio), "ratio {ratio} (expected ~10)");
+    }
+
+    #[test]
+    fn inverse_square_rate_scaling() {
+        // The accelerated-testing extrapolation law: MTTF ∝ 1/λ².
+        let base = simulate_double_fault_mttf(&cfg(4, 10.0, 0.004), 5);
+        let double = simulate_double_fault_mttf(&cfg(4, 20.0, 0.004), 5);
+        let ratio = base.mttf_hours / double.mttf_hours;
+        assert!((3.2..4.9).contains(&ratio), "ratio {ratio} (expected ~4)");
+    }
+
+    #[test]
+    fn analytic_model_overestimates_outside_rare_event_regime() {
+        // Documenting the approximation's limit: at lambda*Tavg ~ 0.1
+        // per domain the closed form undershoots the simulated MTTF by
+        // several percent — irrelevant at real SEU rates where
+        // lambda*Tavg ~ 1e-18.
+        let c = cfg(1, 10.0, 0.01);
+        let mc = simulate_double_fault_mttf(&c, 1);
+        let analytic = analytic_mttf_hours(&c);
+        let rel = (mc.mttf_hours - analytic) / analytic;
+        assert!((0.0..0.3).contains(&rel), "relative deviation {rel}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = cfg(2, 30.0, 0.003);
+        let a = simulate_double_fault_mttf(&c, 9);
+        let b = simulate_double_fault_mttf(&c, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn statistics_are_sane() {
+        let r = simulate_double_fault_mttf(&cfg(2, 30.0, 0.003), 10);
+        assert!(r.std_error_hours > 0.0);
+        assert!(r.std_error_hours < r.mttf_hours);
+        assert!(r.mean_faults_to_failure > 1.0);
+        assert!(r.mttf_years() < r.mttf_hours);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = simulate_double_fault_mttf(
+            &MonteCarloConfig {
+                faults_per_hour: 0.0,
+                domains: 1,
+                tavg_hours: 1.0,
+                trials: 1,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! MTTF models for the three cache options of Table 3.
+//!
+//! The models follow §6.3 and the approximate analytical approach of
+//! PARMA \[22\]:
+//!
+//! * **One-dimensional parity** fails on the *first* fault in dirty
+//!   data: `MTTF = 1 / (λ_dirty) × 1/AVF` where `λ_dirty` is the fault
+//!   rate over the dirty bits.
+//! * **CPPC / SECDED** fail when a *second* fault lands in the same
+//!   protection domain before the first is corrected, i.e. within the
+//!   mean interval `Tavg` between consecutive accesses to the same
+//!   dirty word/block. The probability that a given fault is followed
+//!   by a domain-mate within `Tavg` is `λ_domain × Tavg`; the expected
+//!   number of faults until that happens is its reciprocal:
+//!   `MTTF = 1 / (λ_dirty × λ_domain × Tavg) × 1/AVF`.
+//!
+//!   CPPC's domain is `1/k` of the dirty data for `k` interleaved
+//!   parity bits (§6.3: "a CPPC with eight parity bits in effect has
+//!   eight protection domains whose size is 1/8 of the entire dirty
+//!   data"); SECDED's domain is one word (L1) or one block (L2).
+//! * **Temporal aliasing** (§4.7): after a first fault, a CPPC with
+//!   byte shifting miscorrects if a second fault hits one of 7 specific
+//!   bits (fewer with more register pairs) within `Tavg`.
+
+use crate::fit::{SeuRate, HOURS_PER_YEAR};
+
+/// Inputs shared by all the MTTF models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityParams {
+    /// Per-bit SEU rate.
+    pub rate: SeuRate,
+    /// Architectural vulnerability factor (the paper uses 0.7).
+    pub avf: f64,
+    /// Total data bits in the cache.
+    pub total_bits: f64,
+    /// Mean fraction of data that is dirty (Table 2).
+    pub dirty_fraction: f64,
+    /// Mean cycles between consecutive accesses to the same dirty
+    /// word/block (Table 2's `Tavg`).
+    pub tavg_cycles: f64,
+    /// Core frequency in GHz (Table 1: 3 GHz).
+    pub frequency_ghz: f64,
+}
+
+impl ReliabilityParams {
+    /// The paper's L1 evaluation point (Tables 1–2).
+    #[must_use]
+    pub fn paper_l1() -> Self {
+        ReliabilityParams {
+            rate: SeuRate::paper(),
+            avf: 0.7,
+            total_bits: 32.0 * 1024.0 * 8.0,
+            dirty_fraction: 0.16,
+            tavg_cycles: 1828.0,
+            frequency_ghz: 3.0,
+        }
+    }
+
+    /// The paper's L2 evaluation point (Tables 1–2).
+    #[must_use]
+    pub fn paper_l2() -> Self {
+        ReliabilityParams {
+            rate: SeuRate::paper(),
+            avf: 0.7,
+            total_bits: 1024.0 * 1024.0 * 8.0,
+            dirty_fraction: 0.35,
+            tavg_cycles: 378_997.0,
+            frequency_ghz: 3.0,
+        }
+    }
+
+    /// Dirty bits.
+    #[must_use]
+    pub fn dirty_bits(&self) -> f64 {
+        self.total_bits * self.dirty_fraction
+    }
+
+    /// Fault rate over the dirty data, per hour.
+    #[must_use]
+    pub fn dirty_fault_rate_per_hour(&self) -> f64 {
+        self.rate.faults_per_hour(self.dirty_bits())
+    }
+
+    /// `Tavg` in hours.
+    #[must_use]
+    pub fn tavg_hours(&self) -> f64 {
+        self.tavg_cycles / (self.frequency_ghz * 1e9) / 3600.0
+    }
+}
+
+fn to_years(hours: f64) -> f64 {
+    hours / HOURS_PER_YEAR
+}
+
+/// MTTF (years) of a parity-only cache: the first fault in dirty data
+/// is fatal.
+#[must_use]
+pub fn mttf_one_dim_parity_years(p: &ReliabilityParams) -> f64 {
+    to_years(1.0 / p.dirty_fault_rate_per_hour() / p.avf)
+}
+
+/// MTTF (years) of a scheme whose protection domain holds
+/// `domain_bits` of dirty data: failure requires a second fault in the
+/// same domain within `Tavg`.
+#[must_use]
+pub fn mttf_domain_double_fault_years(p: &ReliabilityParams, domain_bits: f64) -> f64 {
+    let lambda_domain = p.rate.faults_per_hour(domain_bits);
+    let p_double = lambda_domain * p.tavg_hours();
+    to_years(1.0 / (p.dirty_fault_rate_per_hour() * p_double) / p.avf)
+}
+
+/// MTTF (years) of a CPPC with `parity_ways`-way interleaved parity:
+/// the protection domain is `1/parity_ways` of the dirty data (§6.3).
+#[must_use]
+pub fn mttf_cppc_years(p: &ReliabilityParams, parity_ways: u32) -> f64 {
+    mttf_domain_double_fault_years(p, p.dirty_bits() / f64::from(parity_ways))
+}
+
+/// MTTF (years) of a SECDED cache whose codeword protects
+/// `codeword_data_bits` (64 for word SECDED, block bits at L2).
+#[must_use]
+pub fn mttf_secded_years(p: &ReliabilityParams, codeword_data_bits: f64) -> f64 {
+    mttf_domain_double_fault_years(p, codeword_data_bits)
+}
+
+/// MTTF (years) of the §4.7 temporal-aliasing event: after a first
+/// fault, a second fault must hit one of `vulnerable_bits` specific
+/// bits (7 with one register pair, 3 with two, 1 with four, none with
+/// eight) within `Tavg` for the locator to miscorrect.
+///
+/// Returns `f64::INFINITY` when `vulnerable_bits` is zero (the 8-pair
+/// design eliminates the event entirely).
+#[must_use]
+pub fn mttf_aliasing_years(p: &ReliabilityParams, vulnerable_bits: f64) -> f64 {
+    if vulnerable_bits <= 0.0 {
+        return f64::INFINITY;
+    }
+    let p_alias = p.rate.faults_per_hour(vulnerable_bits) * p.tavg_hours();
+    to_years(1.0 / (p.dirty_fault_rate_per_hour() * p_alias) / p.avf)
+}
+
+/// Vulnerable aliasing bits for a pair count (§4.7's progression
+/// 7 → 3 → 1 → 0).
+///
+/// # Panics
+///
+/// Panics if `pairs` is not 1, 2, 4 or 8.
+#[must_use]
+pub fn aliasing_vulnerable_bits(pairs: usize) -> f64 {
+    match pairs {
+        1 => 7.0,
+        2 => 3.0,
+        4 => 1.0,
+        8 => 0.0,
+        _ => panic!("register pairs must be 1, 2, 4 or 8, got {pairs}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within_factor(measured: f64, paper: f64, factor: f64) -> bool {
+        measured > paper / factor && measured < paper * factor
+    }
+
+    #[test]
+    fn table3_one_dim_parity_l1() {
+        // Paper: 4490 years.
+        let y = mttf_one_dim_parity_years(&ReliabilityParams::paper_l1());
+        assert!(within_factor(y, 4490.0, 2.0), "got {y}");
+    }
+
+    #[test]
+    fn table3_one_dim_parity_l2() {
+        // Paper: 64 years.
+        let y = mttf_one_dim_parity_years(&ReliabilityParams::paper_l2());
+        assert!(within_factor(y, 64.0, 2.0), "got {y}");
+    }
+
+    #[test]
+    fn table3_cppc_l1() {
+        // Paper: 8.02e21 years.
+        let y = mttf_cppc_years(&ReliabilityParams::paper_l1(), 8);
+        assert!(within_factor(y, 8.02e21, 3.0), "got {y:e}");
+    }
+
+    #[test]
+    fn table3_cppc_l2() {
+        // Paper: 8.07e15 years.
+        let y = mttf_cppc_years(&ReliabilityParams::paper_l2(), 8);
+        assert!(within_factor(y, 8.07e15, 3.0), "got {y:e}");
+    }
+
+    #[test]
+    fn table3_secded_l1() {
+        // Paper: 6.2e23 years (word SECDED).
+        let y = mttf_secded_years(&ReliabilityParams::paper_l1(), 64.0);
+        assert!(within_factor(y, 6.2e23, 3.0), "got {y:e}");
+    }
+
+    #[test]
+    fn table3_secded_l2() {
+        // Paper: 1.1e19 years (block SECDED, 32-byte blocks).
+        let y = mttf_secded_years(&ReliabilityParams::paper_l2(), 256.0);
+        assert!(within_factor(y, 1.1e19, 3.0), "got {y:e}");
+    }
+
+    #[test]
+    fn section_4_7_aliasing_l2() {
+        // Paper: 4.19e20 years with one pair — "5 orders of magnitude
+        // larger than DUEs due to temporal 2-bit faults".
+        let p = ReliabilityParams::paper_l2();
+        let alias = mttf_aliasing_years(&p, aliasing_vulnerable_bits(1));
+        assert!(within_factor(alias, 4.19e20, 3.0), "got {alias:e}");
+        let due = mttf_cppc_years(&p, 8);
+        let orders = (alias / due).log10();
+        assert!((4.0..6.0).contains(&orders), "{orders} orders of magnitude");
+    }
+
+    #[test]
+    fn aliasing_improves_with_pairs() {
+        let p = ReliabilityParams::paper_l2();
+        let m1 = mttf_aliasing_years(&p, aliasing_vulnerable_bits(1));
+        let m2 = mttf_aliasing_years(&p, aliasing_vulnerable_bits(2));
+        let m4 = mttf_aliasing_years(&p, aliasing_vulnerable_bits(4));
+        let m8 = mttf_aliasing_years(&p, aliasing_vulnerable_bits(8));
+        assert!(m1 < m2 && m2 < m4);
+        assert!(m8.is_infinite());
+    }
+
+    #[test]
+    fn ordering_parity_cppc_secded() {
+        // Table 3's ordering at both levels: parity ≪ CPPC < SECDED.
+        for p in [ReliabilityParams::paper_l1(), ReliabilityParams::paper_l2()] {
+            let parity = mttf_one_dim_parity_years(&p);
+            let cppc = mttf_cppc_years(&p, 8);
+            let secded = mttf_secded_years(&p, 64.0);
+            assert!(parity < cppc / 1e10);
+            assert!(cppc < secded);
+        }
+    }
+
+    #[test]
+    fn cppc_scales_with_parity_ways() {
+        // §3.4: more parity bits per word shrink the domain and raise
+        // the MTTF proportionally.
+        let p = ReliabilityParams::paper_l1();
+        let one = mttf_cppc_years(&p, 1);
+        let eight = mttf_cppc_years(&p, 8);
+        assert!((eight / one - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_more_reliable_than_l2() {
+        // Smaller cache + shorter Tavg → much higher MTTF.
+        assert!(
+            mttf_cppc_years(&ReliabilityParams::paper_l1(), 8)
+                > 1e3 * mttf_cppc_years(&ReliabilityParams::paper_l2(), 8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "register pairs must be")]
+    fn bad_pairs_panics() {
+        let _ = aliasing_vulnerable_bits(3);
+    }
+}

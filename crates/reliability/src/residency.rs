@@ -1,0 +1,64 @@
+//! Measuring the reliability-model inputs (Table 2) from simulation.
+
+use cppc_cache_sim::hierarchy::TwoLevelHierarchy;
+
+/// Dirty-data residency and re-access interval for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidencyReport {
+    /// Mean fraction of words that are dirty (Table 2 row 1).
+    pub dirty_fraction: f64,
+    /// Mean cycles between consecutive accesses to the same dirty
+    /// word/block (Table 2 row 2), if any dirty data was re-accessed.
+    pub tavg_cycles: Option<f64>,
+}
+
+/// Extracts Table 2's quantities for both levels of a hierarchy that
+/// has already run its trace.
+#[must_use]
+pub fn measure(hierarchy: &TwoLevelHierarchy) -> (ResidencyReport, ResidencyReport) {
+    (
+        ResidencyReport {
+            dirty_fraction: hierarchy.l1_dirty_fraction(),
+            tavg_cycles: hierarchy.l1_tavg(),
+        },
+        ResidencyReport {
+            dirty_fraction: hierarchy.l2_dirty_fraction(),
+            tavg_cycles: hierarchy.l2_tavg(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cppc_cache_sim::geometry::CacheGeometry;
+    use cppc_cache_sim::hierarchy::MemOp;
+    use cppc_cache_sim::replacement::ReplacementPolicy;
+
+    #[test]
+    fn measures_after_trace() {
+        let l1 = CacheGeometry::new(256, 2, 32).unwrap();
+        let l2 = CacheGeometry::new(1024, 2, 32).unwrap();
+        let mut h = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
+        h.set_sample_interval(1);
+        h.set_cycles_per_op(4);
+        h.run([
+            MemOp::Store(0x00, 1),
+            MemOp::Load(0x40),
+            MemOp::Store(0x00, 2), // dirty re-access, interval 8 cycles
+        ]);
+        let (l1r, _l2r) = measure(&h);
+        assert!(l1r.dirty_fraction > 0.0);
+        assert_eq!(l1r.tavg_cycles, Some(8.0));
+    }
+
+    #[test]
+    fn empty_run_has_no_tavg() {
+        let l1 = CacheGeometry::new(256, 2, 32).unwrap();
+        let l2 = CacheGeometry::new(1024, 2, 32).unwrap();
+        let h = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
+        let (l1r, l2r) = measure(&h);
+        assert_eq!(l1r.tavg_cycles, None);
+        assert_eq!(l2r.tavg_cycles, None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Machine configuration (the paper's Table 1).
+
+use cppc_cache_sim::geometry::{CacheGeometry, GeometryError};
+
+/// One cache level's dimensioning and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub associativity: usize,
+    /// Block size in bytes.
+    pub block_bytes: usize,
+    /// Access latency in cycles.
+    pub latency_cycles: u32,
+}
+
+impl CacheLevelConfig {
+    /// Builds the corresponding [`CacheGeometry`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GeometryError`] for inconsistent dimensions.
+    pub fn geometry(&self) -> Result<CacheGeometry, GeometryError> {
+        CacheGeometry::new(self.size_bytes, self.associativity, self.block_bytes)
+    }
+}
+
+/// The full machine model (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Core frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Load/store queue entries.
+    pub lsq_size: u32,
+    /// Register-update-unit (ROB) entries.
+    pub ruu_size: u32,
+    /// L1 data cache.
+    pub l1d: CacheLevelConfig,
+    /// Unified L2.
+    pub l2: CacheLevelConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheLevelConfig,
+    /// Main-memory latency in cycles (not in Table 1; a typical 3GHz
+    /// DDR round-trip).
+    pub memory_latency_cycles: u32,
+    /// Fraction of a long-miss penalty hidden by memory-level
+    /// parallelism and out-of-order overlap.
+    pub mlp_overlap: f64,
+}
+
+impl MachineConfig {
+    /// The evaluation machine of Table 1.
+    #[must_use]
+    pub fn table1() -> Self {
+        MachineConfig {
+            issue_width: 4,
+            frequency_ghz: 3.0,
+            lsq_size: 16,
+            ruu_size: 64,
+            l1d: CacheLevelConfig {
+                size_bytes: 32 * 1024,
+                associativity: 2,
+                block_bytes: 32,
+                latency_cycles: 2,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 1024 * 1024,
+                associativity: 4,
+                block_bytes: 32,
+                latency_cycles: 8,
+            },
+            l1i: CacheLevelConfig {
+                size_bytes: 16 * 1024,
+                associativity: 1,
+                block_bytes: 32,
+                latency_cycles: 1,
+            },
+            memory_latency_cycles: 200,
+            mlp_overlap: 0.7,
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let m = MachineConfig::table1();
+        assert_eq!(m.issue_width, 4);
+        assert_eq!(m.frequency_ghz, 3.0);
+        assert_eq!(m.lsq_size, 16);
+        assert_eq!(m.ruu_size, 64);
+        assert_eq!(m.l1d.size_bytes, 32 * 1024);
+        assert_eq!(m.l1d.associativity, 2);
+        assert_eq!(m.l1d.latency_cycles, 2);
+        assert_eq!(m.l2.size_bytes, 1024 * 1024);
+        assert_eq!(m.l2.associativity, 4);
+        assert_eq!(m.l2.latency_cycles, 8);
+        assert_eq!(m.l1i.size_bytes, 16 * 1024);
+    }
+
+    #[test]
+    fn geometries_build() {
+        let m = MachineConfig::table1();
+        assert_eq!(m.l1d.geometry().unwrap().num_sets(), 512);
+        assert_eq!(m.l2.geometry().unwrap().num_sets(), 8192);
+        assert_eq!(m.l1i.geometry().unwrap().num_sets(), 512);
+    }
+}

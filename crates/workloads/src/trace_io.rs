@@ -1,0 +1,194 @@
+//! Trace serialisation: record a generated trace to a writer and replay
+//! it later, so experiments can be archived and re-run bit-exactly (or
+//! traces from a real machine can be fed in).
+//!
+//! The format is one operation per line, trivially greppable:
+//!
+//! ```text
+//! # cppc-trace v1
+//! L 1000
+//! S 1008 deadbeef
+//! B 1011 7f
+//! ```
+//!
+//! `L` = load, `S` = 64-bit store (hex value), `B` = byte store.
+//! Addresses and values are hexadecimal without `0x`.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use cppc_cache_sim::hierarchy::MemOp;
+
+/// The header line identifying the format.
+pub const HEADER: &str = "# cppc-trace v1";
+
+/// Error while parsing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong header.
+    BadHeader(String),
+    /// A malformed line, with its 1-based line number.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadHeader(h) => write!(f, "bad trace header: '{h}'"),
+            TraceError::BadLine { line, content } => {
+                write!(f, "bad trace line {line}: '{content}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes a trace to `out`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_trace<W: Write, I: IntoIterator<Item = MemOp>>(
+    out: &mut W,
+    trace: I,
+) -> io::Result<usize> {
+    writeln!(out, "{HEADER}")?;
+    let mut n = 0;
+    for op in trace {
+        match op {
+            MemOp::Load(a) => writeln!(out, "L {a:x}")?,
+            MemOp::Store(a, v) => writeln!(out, "S {a:x} {v:x}")?,
+            MemOp::StoreByte(a, v) => writeln!(out, "B {a:x} {v:x}")?,
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads a trace from `input`.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failures or malformed content.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemOp>, TraceError> {
+    let mut lines = input.lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    if header.trim() != HEADER {
+        return Err(TraceError::BadHeader(header));
+    }
+    let mut ops = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let bad = || TraceError::BadLine {
+            line: i + 2,
+            content: line.clone(),
+        };
+        let mut parts = trimmed.split_whitespace();
+        let kind = parts.next().ok_or_else(bad)?;
+        let addr = u64::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+        let op = match kind {
+            "L" => MemOp::Load(addr),
+            "S" => {
+                let v =
+                    u64::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+                MemOp::Store(addr, v)
+            }
+            "B" => {
+                let v =
+                    u8::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+                MemOp::StoreByte(addr, v)
+            }
+            _ => return Err(bad()),
+        };
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::profile::spec2000_profiles;
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip() {
+        let ops = vec![
+            MemOp::Load(0x1000),
+            MemOp::Store(0x1008, 0xDEAD_BEEF),
+            MemOp::StoreByte(0x1011, 0x7F),
+        ];
+        let mut buf = Vec::new();
+        assert_eq!(write_trace(&mut buf, ops.clone()).unwrap(), 3);
+        let back = read_trace(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn generated_trace_roundtrips() {
+        let p = &spec2000_profiles()[0];
+        let ops: Vec<MemOp> = TraceGenerator::new(p, 77).take(5_000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, ops.clone()).unwrap();
+        assert_eq!(read_trace(BufReader::new(&buf[..])).unwrap(), ops);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_trace(BufReader::new(&b"not a trace\nL 0"[..])).unwrap_err();
+        assert!(matches!(err, TraceError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "# cppc-trace v1\nX 10",
+            "# cppc-trace v1\nL",
+            "# cppc-trace v1\nS 10",
+            "# cppc-trace v1\nL zz",
+            "# cppc-trace v1\nL 10 extra",
+        ] {
+            let err = read_trace(BufReader::new(bad.as_bytes())).unwrap_err();
+            assert!(matches!(err, TraceError::BadLine { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# cppc-trace v1\n\n# comment\nL a0\n";
+        let ops = read_trace(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(ops, vec![MemOp::Load(0xA0)]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TraceError::BadLine {
+            line: 3,
+            content: "oops".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

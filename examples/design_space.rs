@@ -1,0 +1,67 @@
+//! Design-space explorer: the paper's central trade-off (§3.4, §4.10) —
+//! reliability scales with register pairs and parity bits, at a sliver
+//! of area. Sweeps the CPPC design space and prints MTTF, aliasing MTTF
+//! and storage overhead for each point, next to SECDED.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use cppc::energy::AreaModel;
+use cppc::reliability::mttf::{
+    aliasing_vulnerable_bits, mttf_aliasing_years, mttf_cppc_years, mttf_one_dim_parity_years,
+    mttf_secded_years,
+};
+use cppc::reliability::ReliabilityParams;
+
+fn main() {
+    let l1_bytes = 32 * 1024;
+    let params = ReliabilityParams::paper_l1();
+
+    println!("CPPC design space at the paper's L1 point (32KB, Table 2 inputs)\n");
+    println!(
+        "{:<30} {:>12} {:>14} {:>12}",
+        "configuration", "MTTF (y)", "alias MTTF (y)", "area ovh"
+    );
+    println!("{}", "-".repeat(72));
+
+    println!(
+        "{:<30} {:>12.0} {:>14} {:>11.2}%",
+        "1D parity (8b/word)",
+        mttf_one_dim_parity_years(&params),
+        "-",
+        AreaModel::one_dim_parity(l1_bytes, 8).overhead_fraction() * 100.0
+    );
+
+    for parity_ways in [1u32, 8] {
+        for pairs in [1usize, 2, 4, 8] {
+            let mttf = mttf_cppc_years(&params, parity_ways);
+            let alias = mttf_aliasing_years(&params, aliasing_vulnerable_bits(pairs));
+            let area = AreaModel::cppc(l1_bytes, parity_ways, pairs, 64);
+            let alias_str = if alias.is_infinite() {
+                "eliminated".to_string()
+            } else {
+                format!("{alias:.2e}")
+            };
+            println!(
+                "{:<30} {:>12.2e} {:>14} {:>11.2}%",
+                format!("CPPC {parity_ways}b parity, {pairs} pair(s)"),
+                mttf,
+                alias_str,
+                area.overhead_fraction() * 100.0
+            );
+        }
+    }
+
+    println!(
+        "{:<30} {:>12.2e} {:>14} {:>11.2}%",
+        "SECDED (72,64)",
+        mttf_secded_years(&params, 64.0),
+        "-",
+        AreaModel::secded(l1_bytes).overhead_fraction() * 100.0
+    );
+
+    println!();
+    println!("observations (the paper's §3.4/§4.10 claims):");
+    println!(" * correction capability scales with parity bits — 8x the MTTF for 8x the bits;");
+    println!(" * register pairs cost ~nothing in area yet remove the aliasing window;");
+    println!(" * CPPC reaches within ~100x of SECDED's MTTF at a fraction of its 12.5% area.");
+}

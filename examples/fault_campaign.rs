@@ -1,0 +1,126 @@
+//! Fault-injection campaign: compare how CPPC configurations and the
+//! baseline schemes dispose of random spatial multi-bit errors.
+//!
+//! Run with `cargo run --release --example fault_campaign [trials]`.
+
+use cppc::cache_sim::{CacheGeometry, MainMemory, ReplacementPolicy};
+use cppc::core::baselines::OneDimParityCache;
+use cppc::core::{CppcCache, CppcConfig};
+use cppc::fault::campaign::{Campaign, Outcome, OutcomeTally};
+use cppc::fault::model::{FaultGenerator, FaultModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn geometry() -> CacheGeometry {
+    CacheGeometry::new(4096, 2, 32).expect("valid geometry")
+}
+
+/// Fills way 0 with dirty random data and returns the ground truth.
+fn fill_dirty(
+    cache: &mut CppcCache,
+    mem: &mut MainMemory,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    let geo = *cache.geometry();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut truth = Vec::new();
+    for set in 0..geo.num_sets() {
+        for word in 0..geo.words_per_block() {
+            let addr = geo.address_of(0, set) + (word * 8) as u64;
+            let v: u64 = rng.random();
+            cache.store_word(addr, v, mem).expect("no faults yet");
+            truth.push((addr, v));
+        }
+    }
+    truth
+}
+
+fn campaign_cppc(config: CppcConfig, model: FaultModel, trials: u64) -> OutcomeTally {
+    Campaign::new(0xFA11).run(trials, |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache =
+            CppcCache::new_l1(geometry(), config, ReplacementPolicy::Lru).expect("valid config");
+        let truth = fill_dirty(&mut cache, &mut mem, trial);
+        let mut generator = FaultGenerator::new(cache.layout().num_rows() / 2, rng.random());
+        if cache.inject(&generator.sample(model)) == 0 {
+            return Outcome::Masked;
+        }
+        match cache.recover_all(&mut mem) {
+            Err(_) => Outcome::DetectedUnrecoverable,
+            Ok(_) => {
+                if truth.iter().all(|&(a, v)| cache.peek_word(a) == Some(v)) {
+                    Outcome::Corrected
+                } else {
+                    Outcome::SilentCorruption
+                }
+            }
+        }
+    })
+}
+
+fn campaign_parity(model: FaultModel, trials: u64) -> OutcomeTally {
+    Campaign::new(0xFA11).run(trials, |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = OneDimParityCache::new(geometry(), 8, ReplacementPolicy::Lru);
+        let mut rng_fill = StdRng::seed_from_u64(trial);
+        let geo = geometry();
+        let mut truth = Vec::new();
+        for set in 0..geo.num_sets() {
+            for word in 0..geo.words_per_block() {
+                let addr = geo.address_of(0, set) + (word * 8) as u64;
+                let v: u64 = rng_fill.random();
+                cache.store_word(addr, v, &mut mem);
+                truth.push((addr, v));
+            }
+        }
+        let mut generator = FaultGenerator::new(cache.layout().num_rows() / 2, rng.random());
+        if cache.inject(&generator.sample(model)) == 0 {
+            return Outcome::Masked;
+        }
+        for &(a, v) in &truth {
+            match cache.load_word(a, &mut mem) {
+                Err(_) => return Outcome::DetectedUnrecoverable,
+                Ok(got) if got != v => return Outcome::SilentCorruption,
+                Ok(_) => {}
+            }
+        }
+        Outcome::Masked
+    })
+}
+
+fn report(label: &str, tally: &OutcomeTally) {
+    println!(
+        "  {label:<24} corrected {:>5.1}%   DUE {:>5.1}%   SDC {:>5.1}%",
+        tally.corrected as f64 / tally.total() as f64 * 100.0,
+        tally.due as f64 / tally.total() as f64 * 100.0,
+        tally.sdc as f64 / tally.total() as f64 * 100.0,
+    );
+}
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    println!("spatial-MBE campaign: {trials} trials per configuration\n");
+
+    for (name, model) in [
+        ("single-bit SEU", FaultModel::TemporalSingleBit),
+        ("3x3 solid square", FaultModel::SpatialSquare { rows: 3, cols: 3, density: 1.0 }),
+        ("8x8 solid square", FaultModel::SpatialSquare { rows: 8, cols: 8, density: 1.0 }),
+    ] {
+        println!("{name}:");
+        report("1D parity", &campaign_parity(model, trials));
+        report("CPPC basic (1b parity)", &campaign_cppc(CppcConfig::basic(), model, trials));
+        report("CPPC paper (1 pair)", &campaign_cppc(CppcConfig::paper(), model, trials));
+        report("CPPC 2 pairs", &campaign_cppc(CppcConfig::two_pairs(), model, trials));
+        report("CPPC 8 pairs", &campaign_cppc(CppcConfig::eight_pairs(), model, trials));
+        println!();
+    }
+    println!("notes:");
+    println!(" * schemes with 8-way interleaved parity never silently corrupt —");
+    println!("   they refuse (DUE) when a fault is outside their envelope;");
+    println!(" * the basic CPPC's single parity bit cannot even *detect* an even");
+    println!("   number of flips per word (the 8x8 square flips 8), which is why");
+    println!("   the paper pairs CPPC with interleaved parity for spatial faults.");
+}

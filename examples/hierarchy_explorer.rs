@@ -1,0 +1,83 @@
+//! Hierarchy explorer: run one SPEC2000-like profile through the full
+//! Table 1 machine and print everything the paper's evaluation measures
+//! for it — hit rates, dirty residency, CPI under each L1 scheme, and
+//! normalised dynamic energy at both levels.
+//!
+//! Run with `cargo run --release --example hierarchy_explorer [benchmark]`
+//! (default: gcc; try `mcf` to see the L2-thrashing pathology).
+
+use cppc::energy::scheme::{ProtectionKind, SchemeEnergy};
+use cppc::energy::TechnologyNode;
+use cppc::timing::{counts_from_stats, L1Scheme, MachineConfig, TimingModel};
+use cppc::workloads::spec2000_profiles;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
+    let profiles = spec2000_profiles();
+    let Some(profile) = profiles.iter().find(|p| p.name == which) else {
+        eprintln!(
+            "unknown benchmark {which}; available: {}",
+            profiles
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    const OPS: usize = 200_000;
+    let machine = MachineConfig::table1();
+    let model = TimingModel::new(machine);
+
+    println!("benchmark {} — {OPS} memory ops on the Table 1 machine\n", profile.name);
+
+    let base = model.simulate(profile, L1Scheme::OneDimParity, OPS, 42);
+    println!("functional behaviour:");
+    println!("  L1: {:>9} accesses, miss rate {:>5.2}%, stores-to-dirty {:>6}",
+        base.l1_stats.accesses(),
+        base.l1_stats.miss_rate() * 100.0,
+        base.l1_stats.stores_to_dirty);
+    println!("  L2: {:>9} accesses, miss rate {:>5.2}%, write-backs {:>9}",
+        base.l2_stats.accesses(),
+        base.l2_stats.miss_rate() * 100.0,
+        base.l2_stats.writebacks);
+
+    println!("\nCPI under each L1 protection scheme:");
+    for (name, scheme) in [
+        ("1D parity", L1Scheme::OneDimParity),
+        ("CPPC", L1Scheme::Cppc),
+        ("SECDED", L1Scheme::Secded),
+        ("2D parity", L1Scheme::TwoDimParity),
+    ] {
+        let b = model.breakdown_from_stats(profile, scheme, OPS, base.l1_stats, base.l2_stats);
+        println!(
+            "  {name:<12} CPI {:.4}  (base {:.3} + memory {:.3} + contention {:.5})",
+            b.cpi(),
+            b.base_cpi,
+            b.memory_cpi,
+            b.contention_cpi
+        );
+    }
+
+    let node = TechnologyNode::Nm32;
+    println!("\nnormalised dynamic energy:");
+    for (level, stats, size, assoc, block) in [
+        ("L1", base.l1_stats, machine.l1d.size_bytes, machine.l1d.associativity, machine.l1d.block_bytes),
+        ("L2", base.l2_stats, machine.l2.size_bytes, machine.l2.associativity, machine.l2.block_bytes),
+    ] {
+        let counts = counts_from_stats(&stats, (block / 8) as u32);
+        let parity = SchemeEnergy::new(size, assoc, block, ProtectionKind::OneDimParity { ways: 8 }, node);
+        let reference = parity.total_pj(&counts);
+        print!("  {level}: ");
+        for (name, kind) in [
+            ("CPPC", ProtectionKind::Cppc { ways: 8 }),
+            ("SECDED", ProtectionKind::Secded { interleaved: true }),
+            ("2D", ProtectionKind::TwoDimParity { ways: 8 }),
+        ] {
+            let e = SchemeEnergy::new(size, assoc, block, kind, node);
+            print!("{name} {:.3}x  ", e.total_pj(&counts) / reference);
+        }
+        println!("(vs 1D parity)");
+    }
+}

@@ -1,0 +1,70 @@
+//! Multiprocessor CPPC (§7): CPPC-protected private L1s under an MSI
+//! write-invalidate protocol — faults in dirty data are corrected even
+//! when a *remote* core's access forces the data out, and the
+//! invalidation traffic measurably reduces the read-before-write rate.
+//!
+//! Run with `cargo run --release --example multicore`.
+
+use cppc::cache_sim::{CacheGeometry, ReplacementPolicy};
+use cppc::coherence::{CoreOp, CppcCoherentSystem, SharedTraceGenerator};
+use cppc::core::CppcConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = CppcCoherentSystem::new(
+        2,
+        CacheGeometry::new(4 * 1024, 2, 32)?,
+        CacheGeometry::new(64 * 1024, 4, 32)?,
+        CppcConfig::paper(),
+        ReplacementPolicy::Lru,
+    );
+
+    // Core 0 produces; a particle strikes its dirty data; core 1
+    // consumes — the downgrade's parity check corrects on the way out.
+    sys.step(CoreOp::Store {
+        core: 0,
+        addr: 0x1000,
+        value: 0xCAFE_F00D,
+    })?;
+    sys.core_mut(0).flip_data_bit_at(0x1000, 21);
+    println!("core 0 stored 0xCAFEF00D; a bit of its dirty copy was flipped");
+    let got = sys.step(CoreOp::Load {
+        core: 1,
+        addr: 0x1000,
+    })?;
+    assert_eq!(got, 0xCAFE_F00D);
+    println!("core 1 loaded 0x{got:08X} — corrected during the coherence downgrade");
+    println!(
+        "core 0 corrections: {}, downgrades: {}\n",
+        sys.core(0).stats().corrected_dirty,
+        sys.stats().downgrades
+    );
+
+    // The §7 hypothesis: more sharing → more dirty invalidations →
+    // fewer read-before-writes.
+    println!("{:>10} {:>12} {:>12}", "sharing", "rbw/store", "dirty-inv");
+    for sharing in [0.0, 0.25, 0.5, 0.75] {
+        let mut sys = CppcCoherentSystem::new(
+            2,
+            CacheGeometry::new(4 * 1024, 2, 32)?,
+            CacheGeometry::new(64 * 1024, 4, 32)?,
+            CppcConfig::paper(),
+            ReplacementPolicy::Lru,
+        );
+        let mut stores = 0u64;
+        for op in SharedTraceGenerator::new(2, 2048, 512, sharing, 0.4, 7).take(40_000) {
+            if matches!(op, CoreOp::Store { .. }) {
+                stores += 1;
+            }
+            sys.step(op)?;
+        }
+        println!(
+            "{:>9.0}% {:>12.4} {:>12}",
+            sharing * 100.0,
+            sys.total_read_before_writes() as f64 / stores as f64,
+            sys.stats().dirty_invalidations
+        );
+        assert!(sys.verify_invariants());
+    }
+    println!("\nall register invariants held throughout — the multiprocessor CPPC works.");
+    Ok(())
+}

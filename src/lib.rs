@@ -1,0 +1,17 @@
+//! Umbrella crate for the CPPC (Correctable Parity Protected Cache)
+//! reproduction — re-exports every subsystem under one roof.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use cppc_cache_sim as cache_sim;
+pub use cppc_coherence as coherence;
+pub use cppc_core as core;
+pub use cppc_ecc as ecc;
+pub use cppc_energy as energy;
+pub use cppc_fault as fault;
+pub use cppc_reliability as reliability;
+pub use cppc_timing as timing;
+pub use cppc_workloads as workloads;

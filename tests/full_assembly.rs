@@ -1,0 +1,131 @@
+//! Integration: the fully protected cache (data CPPC + tag CPPC) under
+//! combined data/tag fault campaigns, and trace-replay determinism
+//! through the whole stack.
+
+use cppc::cache_sim::{CacheGeometry, MainMemory, ReplacementPolicy};
+use cppc::core::full::FullyProtectedCache;
+use cppc::core::CppcConfig;
+use cppc::workloads::{read_trace, spec2000_profiles, write_trace, TraceGenerator};
+use cppc_cache_sim::hierarchy::{MemOp, TwoLevelHierarchy};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+#[test]
+fn full_assembly_survives_alternating_data_and_tag_strikes() {
+    let geo = CacheGeometry::new(4 * 1024, 2, 32).unwrap();
+    let mut cache =
+        FullyProtectedCache::new_l1(geo, CppcConfig::paper(), ReplacementPolicy::Lru).unwrap();
+    let mut mem = MainMemory::new();
+    let mut rng = StdRng::seed_from_u64(0xFA_7A6);
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    let mut resident: Vec<u64> = Vec::new();
+
+    for i in 0..10_000u64 {
+        let addr = (rng.random_range(0..16 * 1024u64)) & !7;
+        if rng.random_bool(0.4) {
+            let v: u64 = rng.random();
+            cache.store_word(addr, v, &mut mem).unwrap();
+            oracle.insert(addr, v);
+            resident.push(addr);
+        } else {
+            let got = cache.load_word(addr, &mut mem).unwrap();
+            assert_eq!(got, *oracle.get(&addr).unwrap_or(&0), "op {i}");
+        }
+        // Every ~97 ops, strike either a tag or a data bit of some
+        // recently stored (still possibly resident) address.
+        if i % 97 == 96 && !resident.is_empty() {
+            let target = resident[rng.random_range(0..resident.len())];
+            if cache.peek_word(target).is_some() {
+                if rng.random_bool(0.5) {
+                    cache.flip_tag_bit_at(target, rng.random_range(0..64));
+                } else {
+                    // Reuse the data CPPC's addressed-flip helper via the
+                    // data() accessor path: inject through pattern.
+                    let (set, way) = cache.data().probe(target).unwrap();
+                    let w = cache.data().geometry().word_index(target);
+                    let row = cache.data().layout().row_of(set, way, w);
+                    cache.inject_data(&cppc::fault::model::FaultPattern::new(vec![
+                        cppc::fault::model::BitFlip {
+                            row,
+                            col: rng.random_range(0..64),
+                        },
+                    ]));
+                }
+            }
+        }
+    }
+    cache.flush(&mut mem).unwrap();
+    assert!(cache.verify_invariants());
+    for (addr, v) in oracle {
+        assert_eq!(mem.peek_word(addr), v, "final memory at {addr:#x}");
+    }
+}
+
+#[test]
+fn recorded_trace_replays_identically() {
+    // Record a trace, replay it through a fresh hierarchy, and compare
+    // every statistic with a direct run — the archival path is exact.
+    let profile = spec2000_profiles()[2];
+    let ops: Vec<MemOp> = TraceGenerator::new(&profile, 99).take(30_000).collect();
+
+    let mut buf = Vec::new();
+    write_trace(&mut buf, ops.iter().copied()).unwrap();
+    let replayed = read_trace(std::io::BufReader::new(&buf[..])).unwrap();
+    assert_eq!(replayed, ops);
+
+    let run = |trace: &[MemOp]| {
+        let l1 = CacheGeometry::new(32 * 1024, 2, 32).unwrap();
+        let l2 = CacheGeometry::new(256 * 1024, 4, 32).unwrap();
+        let mut h = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
+        h.run(trace.iter().copied());
+        h.stats()
+    };
+    let (a1, a2) = run(&ops);
+    let (b1, b2) = run(&replayed);
+    assert_eq!(a1, b1);
+    assert_eq!(a2, b2);
+}
+
+#[test]
+fn byte_stores_flow_through_the_whole_stack() {
+    // A profile with byte stores runs through hierarchy + CPPC with the
+    // same final memory image as an unprotected run.
+    let profile = *spec2000_profiles()
+        .iter()
+        .find(|p| p.name == "gzip")
+        .unwrap();
+    assert!(profile.byte_store_fraction > 0.0);
+
+    let geo = CacheGeometry::new(8 * 1024, 2, 32).unwrap();
+    let mut protected =
+        cppc::core::CppcCache::new_l1(geo, CppcConfig::paper(), ReplacementPolicy::Lru).unwrap();
+    let mut mem_p = MainMemory::new();
+    let mut plain = cppc::cache_sim::Cache::new(geo, ReplacementPolicy::Lru);
+    let mut mem_u = MainMemory::new();
+
+    let mut byte_ops = 0;
+    for op in TraceGenerator::new(&profile, 3).take(40_000) {
+        match op {
+            MemOp::Load(a) => {
+                let x = protected.load_word(a, &mut mem_p).unwrap();
+                let y = plain.load_word(a, &mut mem_u);
+                assert_eq!(x, y);
+            }
+            MemOp::Store(a, v) => {
+                protected.store_word(a, v, &mut mem_p).unwrap();
+                plain.store_word(a, v, &mut mem_u);
+            }
+            MemOp::StoreByte(a, v) => {
+                byte_ops += 1;
+                protected.store_byte(a, v, &mut mem_p).unwrap();
+                plain.store_byte(a, v, &mut mem_u);
+            }
+        }
+    }
+    assert!(byte_ops > 100, "byte stores exercised: {byte_ops}");
+    assert!(protected.verify_invariant());
+    protected.flush(&mut mem_p).unwrap();
+    plain.flush(&mut mem_u);
+    assert_eq!(mem_p, mem_u, "identical final memory images");
+}

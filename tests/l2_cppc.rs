@@ -1,0 +1,145 @@
+//! Integration tests for the L2 CPPC (§3.5): an L1 write-back stream
+//! drives an L2 CPPC at block granularity, with faults striking dirty
+//! L2 data.
+
+use cppc::cache_sim::{Cache, CacheGeometry, MainMemory, ReplacementPolicy};
+use cppc::core::{CppcCache, CppcConfig};
+use cppc_cache_sim::cache::Backing;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// Adapter: an L2 CPPC + memory acting as the backing store of a plain
+/// L1 cache — write-backs become `write_block`s, fetches `read_block`s.
+struct L2CppcBacking<'a> {
+    l2: &'a mut CppcCache,
+    mem: &'a mut MainMemory,
+}
+
+impl Backing for L2CppcBacking<'_> {
+    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
+        debug_assert_eq!(words, self.l2.geometry().words_per_block());
+        self.l2.read_block(base, self.mem).expect("L2 DUE during fetch")
+    }
+
+    fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
+        self.l2
+            .write_block(base, data, dirty_mask, self.mem)
+            .expect("L2 DUE during write-back");
+    }
+}
+
+fn build() -> (Cache, CppcCache, MainMemory) {
+    let l1_geo = CacheGeometry::new(1024, 2, 32).unwrap();
+    let l2_geo = CacheGeometry::new(8 * 1024, 4, 32).unwrap();
+    (
+        Cache::new(l1_geo, ReplacementPolicy::Lru),
+        CppcCache::new_l2(l2_geo, CppcConfig::paper(), ReplacementPolicy::Lru).unwrap(),
+        MainMemory::new(),
+    )
+}
+
+#[test]
+fn l1_traffic_keeps_l2_invariant() {
+    let (mut l1, mut l2, mut mem) = build();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..20_000 {
+        let addr = (rng.random_range(0..32 * 1024u64)) & !7;
+        let mut backing = L2CppcBacking {
+            l2: &mut l2,
+            mem: &mut mem,
+        };
+        if rng.random_bool(0.4) {
+            let v: u64 = rng.random();
+            l1.store_word(addr, v, &mut backing);
+            oracle.insert(addr, v);
+        } else {
+            let got = l1.load_word(addr, &mut backing);
+            assert_eq!(got, *oracle.get(&addr).unwrap_or(&0));
+        }
+    }
+    assert!(l2.verify_invariant(), "L2 CPPC invariant after L1 traffic");
+    // L2 saw block-granularity read-before-writes.
+    assert!(l2.stats().rbw_block_reads > 0, "write-backs hit dirty L2 blocks");
+}
+
+#[test]
+fn fault_in_dirty_l2_block_corrected() {
+    let (mut l1, mut l2, mut mem) = build();
+    // Dirty a block in L2 by storing through L1 and evicting.
+    {
+        let mut backing = L2CppcBacking {
+            l2: &mut l2,
+            mem: &mut mem,
+        };
+        l1.store_word(0x100, 0xFEED_F00D, &mut backing);
+        // Two conflicting L1 blocks evict it (L1 has 8 sets x 32B: +256).
+        l1.load_word(0x100 + 1024, &mut backing);
+        l1.load_word(0x100 + 2048, &mut backing);
+    }
+    assert!(l2.dirty_word_count() > 0, "L2 holds the dirty data");
+
+    // Strike the dirty word inside L2.
+    l2.flip_data_bit_at(0x100, 21);
+
+    // The next L1 miss re-reads the block from L2: detection + recovery.
+    let mut backing = L2CppcBacking {
+        l2: &mut l2,
+        mem: &mut mem,
+    };
+    assert_eq!(l1.load_word(0x100, &mut backing), 0xFEED_F00D);
+    assert!(l2.stats().corrected_dirty >= 1);
+}
+
+#[test]
+fn l2_flush_propagates_corrected_data() {
+    let (mut l1, mut l2, mut mem) = build();
+    {
+        let mut backing = L2CppcBacking {
+            l2: &mut l2,
+            mem: &mut mem,
+        };
+        l1.store_word(0x200, 42, &mut backing);
+        l1.flush(&mut backing);
+    }
+    l2.flip_data_bit_at(0x200, 7);
+    l2.flush(&mut mem).expect("flush recovers the fault first");
+    assert_eq!(mem.peek_word(0x200), 42, "memory received corrected data");
+}
+
+#[test]
+fn spatial_fault_across_l2_blocks_corrected() {
+    let (mut l1, mut l2, mut mem) = build();
+    {
+        let mut backing = L2CppcBacking {
+            l2: &mut l2,
+            mem: &mut mem,
+        };
+        // Dirty several adjacent L2 rows via L1 write-backs.
+        for i in 0..16u64 {
+            l1.store_word(i * 8, 0x1111_0000 + i, &mut backing);
+        }
+        l1.flush(&mut backing);
+    }
+    assert!(l2.dirty_word_count() >= 16);
+    // Vertical 2-bit strike on two adjacent rows of L2.
+    use cppc::fault::model::{BitFlip, FaultPattern};
+    let rows: Vec<usize> = {
+        let layout = *l2.layout();
+        let geo = *l2.geometry();
+        let set0 = geo.set_index(0);
+        vec![layout.row_of(set0, 0, 0), layout.row_of(set0, 0, 1)]
+    };
+    l2.inject(&FaultPattern::new(
+        rows.iter().map(|&row| BitFlip { row, col: 3 }).collect(),
+    ));
+    l2.recover_all(&mut mem).expect("byte shifting corrects the stripe");
+    let mut backing = L2CppcBacking {
+        l2: &mut l2,
+        mem: &mut mem,
+    };
+    for i in 0..16u64 {
+        assert_eq!(l1.load_word(i * 8, &mut backing), 0x1111_0000 + i);
+    }
+}

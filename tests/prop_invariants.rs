@@ -1,0 +1,148 @@
+//! Cross-crate property tests: the CPPC invariants under arbitrary
+//! operation programs with single-event upsets interleaved.
+//!
+//! The discipline: at most one injected flip is outstanding at a time —
+//! a single flip is always detectable (one bit ⇒ odd parity in its
+//! group) and must always be corrected, so the oracle is binding at
+//! every step. Multi-fault behaviour (including legitimate DUEs and
+//! parity-blind patterns) is covered by the unit tests and the
+//! fault-injection campaigns.
+
+use cppc::cache_sim::{CacheGeometry, MainMemory, ReplacementPolicy};
+use cppc::core::{CppcCache, CppcConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Load(u16),
+    Store(u16, u64),
+    StoreByte(u16, u8),
+    FlipBit { addr: u16, bit: u8 },
+    Recover,
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<u16>().prop_map(Op::Load),
+        4 => (any::<u16>(), any::<u64>()).prop_map(|(a, v)| Op::Store(a, v)),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(a, v)| Op::StoreByte(a, v)),
+        2 => (any::<u16>(), 0u8..64).prop_map(|(addr, bit)| Op::FlipBit { addr, bit }),
+        1 => Just(Op::Recover),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn run_program(config: CppcConfig, ops: Vec<Op>) {
+    let geo = CacheGeometry::new(1024, 2, 32).unwrap();
+    let mut cache = CppcCache::new_l1(geo, config, ReplacementPolicy::Lru).unwrap();
+    let mut mem = MainMemory::new();
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    // Address (word-aligned) of the one outstanding injected flip, if any.
+    let mut outstanding: Option<u64> = None;
+
+    for op in ops {
+        let recoveries_before = cache.stats().recoveries;
+        match op {
+            Op::Load(a) => {
+                let addr = u64::from(a) & !7;
+                let got = cache
+                    .load_word(addr, &mut mem)
+                    .expect("single faults are always correctable");
+                assert_eq!(got, *oracle.get(&addr).unwrap_or(&0), "load {addr:#x}");
+                if addr == outstanding.unwrap_or(u64::MAX) {
+                    // The faulty word was read: parity fired, recovery ran.
+                    outstanding = None;
+                }
+            }
+            Op::Store(a, v) => {
+                let addr = u64::from(a) & !7;
+                cache
+                    .store_word(addr, v, &mut mem)
+                    .expect("single faults are always correctable");
+                oracle.insert(addr, v);
+                if addr == outstanding.unwrap_or(u64::MAX) {
+                    // Either recovered (dirty path) or overwritten whole.
+                    outstanding = None;
+                }
+            }
+            Op::StoreByte(a, v) => {
+                let addr = u64::from(a);
+                cache
+                    .store_byte(addr, v, &mut mem)
+                    .expect("single faults are always correctable");
+                let word_addr = addr & !7;
+                let old = *oracle.get(&word_addr).unwrap_or(&0);
+                let byte = (addr % 8) as u32;
+                let merged = (old & !(0xFFu64 << (8 * byte))) | (u64::from(v) << (8 * byte));
+                oracle.insert(word_addr, merged);
+                if word_addr == outstanding.unwrap_or(u64::MAX) {
+                    // Byte stores read the word first — parity checked.
+                    outstanding = None;
+                }
+            }
+            Op::FlipBit { addr, bit } => {
+                let addr = u64::from(addr) & !7;
+                if outstanding.is_none() && cache.peek_word(addr).is_some() {
+                    cache.flip_data_bit_at(addr, u32::from(bit));
+                    outstanding = Some(addr);
+                }
+            }
+            Op::Recover => {
+                cache
+                    .recover_all(&mut mem)
+                    .expect("single faults are always correctable");
+                outstanding = None;
+            }
+            Op::Flush => {
+                cache
+                    .flush(&mut mem)
+                    .expect("single faults are always correctable");
+                // Flush parity-checks dirty words; a fault on a clean
+                // word may survive it (and is harmless — memory is
+                // authoritative for clean data).
+            }
+        }
+        // Any recovery pass clears the outstanding fault (global scan).
+        if cache.stats().recoveries > recoveries_before {
+            outstanding = None;
+        }
+        // The register invariant must hold whenever no fault is pending.
+        if outstanding.is_none() {
+            assert!(cache.verify_invariant(), "register invariant violated");
+        }
+    }
+
+    // Final consistency: repair anything pending, flush, compare memory
+    // with the oracle.
+    cache.recover_all(&mut mem).expect("final recovery");
+    cache.flush(&mut mem).expect("final flush");
+    for (addr, v) in oracle {
+        assert_eq!(mem.peek_word(addr), v, "final memory mismatch at {addr:#x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn basic_config_program(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        run_program(CppcConfig::basic(), ops);
+    }
+
+    #[test]
+    fn paper_config_program(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        run_program(CppcConfig::paper(), ops);
+    }
+
+    #[test]
+    fn two_pair_config_program(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        run_program(CppcConfig::two_pairs(), ops);
+    }
+
+    #[test]
+    fn eight_pair_config_program(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        run_program(CppcConfig::eight_pairs(), ops);
+    }
+}
