@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate for the CPPC reproduction. The workspace has zero
+# external dependencies (PRNGs, JSON and the campaign engine are all
+# in-tree), so every step below must succeed with no network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "CI OK"

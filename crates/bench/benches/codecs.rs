@@ -1,7 +1,8 @@
 //! Criterion benches for the protection-code primitives: the
 //! common-case hardware operations every access performs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cppc_bench::microbench::{BatchSize, Criterion};
+use cppc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cppc_core::rotate::{rotate_left_bytes, rotate_right_bytes};
@@ -54,7 +55,9 @@ fn bench_block_secded(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_secded_4w");
     let code = BlockSecded::new(4);
     let data = [0xDEAD_BEEFu64, 0x0123_4567, u64::MAX, 0xA5A5];
-    group.bench_function("encode", |b| b.iter(|| code.encode(black_box(&data)).unwrap()));
+    group.bench_function("encode", |b| {
+        b.iter(|| code.encode(black_box(&data)).unwrap())
+    });
     let check = code.encode(&data).unwrap();
     group.bench_function("decode_clean", |b| {
         b.iter(|| code.decode(black_box(&data), black_box(check)).unwrap())
@@ -62,7 +65,10 @@ fn bench_block_secded(c: &mut Criterion) {
     let mut corrupted = data;
     corrupted[2] ^= 1 << 33;
     group.bench_function("decode_correct_single", |b| {
-        b.iter(|| code.decode(black_box(&corrupted), black_box(check)).unwrap())
+        b.iter(|| {
+            code.decode(black_box(&corrupted), black_box(check))
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -1,7 +1,8 @@
 //! Criterion benches for the functional hierarchy simulator itself —
 //! the substrate's throughput bounds how large the figure traces can be.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use cppc_bench::microbench::{BatchSize, Criterion, Throughput};
+use cppc_bench::{criterion_group, criterion_main};
 
 use cppc_cache_sim::geometry::CacheGeometry;
 use cppc_cache_sim::hierarchy::TwoLevelHierarchy;
@@ -23,7 +24,9 @@ fn bench_hierarchy(c: &mut Criterion) {
                     let l2 = CacheGeometry::new(1024 * 1024, 4, 32).unwrap();
                     (
                         TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru),
-                        TraceGenerator::new(&profile, 3).take(OPS).collect::<Vec<_>>(),
+                        TraceGenerator::new(&profile, 3)
+                            .take(OPS)
+                            .collect::<Vec<_>>(),
                     )
                 },
                 |(mut h, trace)| h.run(trace),

@@ -3,15 +3,16 @@
 //! because errors are rare (§5); these benches quantify the cost anyway
 //! — recovery scans every dirty word of the affected domain.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cppc_bench::microbench::{BatchSize, BenchmarkId, Criterion};
+use cppc_bench::{criterion_group, criterion_main};
 
 use cppc_cache_sim::geometry::CacheGeometry;
 use cppc_cache_sim::memory::MainMemory;
 use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 use cppc_core::{locate_spatial, CppcCache, CppcConfig, Suspect};
 use cppc_fault::model::{BitFlip, FaultPattern};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 fn dirty_cache(dirty_words: usize) -> (CppcCache, MainMemory) {
     let geo = CacheGeometry::new(32 * 1024, 2, 32).unwrap();

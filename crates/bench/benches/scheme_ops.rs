@@ -3,7 +3,8 @@
 //! that CPPC's normal operation adds almost nothing over plain parity
 //! while two-dimensional parity pays a read-before-write on every store.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cppc_bench::microbench::{BatchSize, Criterion};
+use cppc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cppc_cache_sim::geometry::CacheGeometry;

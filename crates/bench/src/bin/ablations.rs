@@ -69,7 +69,10 @@ fn early_writeback_ablation(ops: usize) {
         let mut cache = Cache::new(geo, ReplacementPolicy::Lru);
         let mut mem = MainMemory::new();
         let mut dirty_samples = Vec::new();
-        for (i, op) in TraceGenerator::new(&profile, EVAL_SEED).take(ops).enumerate() {
+        for (i, op) in TraceGenerator::new(&profile, EVAL_SEED)
+            .take(ops)
+            .enumerate()
+        {
             match op {
                 cppc_cache_sim::hierarchy::MemOp::Load(a) => {
                     cache.load_word(a, &mut mem);
@@ -85,8 +88,7 @@ fn early_writeback_ablation(ops: usize) {
                 cache.early_writeback(4, &mut mem);
             }
             if i % 1024 == 0 {
-                dirty_samples
-                    .push(cache.dirty_word_count() as f64 / geo.total_words() as f64);
+                dirty_samples.push(cache.dirty_word_count() as f64 / geo.total_words() as f64);
             }
         }
         print_row(
@@ -185,8 +187,13 @@ fn write_through_ablation(ops: usize) {
     }
 
     let l1_cppc = SchemeEnergy::new(32 * 1024, 2, 32, ProtectionKind::Cppc { ways: 8 }, node);
-    let l1_par =
-        SchemeEnergy::new(32 * 1024, 2, 32, ProtectionKind::OneDimParity { ways: 8 }, node);
+    let l1_par = SchemeEnergy::new(
+        32 * 1024,
+        2,
+        32,
+        ProtectionKind::OneDimParity { ways: 8 },
+        node,
+    );
     let l2_par = SchemeEnergy::new(
         1024 * 1024,
         4,
@@ -212,8 +219,8 @@ fn write_through_ablation(ops: usize) {
         miss_fills: wt.stats().fills,
         words_per_line: 4,
     };
-    let wt_energy = l1_par.total_pj(&wt_counts)
-        + wt.store_traffic() as f64 * l2_par.model().write_energy_pj();
+    let wt_energy =
+        l1_par.total_pj(&wt_counts) + wt.store_traffic() as f64 * l2_par.model().write_energy_pj();
 
     println!(
         "   write-back + CPPC:      {:>8.1} uJ  ({} L2 write-backs)",

@@ -1,0 +1,153 @@
+//! Campaign-engine scaling baseline.
+//!
+//! Runs a fixed `mbe_coverage`-style fault-injection campaign (CPPC
+//! paper config, 4x4 spatial square strikes) through `cppc-campaign`
+//! at 1 thread and at N threads, checks the merged tallies are
+//! bit-identical, and writes wall-clock + trials/sec to
+//! `BENCH_campaign.json` at the repo root.
+//!
+//! Run with `cargo run -p cppc-bench --bin campaign_scaling --release`.
+//! `--threads N` sets the parallel leg (default: all CPUs); `--trials N`
+//! sets the campaign size (default 2000); `--out PATH` redirects the
+//! baseline file.
+
+use std::time::Instant;
+
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::memory::MainMemory;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_campaign::json::Json;
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
+use cppc_core::{CppcCache, CppcConfig};
+use cppc_fault::campaign::{Campaign, Outcome, OutcomeTally};
+use cppc_fault::model::{FaultGenerator, FaultModel};
+
+const SEED: u64 = 0xC0DE;
+
+fn geometry() -> CacheGeometry {
+    CacheGeometry::new(2048, 2, 32).unwrap() // 32 sets, 256 rows
+}
+
+/// Ground truth: addresses of way-0 rows and their stored values
+/// (same construction as `mbe_coverage`).
+fn oracle(seed: u64) -> Vec<(u64, u64)> {
+    let geo = geometry();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = geo.num_sets() * geo.words_per_block();
+    (0..rows)
+        .map(|row| {
+            let set = row / geo.words_per_block();
+            let word = row % geo.words_per_block();
+            let addr = geo.address_of(0, set) + (word * 8) as u64;
+            (addr, rng.random())
+        })
+        .collect()
+}
+
+fn experiment(rng: &mut StdRng, trial: u64) -> Outcome {
+    let model = FaultModel::SpatialSquare {
+        rows: 4,
+        cols: 4,
+        density: 1.0,
+    };
+    let mut mem = MainMemory::new();
+    let mut cache =
+        CppcCache::new_l1(geometry(), CppcConfig::paper(), ReplacementPolicy::Lru).unwrap();
+    let truth = oracle(trial);
+    for &(addr, v) in &truth {
+        cache.store_word(addr, v, &mut mem).unwrap();
+    }
+    let rows = cache.layout().num_rows() / 2;
+    let mut generator = FaultGenerator::new(rows, rng.random());
+    let pattern = generator.sample(model);
+    if cache.inject(&pattern) == 0 {
+        return Outcome::Masked;
+    }
+    match cache.recover_all(&mut mem) {
+        Err(_) => Outcome::DetectedUnrecoverable,
+        Ok(_) => {
+            for &(addr, v) in &truth {
+                if cache.peek_word(addr) != Some(v) {
+                    return Outcome::SilentCorruption;
+                }
+            }
+            Outcome::Corrected
+        }
+    }
+}
+
+fn timed_run(trials: u64, threads: usize) -> (OutcomeTally, f64) {
+    let start = Instant::now();
+    let tally = Campaign::new(SEED).run_parallel(trials, threads, experiment);
+    (tally, start.elapsed().as_secs_f64())
+}
+
+fn leg_json(threads: usize, trials: u64, secs: f64) -> Json {
+    Json::Obj(vec![
+        ("threads".into(), Json::UInt(threads as u64)),
+        ("wall_clock_secs".into(), Json::Num(secs)),
+        ("trials_per_sec".into(), Json::Num(trials as f64 / secs)),
+    ])
+}
+
+fn main() {
+    let mut threads = 0usize; // 0 = all CPUs
+    let mut trials = 2000u64;
+    let mut out = String::from("BENCH_campaign.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut next = || {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--threads" => threads = next().parse().expect("--threads needs a number"),
+            "--trials" => trials = next().parse().expect("--trials needs a number"),
+            "--out" => out = next(),
+            other => panic!("unknown flag {other}; supported: --threads/--trials/--out"),
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel_threads = if threads == 0 { cores } else { threads };
+
+    println!("campaign scaling baseline: {trials} trials, CPPC 4x4-square injection");
+    println!("host cores: {cores}");
+
+    let (seq_tally, seq_secs) = timed_run(trials, 1);
+    println!(
+        "  1 thread:  {seq_secs:.2}s  ({:.0} trials/sec)",
+        trials as f64 / seq_secs
+    );
+    let (par_tally, par_secs) = timed_run(trials, parallel_threads);
+    println!(
+        "  {parallel_threads} threads: {par_secs:.2}s  ({:.0} trials/sec)",
+        trials as f64 / par_secs
+    );
+    assert_eq!(
+        seq_tally, par_tally,
+        "engine determinism violated: tallies differ across thread counts"
+    );
+    let speedup = seq_secs / par_secs;
+    println!("  speedup: {speedup:.2}x  (tallies bit-identical)");
+
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("campaign_scaling".into())),
+        (
+            "campaign".into(),
+            Json::Str("mbe_coverage: CPPC paper config, 4x4 solid square".into()),
+        ),
+        ("seed".into(), Json::UInt(SEED)),
+        ("trials".into(), Json::UInt(trials)),
+        ("host_cores".into(), Json::UInt(cores as u64)),
+        ("sequential".into(), leg_json(1, trials, seq_secs)),
+        (
+            "parallel".into(),
+            leg_json(parallel_threads, trials, par_secs),
+        ),
+        ("speedup".into(), Json::Num(speedup)),
+        ("tallies_identical".into(), Json::Bool(true)),
+    ]);
+    std::fs::write(&out, doc.to_string_compact() + "\n").expect("write baseline");
+    println!("wrote {out}");
+}

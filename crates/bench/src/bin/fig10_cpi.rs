@@ -99,7 +99,12 @@ fn main() {
         let base = pipeline
             .simulate(&profile, L1Scheme::OneDimParity, detailed_ops, EVAL_SEED)
             .cpi();
-        pc.push(pipeline.simulate(&profile, L1Scheme::Cppc, detailed_ops, EVAL_SEED).cpi() / base);
+        pc.push(
+            pipeline
+                .simulate(&profile, L1Scheme::Cppc, detailed_ops, EVAL_SEED)
+                .cpi()
+                / base,
+        );
         pt.push(
             pipeline
                 .simulate(&profile, L1Scheme::TwoDimParity, detailed_ops, EVAL_SEED)

@@ -21,10 +21,28 @@ fn main() {
         machine.l1d.block_bytes,
     );
     let node = TechnologyNode::Nm32;
-    let parity = SchemeEnergy::new(size, assoc, block, ProtectionKind::OneDimParity { ways: 8 }, node);
+    let parity = SchemeEnergy::new(
+        size,
+        assoc,
+        block,
+        ProtectionKind::OneDimParity { ways: 8 },
+        node,
+    );
     let cppc = SchemeEnergy::new(size, assoc, block, ProtectionKind::Cppc { ways: 8 }, node);
-    let secded = SchemeEnergy::new(size, assoc, block, ProtectionKind::Secded { interleaved: true }, node);
-    let twodim = SchemeEnergy::new(size, assoc, block, ProtectionKind::TwoDimParity { ways: 8 }, node);
+    let secded = SchemeEnergy::new(
+        size,
+        assoc,
+        block,
+        ProtectionKind::Secded { interleaved: true },
+        node,
+    );
+    let twodim = SchemeEnergy::new(
+        size,
+        assoc,
+        block,
+        ProtectionKind::TwoDimParity { ways: 8 },
+        node,
+    );
 
     println!("Figure 11: normalised L1 dynamic energy (32nm, Table 1 L1D)");
     println!("trace: {ops} memory ops per benchmark\n");

@@ -22,10 +22,28 @@ fn main() {
         machine.l2.block_bytes,
     );
     let node = TechnologyNode::Nm32;
-    let parity = SchemeEnergy::new(size, assoc, block, ProtectionKind::OneDimParity { ways: 8 }, node);
+    let parity = SchemeEnergy::new(
+        size,
+        assoc,
+        block,
+        ProtectionKind::OneDimParity { ways: 8 },
+        node,
+    );
     let cppc = SchemeEnergy::new(size, assoc, block, ProtectionKind::Cppc { ways: 8 }, node);
-    let secded = SchemeEnergy::new(size, assoc, block, ProtectionKind::Secded { interleaved: true }, node);
-    let twodim = SchemeEnergy::new(size, assoc, block, ProtectionKind::TwoDimParity { ways: 8 }, node);
+    let secded = SchemeEnergy::new(
+        size,
+        assoc,
+        block,
+        ProtectionKind::Secded { interleaved: true },
+        node,
+    );
+    let twodim = SchemeEnergy::new(
+        size,
+        assoc,
+        block,
+        ProtectionKind::TwoDimParity { ways: 8 },
+        node,
+    );
 
     println!("Figure 12: normalised L2 dynamic energy (32nm, Table 1 L2)");
     println!("trace: {ops} memory ops per benchmark\n");

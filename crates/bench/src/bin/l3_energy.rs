@@ -26,7 +26,13 @@ fn main() {
 
     let scheme_pair = |size: usize, assoc: usize| {
         (
-            SchemeEnergy::new(size, assoc, 32, ProtectionKind::OneDimParity { ways: 8 }, node),
+            SchemeEnergy::new(
+                size,
+                assoc,
+                32,
+                ProtectionKind::OneDimParity { ways: 8 },
+                node,
+            ),
             SchemeEnergy::new(size, assoc, 32, ProtectionKind::Cppc { ways: 8 }, node),
         )
     };

@@ -14,18 +14,42 @@
 //! * CPPC (8 pairs, no shifting): corrects everything in the square.
 //!
 //! Run with `cargo run -p cppc-bench --bin mbe_coverage --release`.
+//! Accepts `--threads N` (0 = all CPUs, default 1) and `--trials N`;
+//! campaigns run through the `cppc-campaign` engine, so the matrix is
+//! bit-identical at every thread count.
 
 use cppc_cache_sim::geometry::CacheGeometry;
 use cppc_cache_sim::memory::MainMemory;
 use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 use cppc_core::baselines::{OneDimParityCache, SecdedCache, TwoDimParityCache};
 use cppc_core::{CppcCache, CppcConfig};
 use cppc_fault::campaign::{Campaign, Outcome, OutcomeTally};
 use cppc_fault::model::{FaultGenerator, FaultModel};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
-const TRIALS: u64 = 400;
+const DEFAULT_TRIALS: u64 = 400;
+
+/// `--threads N` / `--trials N` from argv, with defaults.
+fn parse_args() -> (usize, u64) {
+    let mut threads = 1usize;
+    let mut trials = DEFAULT_TRIALS;
+    let mut args = std::env::args().skip(1);
+    fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+        value
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{flag} needs a number"))
+    }
+    while let Some(flag) = args.next() {
+        let value = args.next();
+        match flag.as_str() {
+            "--threads" => threads = parse(value, "--threads"),
+            "--trials" => trials = parse(value, "--trials"),
+            other => panic!("unknown flag {other}; supported: --threads N, --trials N"),
+        }
+    }
+    (threads, trials)
+}
 
 fn geometry() -> CacheGeometry {
     CacheGeometry::new(2048, 2, 32).unwrap() // 32 sets, 256 rows
@@ -78,8 +102,8 @@ fn fault_models() -> Vec<(&'static str, FaultModel)> {
     ]
 }
 
-fn run_cppc(config: CppcConfig, model: FaultModel) -> OutcomeTally {
-    Campaign::new(0xC0DE).run(TRIALS, |rng, trial| {
+fn run_cppc(config: CppcConfig, model: FaultModel, trials: u64, threads: usize) -> OutcomeTally {
+    Campaign::new(0xC0DE).run_parallel(trials, threads, |rng, trial| {
         let mut mem = MainMemory::new();
         let mut cache = CppcCache::new_l1(geometry(), config, ReplacementPolicy::Lru).unwrap();
         let truth = oracle(trial);
@@ -106,8 +130,8 @@ fn run_cppc(config: CppcConfig, model: FaultModel) -> OutcomeTally {
     })
 }
 
-fn run_parity(model: FaultModel) -> OutcomeTally {
-    Campaign::new(0xC0DE).run(TRIALS, |rng, trial| {
+fn run_parity(model: FaultModel, trials: u64, threads: usize) -> OutcomeTally {
+    Campaign::new(0xC0DE).run_parallel(trials, threads, |rng, trial| {
         let mut mem = MainMemory::new();
         let mut cache = OneDimParityCache::new(geometry(), 8, ReplacementPolicy::Lru);
         let truth = oracle(trial);
@@ -135,8 +159,8 @@ fn run_parity(model: FaultModel) -> OutcomeTally {
     })
 }
 
-fn run_secded(model: FaultModel) -> OutcomeTally {
-    Campaign::new(0xC0DE).run(TRIALS, |rng, trial| {
+fn run_secded(model: FaultModel, trials: u64, threads: usize) -> OutcomeTally {
+    Campaign::new(0xC0DE).run_parallel(trials, threads, |rng, trial| {
         let mut mem = MainMemory::new();
         let mut cache = SecdedCache::new(geometry(), true, ReplacementPolicy::Lru);
         let truth = oracle(trial);
@@ -172,8 +196,13 @@ fn run_secded(model: FaultModel) -> OutcomeTally {
     })
 }
 
-fn run_twodim(vertical_rows: usize, model: FaultModel) -> OutcomeTally {
-    Campaign::new(0xC0DE).run(TRIALS, |rng, trial| {
+fn run_twodim(
+    vertical_rows: usize,
+    model: FaultModel,
+    trials: u64,
+    threads: usize,
+) -> OutcomeTally {
+    Campaign::new(0xC0DE).run_parallel(trials, threads, |rng, trial| {
         let mut mem = MainMemory::new();
         let mut cache = TwoDimParityCache::new(geometry(), vertical_rows, ReplacementPolicy::Lru);
         let truth = oracle(trial);
@@ -211,17 +240,29 @@ fn print_tally(label: &str, t: &OutcomeTally) {
 }
 
 fn main() {
-    println!("Spatial/temporal MBE coverage matrix ({TRIALS} trials per cell)");
+    let (threads, trials) = parse_args();
+    println!(
+        "Spatial/temporal MBE coverage matrix ({trials} trials per cell, {threads} thread(s))"
+    );
     println!("cache: 2KB 2-way 32B blocks, way 0 fully dirty\n");
     for (name, model) in fault_models() {
         println!("fault: {name}");
-        print_tally("1D parity", &run_parity(model));
-        print_tally("SECDED+interleave", &run_secded(model));
-        print_tally("CPPC 1 pair", &run_cppc(CppcConfig::paper(), model));
-        print_tally("CPPC 2 pairs", &run_cppc(CppcConfig::two_pairs(), model));
-        print_tally("CPPC 8 pairs", &run_cppc(CppcConfig::eight_pairs(), model));
-        print_tally("2D parity (1 row)", &run_twodim(1, model));
-        print_tally("2D parity (8 rows)", &run_twodim(8, model));
+        print_tally("1D parity", &run_parity(model, trials, threads));
+        print_tally("SECDED+interleave", &run_secded(model, trials, threads));
+        print_tally(
+            "CPPC 1 pair",
+            &run_cppc(CppcConfig::paper(), model, trials, threads),
+        );
+        print_tally(
+            "CPPC 2 pairs",
+            &run_cppc(CppcConfig::two_pairs(), model, trials, threads),
+        );
+        print_tally(
+            "CPPC 8 pairs",
+            &run_cppc(CppcConfig::eight_pairs(), model, trials, threads),
+        );
+        print_tally("2D parity (1 row)", &run_twodim(1, model, trials, threads));
+        print_tally("2D parity (8 rows)", &run_twodim(8, model, trials, threads));
         println!();
     }
     println!("expected shape: 1D parity all-DUE on dirty faults; SECDED and");

@@ -14,6 +14,9 @@
 //! the L2 with one register pair).
 //!
 //! Run with `cargo run -p cppc-bench --bin table3_mttf --release`.
+//! `--threads N` fans the Monte Carlo validation out through the
+//! `cppc-campaign` engine (0 = all CPUs); the estimate is bit-identical
+//! at every thread count.
 
 use cppc_reliability::mttf::{
     aliasing_vulnerable_bits, mttf_aliasing_years, mttf_cppc_years, mttf_one_dim_parity_years,
@@ -22,6 +25,20 @@ use cppc_reliability::mttf::{
 use cppc_reliability::ReliabilityParams;
 
 fn main() {
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            other => panic!("unknown flag {other}; supported: --threads N"),
+        }
+    }
+
     println!("Table 3: MTTF against temporal multi-bit errors (years)");
     println!("inputs: SEU 0.001 FIT/bit, AVF 0.7, Table 2 dirty%/Tavg\n");
 
@@ -71,7 +88,7 @@ fn main() {
     // rates (the closed form's 1/lambda^2 scaling carries the result to
     // real SEU rates).
     use cppc_reliability::montecarlo::{
-        analytic_mttf_hours, simulate_double_fault_mttf, MonteCarloConfig,
+        analytic_mttf_hours, simulate_double_fault_mttf_parallel, MonteCarloConfig,
     };
     println!();
     println!("Monte Carlo validation of the double-fault model (accelerated rates):");
@@ -82,7 +99,7 @@ fn main() {
             tavg_hours: 0.0004,
             trials: 3000,
         };
-        let mc = simulate_double_fault_mttf(&cfg, 0x7AB1E3);
+        let mc = simulate_double_fault_mttf_parallel(&cfg, 0x7AB1E3, threads);
         let analytic = analytic_mttf_hours(&cfg);
         println!(
             "  {label:<24} simulated {:>9.1} h +/- {:>5.1}, analytic {:>9.1} h ({:+.1}%)",

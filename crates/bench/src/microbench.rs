@@ -1,0 +1,257 @@
+//! Dependency-free microbenchmark harness.
+//!
+//! Replaces the criterion dev-dependency with the small API subset the
+//! bench targets actually use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_batched`, element throughput), so
+//! the workspace builds with zero external crates. The timing loop
+//! auto-calibrates the iteration count to a fixed measurement window
+//! and reports mean wall-clock per iteration.
+//!
+//! Bench binaries use `harness = false`, so `cargo test` may execute
+//! them with no arguments; without the `--bench` flag the harness runs
+//! each benchmark once as a smoke test instead of measuring.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark in full mode.
+const MEASURE_WINDOW: Duration = Duration::from_millis(120);
+
+/// Top-level harness state shared by every benchmark group.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; anything else (including
+        // `cargo test` running the target) gets the quick smoke mode.
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            quick,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: scales the report into elements per second.
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint, accepted for criterion compatibility; the
+/// harness re-runs setup per iteration either way.
+pub enum BatchSize {
+    /// Inputs are cheap to hold in memory.
+    SmallInput,
+    /// Inputs are large; batch conservatively.
+    LargeInput,
+}
+
+/// A parameterised benchmark label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Labels the benchmark with the parameter value itself.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    quick: bool,
+    throughput: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        let Throughput::Elements(n) = throughput;
+        self.throughput = Some(n);
+        self
+    }
+
+    /// Runs one benchmark under `<group>/<name>`.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            quick: self.quick,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.0, |b| f(b, input))
+    }
+
+    /// Ends the group (line break in the report).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    quick: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count to the
+    /// measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut batch = 1u64;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.iters += batch;
+            if self.quick || self.total >= MEASURE_WINDOW || self.iters >= 1 << 24 {
+                return;
+            }
+            // Grow geometrically toward the window without overshooting
+            // wildly on very fast routines.
+            batch = (batch * 4).min(1 << 16);
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<u64>) {
+        if self.iters == 0 {
+            println!("{label:<44} (not measured)");
+            return;
+        }
+        let ns_per_iter = self.total.as_nanos() as f64 / self.iters as f64;
+        let mut line = format!(
+            "{label:<44} {:>12.1} ns/iter ({} iters)",
+            ns_per_iter, self.iters
+        );
+        if let Some(elems) = throughput {
+            let elems_per_sec = elems as f64 * 1e9 / ns_per_iter;
+            line.push_str(&format!("  {:.2} Melem/s", elems_per_sec / 1e6));
+        }
+        if self.quick {
+            line.push_str("  [quick]");
+        }
+        println!("{line}");
+    }
+}
+
+/// Criterion-compatible group declaration: bundles benchmark functions
+/// into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::microbench::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Criterion-compatible entry point: runs the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bencher_runs_once_per_batch() {
+        let mut b = Bencher {
+            quick: true,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn full_bencher_reaches_window() {
+        let mut b = Bencher {
+            quick: false,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| std::hint::black_box(1u64.wrapping_mul(3)));
+        assert!(b.total >= MEASURE_WINDOW || b.iters >= 1 << 24);
+        assert!(b.iters > 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_calls_from_count() {
+        let mut b = Bencher {
+            quick: true,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                7u64
+            },
+            |v| {
+                runs += 1;
+                v * 2
+            },
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 1);
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders_parameter() {
+        assert_eq!(BenchmarkId::from_parameter(512).0, "512");
+    }
+}

@@ -191,7 +191,7 @@ impl CacheGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cppc_campaign::rng::{rngs::StdRng, RngExt, SeedableRng};
 
     #[test]
     fn paper_l1_geometry() {
@@ -249,19 +249,25 @@ mod tests {
         assert!(e.to_string().contains("power of two"));
     }
 
-    proptest! {
-        #[test]
-        fn tag_set_roundtrip(addr: u64) {
-            let geo = CacheGeometry::new(32 * 1024, 2, 32).unwrap();
+    #[test]
+    fn tag_set_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x6E0_0001);
+        let geo = CacheGeometry::new(32 * 1024, 2, 32).unwrap();
+        for _ in 0..512 {
+            let addr = rng.random::<u64>();
             let base = geo.block_base(addr);
             let rebuilt = geo.address_of(geo.tag(addr), geo.set_index(addr));
-            prop_assert_eq!(base, rebuilt);
+            assert_eq!(base, rebuilt, "addr {addr:#x}");
         }
+    }
 
-        #[test]
-        fn set_index_in_range(addr: u64) {
-            let geo = CacheGeometry::new(1024 * 1024, 4, 32).unwrap();
-            prop_assert!(geo.set_index(addr) < geo.num_sets());
+    #[test]
+    fn set_index_in_range() {
+        let mut rng = StdRng::seed_from_u64(0x6E0_0002);
+        let geo = CacheGeometry::new(1024 * 1024, 4, 32).unwrap();
+        for _ in 0..512 {
+            let addr = rng.random::<u64>();
+            assert!(geo.set_index(addr) < geo.num_sets(), "addr {addr:#x}");
         }
     }
 }

@@ -196,7 +196,11 @@ impl TwoLevelHierarchy {
         let l1_dirty_before = self
             .l1
             .probe(addr)
-            .map(|(s, w)| self.l1.block(s, w).is_word_dirty(self.l1.geometry().word_index(addr)))
+            .map(|(s, w)| {
+                self.l1
+                    .block(s, w)
+                    .is_word_dirty(self.l1.geometry().word_index(addr))
+            })
             .unwrap_or(false);
 
         let mut backing = L2Backing {
@@ -321,8 +325,8 @@ impl TwoLevelHierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use cppc_campaign::rng::rngs::StdRng;
+    use cppc_campaign::rng::{RngExt, SeedableRng};
 
     fn tiny() -> TwoLevelHierarchy {
         let l1 = CacheGeometry::new(256, 2, 32).unwrap();

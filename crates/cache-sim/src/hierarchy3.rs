@@ -175,8 +175,8 @@ impl ThreeLevelHierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use cppc_campaign::rng::rngs::StdRng;
+    use cppc_campaign::rng::{RngExt, SeedableRng};
 
     fn tiny() -> ThreeLevelHierarchy {
         ThreeLevelHierarchy::new(

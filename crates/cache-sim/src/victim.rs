@@ -84,7 +84,13 @@ impl VictimBuffer {
     /// Stages an evicted block. If the buffer is full, the oldest entry
     /// is drained to `backing` first (the foreground stall a deeper
     /// buffer avoids).
-    pub fn push<B: Backing>(&mut self, base: u64, words: Vec<u64>, dirty_mask: u64, backing: &mut B) {
+    pub fn push<B: Backing>(
+        &mut self,
+        base: u64,
+        words: Vec<u64>,
+        dirty_mask: u64,
+        backing: &mut B,
+    ) {
         if let Some(pos) = self.entries.iter().position(|e| e.base == base) {
             // Same block evicted again before draining: coalesce.
             let old = self.entries.remove(pos);

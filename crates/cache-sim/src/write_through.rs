@@ -155,12 +155,15 @@ impl WriteThroughCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use cppc_campaign::rng::rngs::StdRng;
+    use cppc_campaign::rng::{RngExt, SeedableRng};
 
     fn build() -> (WriteThroughCache, MainMemory) {
         (
-            WriteThroughCache::new(CacheGeometry::new(512, 2, 32).unwrap(), ReplacementPolicy::Lru),
+            WriteThroughCache::new(
+                CacheGeometry::new(512, 2, 32).unwrap(),
+                ReplacementPolicy::Lru,
+            ),
             MainMemory::new(),
         )
     }

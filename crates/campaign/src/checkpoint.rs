@@ -1,0 +1,257 @@
+//! Campaign checkpoint files: periodic JSON snapshots of completed
+//! shards so an interrupted campaign resumes without redoing work.
+//!
+//! A checkpoint records the campaign's identity (seed, trial count,
+//! shard size) plus each completed shard's serialized accumulator
+//! state. On resume the identity must match exactly — a checkpoint
+//! from a different campaign is rejected rather than silently mixed
+//! in. Files are written atomically (temp file + rename) so a crash
+//! mid-write never corrupts an existing checkpoint.
+
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// Serialization of an accumulator for checkpointing.
+pub trait Persist: Sized {
+    /// Serializes the accumulator state.
+    fn to_json(&self) -> Json;
+    /// Restores the state written by [`Persist::to_json`]; `None` on
+    /// malformed input.
+    fn from_json(value: &Json) -> Option<Self>;
+}
+
+/// The campaign identity a checkpoint is bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignIdentity {
+    /// Master seed.
+    pub seed: u64,
+    /// Total trials.
+    pub trials: u64,
+    /// Trials per shard.
+    pub shard_size: u64,
+}
+
+/// Why a checkpoint could not be used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading the file failed (other than not existing).
+    Io(io::Error),
+    /// The file is not a valid checkpoint document.
+    Malformed(String),
+    /// The checkpoint belongs to a different campaign configuration.
+    IdentityMismatch {
+        /// Identity recorded in the file.
+        found: CampaignIdentity,
+        /// Identity of the campaign being run.
+        expected: CampaignIdentity,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::IdentityMismatch { found, expected } => write!(
+                f,
+                "checkpoint is for a different campaign \
+                 (file: seed {} trials {} shard_size {}; \
+                 run: seed {} trials {} shard_size {})",
+                found.seed,
+                found.trials,
+                found.shard_size,
+                expected.seed,
+                expected.trials,
+                expected.shard_size
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+const VERSION: u64 = 1;
+
+/// Serializes completed shards into a checkpoint document.
+pub(crate) fn checkpoint_document<A: Persist>(
+    identity: CampaignIdentity,
+    slots: &[Option<A>],
+) -> Json {
+    let shards: Vec<Json> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(id, slot)| {
+            slot.as_ref()
+                .map(|acc| Json::Arr(vec![Json::UInt(id as u64), acc.to_json()]))
+        })
+        .collect();
+    Json::Obj(vec![
+        ("version".into(), Json::UInt(VERSION)),
+        ("seed".into(), Json::UInt(identity.seed)),
+        ("trials".into(), Json::UInt(identity.trials)),
+        ("shard_size".into(), Json::UInt(identity.shard_size)),
+        ("shards".into(), Json::Arr(shards)),
+    ])
+}
+
+/// Writes a checkpoint atomically.
+pub(crate) fn write_checkpoint<A: Persist>(
+    path: &Path,
+    identity: CampaignIdentity,
+    slots: &[Option<A>],
+) -> io::Result<()> {
+    let doc = checkpoint_document(identity, slots).to_string_compact();
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, doc)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads completed shards from `path`. A missing file is an empty
+/// resume (fresh start); any other failure is an error.
+pub(crate) fn load_checkpoint<A: Persist>(
+    path: &Path,
+    expected: CampaignIdentity,
+) -> Result<Vec<(u64, A)>, CheckpointError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let doc = Json::parse(&text).map_err(CheckpointError::Malformed)?;
+    let field = |name: &str| {
+        doc.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| CheckpointError::Malformed(format!("missing field '{name}'")))
+    };
+    if field("version")? != VERSION {
+        return Err(CheckpointError::Malformed("unsupported version".into()));
+    }
+    let found = CampaignIdentity {
+        seed: field("seed")?,
+        trials: field("trials")?,
+        shard_size: field("shard_size")?,
+    };
+    if found != expected {
+        return Err(CheckpointError::IdentityMismatch { found, expected });
+    }
+    let shards = doc
+        .get("shards")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CheckpointError::Malformed("missing 'shards' array".into()))?;
+    let total_shards = expected.trials.div_ceil(expected.shard_size);
+    let mut out = Vec::with_capacity(shards.len());
+    for entry in shards {
+        let pair = entry
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| CheckpointError::Malformed("shard entry is not a pair".into()))?;
+        let id = pair[0]
+            .as_u64()
+            .filter(|&id| id < total_shards)
+            .ok_or_else(|| CheckpointError::Malformed("bad shard id".into()))?;
+        let acc = A::from_json(&pair[1])
+            .ok_or_else(|| CheckpointError::Malformed(format!("bad state for shard {id}")))?;
+        out.push((id, acc));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default, PartialEq)]
+    struct Count(u64);
+
+    impl Persist for Count {
+        fn to_json(&self) -> Json {
+            Json::UInt(self.0)
+        }
+        fn from_json(value: &Json) -> Option<Self> {
+            value.as_u64().map(Count)
+        }
+    }
+
+    fn identity() -> CampaignIdentity {
+        CampaignIdentity {
+            seed: 7,
+            trials: 100,
+            shard_size: 10,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("cppc_ckpt_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.json");
+        let slots = vec![Some(Count(3)), None, Some(Count(5))];
+        write_checkpoint(&path, identity(), &slots).unwrap();
+        let loaded = load_checkpoint::<Count>(&path, identity()).unwrap();
+        assert_eq!(loaded, vec![(0, Count(3)), (2, Count(5))]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_fresh_start() {
+        let path = std::env::temp_dir().join("cppc_ckpt_does_not_exist.json");
+        let loaded = load_checkpoint::<Count>(&path, identity()).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn identity_mismatch_rejected() {
+        let dir = std::env::temp_dir().join("cppc_ckpt_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.json");
+        write_checkpoint(&path, identity(), &[Some(Count(1))]).unwrap();
+        let other = CampaignIdentity {
+            seed: 8,
+            ..identity()
+        };
+        let err = load_checkpoint::<Count>(&path, other).unwrap_err();
+        assert!(matches!(err, CheckpointError::IdentityMismatch { .. }));
+        assert!(err.to_string().contains("different campaign"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let dir = std::env::temp_dir().join("cppc_ckpt_malformed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            load_checkpoint::<Count>(&path, identity()),
+            Err(CheckpointError::Malformed(_))
+        ));
+        std::fs::write(&path, r#"{"version":1,"seed":7}"#).unwrap();
+        assert!(matches!(
+            load_checkpoint::<Count>(&path, identity()),
+            Err(CheckpointError::Malformed(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_shard_id_rejected() {
+        let dir = std::env::temp_dir().join("cppc_ckpt_oob");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.json");
+        let doc = r#"{"version":1,"seed":7,"trials":100,"shard_size":10,"shards":[[99,1]]}"#;
+        std::fs::write(&path, doc).unwrap();
+        assert!(matches!(
+            load_checkpoint::<Count>(&path, identity()),
+            Err(CheckpointError::Malformed(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

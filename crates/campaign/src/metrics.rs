@@ -1,0 +1,174 @@
+//! Live campaign metrics: throughput, per-outcome counters and ETA.
+//!
+//! The engine reports a [`Progress`] snapshot to the caller every time
+//! a shard completes; consumers (the CLI, bench binaries) render it
+//! however they like. Counter labels come from
+//! [`Accumulator::counters`](crate::Accumulator::counters), so a
+//! fault-injection campaign surfaces live Masked / Corrected / DUE /
+//! SDC counts while a Monte Carlo campaign surfaces trial counts only.
+
+use std::time::Instant;
+
+/// A point-in-time view of a running campaign.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Trials finished so far (including trials of failed shards).
+    pub trials_done: u64,
+    /// Total trials in the campaign.
+    pub trials_total: u64,
+    /// Shards finished so far.
+    pub shards_done: u64,
+    /// Total shards in the campaign.
+    pub shards_total: u64,
+    /// Shards restored from a checkpoint rather than executed.
+    pub shards_resumed: u64,
+    /// Shards whose worker panicked.
+    pub shards_failed: u64,
+    /// Seconds since the engine started.
+    pub elapsed_secs: f64,
+    /// Trials per second, measured over executed (non-resumed) work.
+    pub trials_per_sec: f64,
+    /// Estimated seconds until completion (0 when unknown or done).
+    pub eta_secs: f64,
+    /// Live outcome counters merged over completed shards, labelled by
+    /// the accumulator (e.g. `Masked` / `Corrected` / `DUE` / `SDC`).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl Progress {
+    /// One-line human-readable rendering, e.g. for a progress ticker.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let mut line = format!(
+            "{}/{} trials  {:.0}/s  eta {:.0}s",
+            self.trials_done, self.trials_total, self.trials_per_sec, self.eta_secs
+        );
+        for (label, count) in &self.counters {
+            line.push_str(&format!("  {label} {count}"));
+        }
+        if self.shards_failed > 0 {
+            line.push_str(&format!("  [{} shard(s) FAILED]", self.shards_failed));
+        }
+        line
+    }
+}
+
+/// Tracks wall-clock state across shard completions and produces
+/// [`Progress`] snapshots.
+#[derive(Debug)]
+pub(crate) struct MetricsTracker {
+    started: Instant,
+    trials_total: u64,
+    shards_total: u64,
+    trials_done: u64,
+    executed_trials: u64,
+    shards_done: u64,
+    shards_resumed: u64,
+    shards_failed: u64,
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl MetricsTracker {
+    pub(crate) fn new(trials_total: u64, shards_total: u64) -> Self {
+        MetricsTracker {
+            started: Instant::now(),
+            trials_total,
+            shards_total,
+            trials_done: 0,
+            executed_trials: 0,
+            shards_done: 0,
+            shards_resumed: 0,
+            shards_failed: 0,
+            counters: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record_resumed(&mut self, trials: u64, counters: &[(&'static str, u64)]) {
+        self.trials_done += trials;
+        self.shards_done += 1;
+        self.shards_resumed += 1;
+        self.add_counters(counters);
+    }
+
+    pub(crate) fn record_executed(&mut self, trials: u64, counters: &[(&'static str, u64)]) {
+        self.trials_done += trials;
+        self.executed_trials += trials;
+        self.shards_done += 1;
+        self.add_counters(counters);
+    }
+
+    pub(crate) fn record_failed(&mut self, trials: u64) {
+        self.trials_done += trials;
+        self.executed_trials += trials;
+        self.shards_done += 1;
+        self.shards_failed += 1;
+    }
+
+    fn add_counters(&mut self, extra: &[(&'static str, u64)]) {
+        for &(label, count) in extra {
+            match self.counters.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, total)) => *total += count,
+                None => self.counters.push((label, count)),
+            }
+        }
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    pub(crate) fn snapshot(&self) -> Progress {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            self.executed_trials as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.trials_total.saturating_sub(self.trials_done);
+        let eta = if rate > 0.0 {
+            remaining as f64 / rate
+        } else {
+            0.0
+        };
+        Progress {
+            trials_done: self.trials_done,
+            trials_total: self.trials_total,
+            shards_done: self.shards_done,
+            shards_total: self.shards_total,
+            shards_resumed: self.shards_resumed,
+            shards_failed: self.shards_failed,
+            elapsed_secs: elapsed,
+            trials_per_sec: rate,
+            eta_secs: eta,
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accumulates() {
+        let mut t = MetricsTracker::new(100, 10);
+        t.record_executed(10, &[("Corrected", 7), ("DUE", 3)]);
+        t.record_executed(10, &[("Corrected", 9), ("SDC", 1)]);
+        t.record_resumed(10, &[("Corrected", 10)]);
+        t.record_failed(10);
+        let p = t.snapshot();
+        assert_eq!(p.trials_done, 40);
+        assert_eq!(p.shards_done, 4);
+        assert_eq!(p.shards_resumed, 1);
+        assert_eq!(p.shards_failed, 1);
+        assert_eq!(p.counters, vec![("Corrected", 26), ("DUE", 3), ("SDC", 1)]);
+    }
+
+    #[test]
+    fn summary_line_mentions_counters_and_failures() {
+        let mut t = MetricsTracker::new(20, 2);
+        t.record_executed(10, &[("Masked", 10)]);
+        t.record_failed(10);
+        let line = t.snapshot().summary_line();
+        assert!(line.contains("Masked 10"), "{line}");
+        assert!(line.contains("FAILED"), "{line}");
+        assert!(line.contains("20/20 trials"), "{line}");
+    }
+}

@@ -58,7 +58,9 @@ impl ParsedArgs {
         let mut options = HashMap::new();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = iter.next().ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
                 options.insert(key.to_string(), value);
             } else {
                 return Err(ArgsError::UnexpectedPositional(arg));
@@ -90,11 +92,7 @@ impl ParsedArgs {
     /// # Errors
     ///
     /// Returns [`ArgsError::BadValue`] when present but unparseable.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, ArgsError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
@@ -144,6 +142,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ArgsError::MissingCommand.to_string().contains("help"));
-        assert!(ArgsError::MissingValue("x".into()).to_string().contains("--x"));
+        assert!(ArgsError::MissingValue("x".into())
+            .to_string()
+            .contains("--x"));
     }
 }

@@ -5,6 +5,11 @@ use std::error::Error;
 use cppc_cache_sim::geometry::CacheGeometry;
 use cppc_cache_sim::memory::MainMemory;
 use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
+use cppc_campaign::{
+    Accumulator, CampaignConfig, CampaignReport, CheckpointPolicy, Persist, Progress,
+};
 use cppc_core::{CppcCache, CppcConfig};
 use cppc_energy::scheme::{AccessCounts, ProtectionKind, SchemeEnergy};
 use cppc_energy::tech::TechnologyNode;
@@ -18,7 +23,6 @@ use cppc_reliability::mttf::{
 use cppc_reliability::{ReliabilityParams, SeuRate};
 use cppc_timing::{L1Scheme, MachineConfig, TimingModel};
 use cppc_workloads::spec2000_profiles;
-use rand::RngExt;
 
 use crate::args::ParsedArgs;
 
@@ -41,6 +45,17 @@ COMMANDS:
                  --config basic|paper|two-pairs|eight-pairs (default paper)
                  --fault single|2xvert|8xhoriz|4x4|8x8 (default 4x4)
                  --trials <n>     campaign size (default 400)
+  campaign     run a campaign through the parallel deterministic engine
+               (bit-identical results at any thread count; live metrics
+               on stderr)
+                 --kind inject|montecarlo (default inject)
+                 --trials <n>     campaign size (default 2000)
+                 --seed <n>       master seed (default 0xC11)
+                 --threads <n>    workers, 0 = all CPUs (default 0)
+                 --checkpoint <path>  periodic checkpoint file
+                 --resume true|false  resume from checkpoint (default true)
+                 inject kinds also take --config/--fault; montecarlo
+                 also takes --rate/--domains/--tavg
   mttf         print the analytical MTTF table
                  --level l1|l2    evaluation point (default l1)
                  --fit <f>        SEU rate, FIT/bit (default 0.001)
@@ -66,7 +81,10 @@ COMMANDS:
 
 /// `benchmarks`
 pub fn benchmarks() -> CliResult {
-    println!("{:<10} {:>8} {:>8} {:>12} {:>10}", "name", "ld/ki", "st/ki", "footprint", "base CPI");
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>10}",
+        "name", "ld/ki", "st/ki", "footprint", "base CPI"
+    );
     for p in spec2000_profiles() {
         println!(
             "{:<10} {:>8} {:>8} {:>9} KB {:>10.2}",
@@ -130,7 +148,13 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
         miss_fills: base.l1_stats.fills,
         words_per_line: 4,
     };
-    let parity = SchemeEnergy::new(32 * 1024, 2, 32, ProtectionKind::OneDimParity { ways: 8 }, node);
+    let parity = SchemeEnergy::new(
+        32 * 1024,
+        2,
+        32,
+        ProtectionKind::OneDimParity { ways: 8 },
+        node,
+    );
     println!();
     for (name, kind) in [
         ("CPPC", ProtectionKind::Cppc { ways: 8 }),
@@ -182,11 +206,50 @@ pub fn inject(args: &ParsedArgs) -> CliResult {
     let trials: u64 = args.get_parsed("trials", 400)?;
 
     let geo = CacheGeometry::new(2048, 2, 32)?;
-    let tally: OutcomeTally = Campaign::new(0xC11).run(trials, |rng, trial| {
+    let tally: OutcomeTally =
+        Campaign::new(0xC11).run(trials, inject_experiment(geo, config, fault));
+
+    println!("campaign: {trials} trials");
+    println!(
+        "corrected: {:>6}  ({:.1}%)",
+        tally.corrected,
+        pct(tally.corrected, &tally)
+    );
+    println!(
+        "DUE:       {:>6}  ({:.1}%)",
+        tally.due,
+        pct(tally.due, &tally)
+    );
+    println!(
+        "SDC:       {:>6}  ({:.1}%)",
+        tally.sdc,
+        pct(tally.sdc, &tally)
+    );
+    println!(
+        "masked:    {:>6}  ({:.1}%)",
+        tally.masked,
+        pct(tally.masked, &tally)
+    );
+    Ok(())
+}
+
+fn pct(n: u64, t: &OutcomeTally) -> f64 {
+    n as f64 / t.total() as f64 * 100.0
+}
+
+/// The fault-injection experiment shared by `inject` and `campaign`:
+/// fill way 0 of a small L1 CPPC with known values, strike it with one
+/// sampled fault pattern, run recovery and classify the outcome.
+fn inject_experiment(
+    geo: CacheGeometry,
+    config: CppcConfig,
+    fault: FaultModel,
+) -> impl Fn(&mut StdRng, u64) -> Outcome + Sync {
+    move |rng, trial| {
         let mut mem = MainMemory::new();
-        let mut cache = CppcCache::new_l1(geo, config, ReplacementPolicy::Lru)
-            .expect("validated config");
-        let mut fill: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(trial);
+        let mut cache =
+            CppcCache::new_l1(geo, config, ReplacementPolicy::Lru).expect("validated config");
+        let mut fill = StdRng::seed_from_u64(trial);
         let mut truth = Vec::new();
         for set in 0..geo.num_sets() {
             for word in 0..geo.words_per_block() {
@@ -210,18 +273,134 @@ pub fn inject(args: &ParsedArgs) -> CliResult {
                 }
             }
         }
-    });
-
-    println!("campaign: {trials} trials");
-    println!("corrected: {:>6}  ({:.1}%)", tally.corrected, pct(tally.corrected, &tally));
-    println!("DUE:       {:>6}  ({:.1}%)", tally.due, pct(tally.due, &tally));
-    println!("SDC:       {:>6}  ({:.1}%)", tally.sdc, pct(tally.sdc, &tally));
-    println!("masked:    {:>6}  ({:.1}%)", tally.masked, pct(tally.masked, &tally));
-    Ok(())
+    }
 }
 
-fn pct(n: u64, t: &OutcomeTally) -> f64 {
-    n as f64 / t.total() as f64 * 100.0
+/// Runs one engine campaign, printing throttled live metrics to stderr
+/// and checkpointing/resuming when `--checkpoint` is given.
+fn run_engine_campaign<A, F>(
+    cfg: &CampaignConfig,
+    checkpoint: Option<&str>,
+    resume: bool,
+    experiment: F,
+) -> Result<CampaignReport<A>, Box<dyn Error>>
+where
+    A: Accumulator + Persist,
+    F: Fn(&mut StdRng, u64) -> A::Item + Sync,
+{
+    let mut last_print: Option<std::time::Instant> = None;
+    let on_progress = move |p: &Progress| {
+        let done = p.shards_done == p.shards_total;
+        let due = last_print.is_none_or(|t| t.elapsed().as_millis() >= 500);
+        if done || due {
+            eprintln!("  {}", p.summary_line());
+            last_print = Some(std::time::Instant::now());
+        }
+    };
+    let report = match checkpoint {
+        Some(path) => {
+            let mut policy = CheckpointPolicy::new(path);
+            policy.resume = resume;
+            cppc_campaign::run_resumable(cfg, &policy, experiment, on_progress)?
+        }
+        None => cppc_campaign::run_with_progress(cfg, experiment, on_progress),
+    };
+    for failed in &report.failed {
+        eprintln!(
+            "  shard {} FAILED (trials {}..{}, first seed {:#x}): {}",
+            failed.shard, failed.trial_lo, failed.trial_hi, failed.first_trial_seed, failed.message
+        );
+    }
+    Ok(report)
+}
+
+/// `campaign`
+pub fn campaign(args: &ParsedArgs) -> CliResult {
+    let kind = args.get_or("kind", "inject");
+    let threads: usize = args.get_parsed("threads", 0)?; // 0 = all CPUs
+    let trials: u64 = args.get_parsed("trials", 2000)?;
+    let seed: u64 = args.get_parsed("seed", 0xC11)?;
+    let resume: bool = args.get_parsed("resume", true)?;
+    let checkpoint = args.get("checkpoint");
+
+    let cfg = CampaignConfig::new(seed, trials).threads(threads);
+    println!(
+        "campaign: kind={kind}  trials={trials}  seed={seed:#x}  threads={}  checkpoint={}",
+        cfg.resolved_threads(),
+        checkpoint.unwrap_or("none"),
+    );
+
+    match kind {
+        "inject" => {
+            let config = parse_config(args.get_or("config", "paper"))?;
+            let fault = parse_fault(args.get_or("fault", "4x4"))?;
+            let geo = CacheGeometry::new(2048, 2, 32)?;
+            let report: CampaignReport<OutcomeTally> = run_engine_campaign(
+                &cfg,
+                checkpoint,
+                resume,
+                inject_experiment(geo, config, fault),
+            )?;
+            let tally = report.result;
+            println!(
+                "{} shards ({} resumed, {} failed) in {:.2}s",
+                report.completed_shards,
+                report.resumed_shards,
+                report.failed.len(),
+                report.elapsed_secs
+            );
+            println!(
+                "corrected: {:>6}  ({:.1}%)",
+                tally.corrected,
+                pct(tally.corrected, &tally)
+            );
+            println!(
+                "DUE:       {:>6}  ({:.1}%)",
+                tally.due,
+                pct(tally.due, &tally)
+            );
+            println!(
+                "SDC:       {:>6}  ({:.1}%)",
+                tally.sdc,
+                pct(tally.sdc, &tally)
+            );
+            println!(
+                "masked:    {:>6}  ({:.1}%)",
+                tally.masked,
+                pct(tally.masked, &tally)
+            );
+        }
+        "montecarlo" => {
+            use cppc_reliability::montecarlo::{
+                analytic_mttf_hours, simulate_trial, MonteCarloAccumulator, MonteCarloConfig,
+            };
+            let mc_cfg = MonteCarloConfig {
+                faults_per_hour: args.get_parsed("rate", 40.0)?,
+                domains: args.get_parsed("domains", 8)?,
+                tavg_hours: args.get_parsed("tavg", 0.0004)?,
+                trials: u32::try_from(trials).map_err(|_| "too many trials for montecarlo")?,
+            };
+            let report: CampaignReport<MonteCarloAccumulator> =
+                run_engine_campaign(&cfg, checkpoint, resume, |rng, _trial| {
+                    simulate_trial(&mc_cfg, rng)
+                })?;
+            let mc = report.result.finish();
+            println!(
+                "{} shards ({} resumed, {} failed) in {:.2}s",
+                report.completed_shards,
+                report.resumed_shards,
+                report.failed.len(),
+                report.elapsed_secs
+            );
+            println!(
+                "  simulated: {:.2} h  (+/- {:.2})",
+                mc.mttf_hours, mc.std_error_hours
+            );
+            println!("  analytic:  {:.2} h", analytic_mttf_hours(&mc_cfg));
+        }
+        other => return Err(format!("unknown kind '{other}' (use inject|montecarlo)").into()),
+    }
+    Ok(())
 }
 
 /// `mttf`
@@ -238,10 +417,16 @@ pub fn mttf(args: &ParsedArgs) -> CliResult {
     params.avf = avf;
 
     println!("MTTF at the paper's {level} point ({fit} FIT/bit, AVF {avf}):");
-    println!("  1D parity: {:>12.3e} years", mttf_one_dim_parity_years(&params));
+    println!(
+        "  1D parity: {:>12.3e} years",
+        mttf_one_dim_parity_years(&params)
+    );
     println!("  CPPC:      {:>12.3e} years", mttf_cppc_years(&params, 8));
     let secded_bits = if level == "l1" { 64.0 } else { 256.0 };
-    println!("  SECDED:    {:>12.3e} years", mttf_secded_years(&params, secded_bits));
+    println!(
+        "  SECDED:    {:>12.3e} years",
+        mttf_secded_years(&params, secded_bits)
+    );
     Ok(())
 }
 
@@ -277,7 +462,10 @@ pub fn montecarlo(args: &ParsedArgs) -> CliResult {
     let mc = simulate_double_fault_mttf(&cfg, 0xCA7);
     let analytic = analytic_mttf_hours(&cfg);
     println!("accelerated double-fault MTTF ({} trials):", cfg.trials);
-    println!("  simulated: {:.2} h  (+/- {:.2})", mc.mttf_hours, mc.std_error_hours);
+    println!(
+        "  simulated: {:.2} h  (+/- {:.2})",
+        mc.mttf_hours, mc.std_error_hours
+    );
     println!("  analytic:  {analytic:.2} h");
     println!(
         "  deviation: {:+.1}%   mean faults absorbed per failure: {:.1}",
@@ -293,7 +481,10 @@ pub fn coherence(args: &ParsedArgs) -> CliResult {
     let cores: usize = args.get_parsed("cores", 4)?;
     let ops: usize = args.get_parsed("ops", 100_000)?;
     println!("multiprocessor CPPC: {cores} cores, MSI write-invalidate, {ops} ops\n");
-    println!("{:>10} {:>12} {:>12} {:>12}", "sharing", "rbw/store", "dirty-inv", "invariants");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "sharing", "rbw/store", "dirty-inv", "invariants"
+    );
     for sharing_pct in [0u32, 10, 25, 50, 75] {
         let mut sys = CppcCoherentSystem::new(
             cores,
@@ -322,7 +513,11 @@ pub fn coherence(args: &ParsedArgs) -> CliResult {
             sharing_pct,
             sys.total_read_before_writes() as f64 / stores as f64,
             sys.stats().dirty_invalidations,
-            if sys.verify_invariants() { "ok" } else { "VIOLATED" }
+            if sys.verify_invariants() {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
         );
     }
     Ok(())
@@ -391,15 +586,11 @@ mod tests {
     fn sweep_commands_run() {
         let pairs = crate::args::ParsedArgs::parse(["sweep".into()]).unwrap();
         sweep(&pairs).unwrap();
-        let ways = crate::args::ParsedArgs::parse(
-            ["sweep".into(), "--what".into(), "ways".into()],
-        )
-        .unwrap();
+        let ways = crate::args::ParsedArgs::parse(["sweep".into(), "--what".into(), "ways".into()])
+            .unwrap();
         sweep(&ways).unwrap();
-        let bad = crate::args::ParsedArgs::parse(
-            ["sweep".into(), "--what".into(), "nope".into()],
-        )
-        .unwrap();
+        let bad = crate::args::ParsedArgs::parse(["sweep".into(), "--what".into(), "nope".into()])
+            .unwrap();
         assert!(sweep(&bad).is_err());
     }
 
@@ -407,15 +598,11 @@ mod tests {
     fn mttf_command_runs() {
         let a = crate::args::ParsedArgs::parse(["mttf".into()]).unwrap();
         mttf(&a).unwrap();
-        let l2 = crate::args::ParsedArgs::parse(
-            ["mttf".into(), "--level".into(), "l2".into()],
-        )
-        .unwrap();
+        let l2 =
+            crate::args::ParsedArgs::parse(["mttf".into(), "--level".into(), "l2".into()]).unwrap();
         mttf(&l2).unwrap();
-        let bad = crate::args::ParsedArgs::parse(
-            ["mttf".into(), "--level".into(), "l9".into()],
-        )
-        .unwrap();
+        let bad =
+            crate::args::ParsedArgs::parse(["mttf".into(), "--level".into(), "l9".into()]).unwrap();
         assert!(mttf(&bad).is_err());
     }
 }

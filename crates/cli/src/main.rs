@@ -32,6 +32,7 @@ fn main() {
         "benchmarks" => commands::benchmarks(),
         "simulate" => commands::simulate(&parsed),
         "inject" => commands::inject(&parsed),
+        "campaign" => commands::campaign(&parsed),
         "mttf" => commands::mttf(&parsed),
         "sweep" => commands::sweep(&parsed),
         "trace" => commands::trace(&parsed),

@@ -107,7 +107,10 @@ impl CppcCoherentSystem {
     /// Machine-wide read-before-write count.
     #[must_use]
     pub fn total_read_before_writes(&self) -> u64 {
-        self.cores.iter().map(|c| c.stats().read_before_writes).sum()
+        self.cores
+            .iter()
+            .map(|c| c.stats().read_before_writes)
+            .sum()
     }
 
     /// Every core's register invariant.
@@ -123,7 +126,9 @@ impl CppcCoherentSystem {
             }
             let dirty = {
                 let (set, way) = self.cores[c].probe(addr).expect("probed above");
-                self.cores[c].tag_state_of(set, way).is_some_and(|(_, mask)| mask != 0)
+                self.cores[c]
+                    .tag_state_of(set, way)
+                    .is_some_and(|(_, mask)| mask != 0)
             };
             let mut backing = L2Backing {
                 l2: &mut self.l2,
@@ -180,8 +185,8 @@ impl CppcCoherentSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use cppc_campaign::rng::rngs::StdRng;
+    use cppc_campaign::rng::{RngExt, SeedableRng};
     use std::collections::HashMap;
 
     fn system(cores: usize) -> CppcCoherentSystem {
@@ -204,7 +209,11 @@ mod tests {
         })
         .unwrap();
         assert_eq!(
-            sys.step(CoreOp::Load { core: 1, addr: 0x100 }).unwrap(),
+            sys.step(CoreOp::Load {
+                core: 1,
+                addr: 0x100
+            })
+            .unwrap(),
             42
         );
         assert!(sys.verify_invariants());
@@ -224,7 +233,11 @@ mod tests {
         .unwrap();
         sys.core_mut(0).flip_data_bit_at(0x200, 11);
         assert_eq!(
-            sys.step(CoreOp::Load { core: 1, addr: 0x200 }).unwrap(),
+            sys.step(CoreOp::Load {
+                core: 1,
+                addr: 0x200
+            })
+            .unwrap(),
             0xFEED
         );
         assert!(sys.core(0).stats().corrected_dirty >= 1);
@@ -250,7 +263,11 @@ mod tests {
         })
         .unwrap();
         assert_eq!(
-            sys.step(CoreOp::Load { core: 1, addr: 0x300 }).unwrap(),
+            sys.step(CoreOp::Load {
+                core: 1,
+                addr: 0x300
+            })
+            .unwrap(),
             0xAAAA
         );
         assert!(sys.verify_invariants());
@@ -266,7 +283,12 @@ mod tests {
             let addr = (rng.random_range(0..4096u64)) & !7;
             if rng.random_bool(0.4) {
                 let v: u64 = rng.random();
-                sys.step(CoreOp::Store { core, addr, value: v }).unwrap();
+                sys.step(CoreOp::Store {
+                    core,
+                    addr,
+                    value: v,
+                })
+                .unwrap();
                 oracle.insert(addr, v);
             } else {
                 let got = sys.step(CoreOp::Load { core, addr }).unwrap();

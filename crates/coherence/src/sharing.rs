@@ -1,7 +1,7 @@
 //! Multiprocessor trace generation with a tunable sharing degree.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 
 use crate::system::CoreOp;
 
@@ -128,7 +128,10 @@ mod tests {
         let core_of = |op: &CoreOp| match *op {
             CoreOp::Load { core, .. } | CoreOp::Store { core, .. } => core,
         };
-        assert_eq!(ops.iter().map(core_of).collect::<Vec<_>>(), vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(
+            ops.iter().map(core_of).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2]
+        );
     }
 
     #[test]

@@ -218,8 +218,8 @@ impl CoherentSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use cppc_campaign::rng::rngs::StdRng;
+    use cppc_campaign::rng::{RngExt, SeedableRng};
     use std::collections::HashMap;
 
     fn system(cores: usize) -> CoherentSystem {
@@ -239,7 +239,13 @@ mod tests {
             addr: 0x100,
             value: 42,
         });
-        assert_eq!(sys.step(CoreOp::Load { core: 1, addr: 0x100 }), 42);
+        assert_eq!(
+            sys.step(CoreOp::Load {
+                core: 1,
+                addr: 0x100
+            }),
+            42
+        );
         assert_eq!(sys.stats().downgrades, 1);
     }
 
@@ -247,7 +253,10 @@ mod tests {
     fn store_invalidates_remote_copies() {
         let mut sys = system(4);
         for c in 0..4 {
-            sys.step(CoreOp::Load { core: c, addr: 0x40 });
+            sys.step(CoreOp::Load {
+                core: c,
+                addr: 0x40,
+            });
         }
         sys.step(CoreOp::Store {
             core: 0,
@@ -256,7 +265,13 @@ mod tests {
         });
         assert_eq!(sys.stats().invalidations, 3);
         for c in 1..4 {
-            assert_eq!(sys.step(CoreOp::Load { core: c, addr: 0x40 }), 9);
+            assert_eq!(
+                sys.step(CoreOp::Load {
+                    core: c,
+                    addr: 0x40
+                }),
+                9
+            );
         }
     }
 
@@ -300,7 +315,11 @@ mod tests {
             let addr = (rng.random_range(0..4096u64)) & !7;
             if rng.random_bool(0.4) {
                 let v: u64 = rng.random();
-                sys.step(CoreOp::Store { core, addr, value: v });
+                sys.step(CoreOp::Store {
+                    core,
+                    addr,
+                    value: v,
+                });
                 oracle.insert(addr, v);
             } else {
                 let got = sys.step(CoreOp::Load { core, addr });
@@ -326,7 +345,13 @@ mod tests {
             });
         }
         assert_eq!(sys.stats().invalidations, 0);
-        assert_eq!(sys.step(CoreOp::Load { core: 0, addr: 0x200 }), 5);
+        assert_eq!(
+            sys.step(CoreOp::Load {
+                core: 0,
+                addr: 0x200
+            }),
+            5
+        );
     }
 
     #[test]

@@ -419,7 +419,13 @@ impl SecdedCache {
     /// # Panics
     ///
     /// Panics if the footprint leaves the array.
-    pub fn inject_spatial(&mut self, row0: usize, col0: u32, rows: usize, cols: u32) -> Vec<BitFlip> {
+    pub fn inject_spatial(
+        &mut self,
+        row0: usize,
+        col0: u32,
+        rows: usize,
+        cols: u32,
+    ) -> Vec<BitFlip> {
         let mut flips = Vec::new();
         match self.interleaving {
             None => {
@@ -575,11 +581,7 @@ impl BlockSecdedCache {
         (set, way)
     }
 
-    fn decode_block(
-        &mut self,
-        set: usize,
-        way: usize,
-    ) -> Result<(), UnrecoverableFault> {
+    fn decode_block(&mut self, set: usize, way: usize) -> Result<(), UnrecoverableFault> {
         let slot = self.slot(set, way);
         let words = self.inner.block(set, way).words().to_vec();
         match self
@@ -1111,8 +1113,14 @@ mod tests {
         c.store_word(0x40, 1, &mut mem).unwrap();
         let set = geo().set_index(0x40);
         c.inject(&FaultPattern::new(vec![
-            BitFlip { row: c.layout().row_of(set, 0, 0), col: 3 },
-            BitFlip { row: c.layout().row_of(set, 0, 2), col: 9 },
+            BitFlip {
+                row: c.layout().row_of(set, 0, 0),
+                col: 3,
+            },
+            BitFlip {
+                row: c.layout().row_of(set, 0, 2),
+                col: 9,
+            },
         ]));
         assert_eq!(
             c.load_word(0x40, &mut mem),
@@ -1126,9 +1134,11 @@ mod tests {
         let mut c = BlockSecdedCache::new(geo(), ReplacementPolicy::Lru);
         c.store_word(0x40, 1, &mut mem).unwrap(); // partial: RMW
         assert_eq!(c.rmw_reads(), 1);
-        c.write_block(0x80, &[1, 2, 3, 4], 0b1111, &mut mem).unwrap(); // full: free
+        c.write_block(0x80, &[1, 2, 3, 4], 0b1111, &mut mem)
+            .unwrap(); // full: free
         assert_eq!(c.rmw_reads(), 1);
-        c.write_block(0x80, &[9, 9, 9, 9], 0b0011, &mut mem).unwrap(); // partial
+        c.write_block(0x80, &[9, 9, 9, 9], 0b0011, &mut mem)
+            .unwrap(); // partial
         assert_eq!(c.rmw_reads(), 2);
     }
 

@@ -87,13 +87,22 @@ impl fmt::Display for Due {
         match &self.reason {
             DueReason::Locator(e) => write!(f, "unrecoverable error: {e}"),
             DueReason::SharedGroupsNoLocator => {
-                write!(f, "unrecoverable error: shared parity groups without byte parity")
+                write!(
+                    f,
+                    "unrecoverable error: shared parity groups without byte parity"
+                )
             }
             DueReason::PostRecoveryMismatch => {
-                write!(f, "unrecoverable error: parity mismatch after reconstruction")
+                write!(
+                    f,
+                    "unrecoverable error: parity mismatch after reconstruction"
+                )
             }
             DueReason::RegisterFault => {
-                write!(f, "unrecoverable error: register fault with faulty dirty data")
+                write!(
+                    f,
+                    "unrecoverable error: register fault with faulty dirty data"
+                )
             }
         }
     }
@@ -176,7 +185,8 @@ impl CppcCache {
         lane_mode: LaneMode,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
-        let layout = PhysicalLayout::new(geo.num_sets(), geo.associativity(), geo.words_per_block());
+        let layout =
+            PhysicalLayout::new(geo.num_sets(), geo.associativity(), geo.words_per_block());
         let lanes = match lane_mode {
             LaneMode::Word => 1,
             LaneMode::BlockWord => geo.words_per_block(),
@@ -484,8 +494,8 @@ impl CppcCache {
         assert_eq!(data.len(), wpb, "block width");
         let (set, way) = self.ensure_resident(addr, true, backing)?;
 
-        let any_dirty = (0..wpb)
-            .any(|w| mask >> w & 1 == 1 && self.inner.block(set, way).is_word_dirty(w));
+        let any_dirty =
+            (0..wpb).any(|w| mask >> w & 1 == 1 && self.inner.block(set, way).is_word_dirty(w));
         if any_dirty {
             let needs_recovery = (0..wpb).any(|w| {
                 mask >> w & 1 == 1
@@ -669,7 +679,10 @@ impl CppcCache {
     /// Panics if `row` is out of range or `group >= parity_ways`.
     pub fn flip_parity_bit(&mut self, row: usize, group: u32) {
         assert!(row < self.parity.len(), "row {row} out of range");
-        assert!(group < self.config.parity_ways, "group {group} out of range");
+        assert!(
+            group < self.config.parity_ways,
+            "group {group} out of range"
+        );
         self.parity[row] ^= 1u64 << group;
     }
 
@@ -804,9 +817,10 @@ impl CppcCache {
 
         // Multiple faulty words: disjoint syndromes → group-masked
         // reconstruction (§4.4 step 4); shared syndromes → locator.
-        let disjoint = faulty.iter().enumerate().all(|(i, a)| {
-            faulty[i + 1..].iter().all(|b| a.4 & b.4 == 0)
-        });
+        let disjoint = faulty
+            .iter()
+            .enumerate()
+            .all(|(i, a)| faulty[i + 1..].iter().all(|b| a.4 & b.4 == 0));
         if disjoint {
             for &(set, way, w, row, syn) in faulty {
                 self.reconstruct_word_masked(pair, lane, set, way, w, row, syn);
@@ -974,9 +988,9 @@ impl CppcCache {
 mod tests {
     use super::*;
     use cppc_cache_sim::memory::MainMemory;
+    use cppc_campaign::rng::rngs::StdRng;
+    use cppc_campaign::rng::{RngExt, SeedableRng};
     use cppc_fault::model::BitFlip;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
 
     fn geo() -> CacheGeometry {
         CacheGeometry::new(1024, 2, 32).unwrap() // 16 sets, 4 words/block
@@ -1167,7 +1181,11 @@ mod tests {
         c.flip_data_bit_at(0x900, 3); // group 3
         assert_eq!(c.load_word(0x100, &mut m).unwrap(), 0x1234_5678_9ABC_DEF0);
         assert_eq!(c.load_word(0x900, &mut m).unwrap(), 0x0FED_CBA9_8765_4321);
-        assert_eq!(c.stats().corrected_via_locator, 0, "step-4 path, no locator");
+        assert_eq!(
+            c.stats().corrected_via_locator,
+            0,
+            "step-4 path, no locator"
+        );
     }
 
     /// Fills way 0 of the first `rows` physical rows with dirty data so
@@ -1260,9 +1278,9 @@ mod tests {
                     }
                 }
                 c.inject(&FaultPattern::new(flips));
-                let report = c.recover_all(&mut m).unwrap_or_else(|e| {
-                    panic!("{rows}x{cols} square must be correctable: {e}")
-                });
+                let report = c
+                    .recover_all(&mut m)
+                    .unwrap_or_else(|e| panic!("{rows}x{cols} square must be correctable: {e}"));
                 assert!(report.corrected_dirty >= rows);
                 for (row, &v) in values.iter().enumerate() {
                     assert_eq!(c.peek_word(addr_of_row(&c, row)), Some(v), "{rows}x{cols}");
@@ -1511,5 +1529,4 @@ mod tests {
         assert!(c.load_word(0x100, &mut m).is_err());
         assert_eq!(c.stats().dues, 1);
     }
-
 }

@@ -29,7 +29,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "register pairs must be 1, 2, 4 or 8, got {p}")
             }
             ConfigError::ShiftingNeedsByteParity(w) => {
-                write!(f, "byte shifting requires 8-way interleaved parity, got {w}-way")
+                write!(
+                    f,
+                    "byte shifting requires 8-way interleaved parity, got {w}-way"
+                )
             }
         }
     }
@@ -241,8 +244,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ConfigError::BadParityWays(7).to_string().contains("divide 64"));
-        assert!(ConfigError::BadRegisterPairs(3).to_string().contains("1, 2, 4 or 8"));
+        assert!(ConfigError::BadParityWays(7)
+            .to_string()
+            .contains("divide 64"));
+        assert!(ConfigError::BadRegisterPairs(3)
+            .to_string()
+            .contains("1, 2, 4 or 8"));
         assert!(ConfigError::ShiftingNeedsByteParity(1)
             .to_string()
             .contains("8-way"));

@@ -142,9 +142,7 @@ impl FullyProtectedCache {
                     self.tags.replace(slot, e).expect("shadow entry was sound");
                 }
                 (Some(_), None) => {
-                    self.tags
-                        .invalidate(slot)
-                        .expect("shadow entry was sound");
+                    self.tags.invalidate(slot).expect("shadow entry was sound");
                 }
                 _ => {}
             }
@@ -248,8 +246,8 @@ impl FullyProtectedCache {
 mod tests {
     use super::*;
     use cppc_cache_sim::memory::MainMemory;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use cppc_campaign::rng::rngs::StdRng;
+    use cppc_campaign::rng::{RngExt, SeedableRng};
 
     fn build() -> (FullyProtectedCache, MainMemory) {
         let geo = CacheGeometry::new(1024, 2, 32).unwrap();
@@ -299,7 +297,10 @@ mod tests {
         let geo = *c.data().geometry();
         let _ = geo;
         c.inject_data(&FaultPattern::new(vec![cppc_fault::model::BitFlip {
-            row: c.data().layout().row_of(c.data().probe(0x100).unwrap().0, 0, 0),
+            row: c
+                .data()
+                .layout()
+                .row_of(c.data().probe(0x100).unwrap().0, 0, 0),
             col: 4,
         }]));
         assert_eq!(c.load_word(0x100, &mut m).unwrap(), 0xAA);

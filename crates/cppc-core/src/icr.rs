@@ -61,14 +61,13 @@ impl IcrCache {
     #[must_use]
     pub fn new(geo: CacheGeometry, parity_ways: u32, policy: ReplacementPolicy) -> Self {
         assert!(geo.num_sets() >= 2, "cannot halve a single-set cache");
-        let half = CacheGeometry::new(
-            geo.size_bytes() / 2,
-            geo.associativity(),
-            geo.block_bytes(),
-        )
-        .expect("halved geometry is valid");
-        let layout =
-            PhysicalLayout::new(half.num_sets(), half.associativity(), half.words_per_block());
+        let half = CacheGeometry::new(geo.size_bytes() / 2, geo.associativity(), geo.block_bytes())
+            .expect("halved geometry is valid");
+        let layout = PhysicalLayout::new(
+            half.num_sets(),
+            half.associativity(),
+            half.words_per_block(),
+        );
         // The replica store competes with ordinary data for its half of
         // the cache; model its usable share as half of that half (the
         // [24] "dead block" supply is limited), so heavy write sets
@@ -110,7 +109,10 @@ impl IcrCache {
     }
 
     fn replica_of(&self, base: u64) -> Option<&Vec<u64>> {
-        self.replicas.iter().find(|(b, _)| *b == base).map(|(_, w)| w)
+        self.replicas
+            .iter()
+            .find(|(b, _)| *b == base)
+            .map(|(_, w)| w)
     }
 
     fn upsert_replica(&mut self, base: u64, words: Vec<u64>) {

@@ -48,8 +48,8 @@ pub mod tags;
 
 pub use cache::{CppcCache, CppcStats, Due, DueReason, RecoveryReport};
 pub use config::{ConfigError, CppcConfig, ROTATION_CLASSES};
-pub use locator::{locate_spatial, LocateError, Suspect};
-pub use registers::RegisterFile;
 pub use full::{FullyProtectedCache, ProtectedFault};
 pub use icr::{IcrCache, IcrStats};
+pub use locator::{locate_spatial, LocateError, Suspect};
+pub use registers::RegisterFile;
 pub use tags::{TagCppc, TagDue};

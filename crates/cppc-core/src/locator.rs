@@ -74,7 +74,10 @@ impl fmt::Display for LocateError {
             }
             LocateError::NoSolution => write!(f, "no consistent error assignment found"),
             LocateError::Ambiguous => {
-                write!(f, "multiple consistent error assignments (irreducible ambiguity)")
+                write!(
+                    f,
+                    "multiple consistent error assignments (irreducible ambiguity)"
+                )
             }
         }
     }
@@ -436,9 +439,7 @@ mod tests {
                             Ok(masks) => {
                                 assert_eq!(masks, vec![ea, eb], "band {band} rows {r0}");
                             }
-                            Err(
-                                LocateError::Ambiguous | LocateError::NoSolution,
-                            ) => {}
+                            Err(LocateError::Ambiguous | LocateError::NoSolution) => {}
                             Err(other) => panic!("unexpected {other:?}"),
                         }
                     }

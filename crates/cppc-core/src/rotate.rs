@@ -58,7 +58,10 @@ impl BarrelShifterCost {
     /// Panics if `n` is not a power of two or smaller than 8.
     #[must_use]
     pub fn mux_count(n: u32) -> u32 {
-        assert!(n >= 8 && n.is_power_of_two(), "datapath must be power of two >= 8");
+        assert!(
+            n >= 8 && n.is_power_of_two(),
+            "datapath must be power of two >= 8"
+        );
         let lanes = n / 8;
         lanes * lanes.ilog2()
     }
@@ -70,7 +73,10 @@ impl BarrelShifterCost {
     /// Panics if `n` is not a power of two or smaller than 8.
     #[must_use]
     pub fn stage_count(n: u32) -> u32 {
-        assert!(n >= 8 && n.is_power_of_two(), "datapath must be power of two >= 8");
+        assert!(
+            n >= 8 && n.is_power_of_two(),
+            "datapath must be power of two >= 8"
+        );
         (n / 8).ilog2()
     }
 }
@@ -78,11 +84,14 @@ impl BarrelShifterCost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cppc_campaign::rng::{rngs::StdRng, RngExt, SeedableRng};
 
     #[test]
     fn zero_rotation_is_identity() {
-        assert_eq!(rotate_left_bytes(0x1234_5678_9ABC_DEF0, 0), 0x1234_5678_9ABC_DEF0);
+        assert_eq!(
+            rotate_left_bytes(0x1234_5678_9ABC_DEF0, 0),
+            0x1234_5678_9ABC_DEF0
+        );
     }
 
     #[test]
@@ -131,17 +140,31 @@ mod tests {
         assert!(c.energy_pj < 240.0, "negligible vs cache access energy");
     }
 
-    proptest! {
-        #[test]
-        fn left_right_inverse(w: u64, k in 0u32..8) {
-            prop_assert_eq!(rotate_right_bytes(rotate_left_bytes(w, k), k), w);
+    #[test]
+    fn left_right_inverse() {
+        let mut rng = StdRng::seed_from_u64(0x0707_A7E0);
+        for _ in 0..512 {
+            let w = rng.random::<u64>();
+            let k = rng.random_range(0u32..8);
+            assert_eq!(
+                rotate_right_bytes(rotate_left_bytes(w, k), k),
+                w,
+                "w={w:#x} k={k}"
+            );
         }
+    }
 
-        #[test]
-        fn rotation_is_linear(a: u64, b: u64, k in 0u32..8) {
-            prop_assert_eq!(
+    #[test]
+    fn rotation_is_linear() {
+        let mut rng = StdRng::seed_from_u64(0x0707_A7E1);
+        for _ in 0..512 {
+            let a = rng.random::<u64>();
+            let b = rng.random::<u64>();
+            let k = rng.random_range(0u32..8);
+            assert_eq!(
                 rotate_left_bytes(a ^ b, k),
-                rotate_left_bytes(a, k) ^ rotate_left_bytes(b, k)
+                rotate_left_bytes(a, k) ^ rotate_left_bytes(b, k),
+                "a={a:#x} b={b:#x} k={k}"
             );
         }
     }

@@ -55,7 +55,10 @@ impl std::error::Error for TagDue {}
 /// Panics if `tag` does not fit in [`TAG_BITS`].
 #[must_use]
 pub fn pack_entry(tag: u64, state: u8) -> u64 {
-    assert!(tag < (1u64 << TAG_BITS), "tag {tag:#x} exceeds {TAG_BITS} bits");
+    assert!(
+        tag < (1u64 << TAG_BITS),
+        "tag {tag:#x} exceeds {TAG_BITS} bits"
+    );
     tag | (u64::from(state) << TAG_BITS)
 }
 
@@ -275,8 +278,8 @@ impl TagCppc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use cppc_campaign::rng::rngs::StdRng;
+    use cppc_campaign::rng::{RngExt, SeedableRng};
 
     #[test]
     fn pack_unpack_roundtrip() {
@@ -309,7 +312,11 @@ mod tests {
             for bit in [0u32, 17, 55, 57, 63] {
                 t.flip_bit(slot, bit);
                 let got = t.read(slot).unwrap().unwrap();
-                assert_eq!(got, pack_entry(0x100 + slot as u64, slot as u8), "slot {slot} bit {bit}");
+                assert_eq!(
+                    got,
+                    pack_entry(0x100 + slot as u64, slot as u8),
+                    "slot {slot} bit {bit}"
+                );
                 assert!(t.verify_invariant());
             }
         }
@@ -404,7 +411,7 @@ mod tests {
         let mut t = TagCppc::new(2, 8);
         t.allocate(0, pack_entry(1, 0));
         t.replace(0, pack_entry(2, 0)).unwrap(); // old value comes from the array
-                                        // bookkeeping, not a data read
+                                                 // bookkeeping, not a data read
         assert_eq!(t.read(0), Some(Ok(pack_entry(2, 0))));
     }
 }

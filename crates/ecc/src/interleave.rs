@@ -37,7 +37,10 @@ impl BitInterleaving {
     /// Panics if either argument is zero.
     #[must_use]
     pub fn new(degree: u32, bits_per_word: u32) -> Self {
-        assert!(degree > 0 && bits_per_word > 0, "degree and width must be non-zero");
+        assert!(
+            degree > 0 && bits_per_word > 0,
+            "degree and width must be non-zero"
+        );
         BitInterleaving {
             degree,
             bits_per_word,
@@ -128,7 +131,7 @@ impl BitInterleaving {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cppc_campaign::rng::{rngs::StdRng, RngExt, SeedableRng};
 
     #[test]
     fn mapping_roundtrip() {
@@ -178,26 +181,33 @@ mod tests {
         let _ = BitInterleaving::new(2, 4).burst_to_flips(6, 3);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(degree in 1u32..16, bits in 1u32..128, seed: u32) {
+    #[test]
+    fn prop_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x11E1_0001);
+        for _ in 0..256 {
+            let degree = rng.random_range(1u32..16);
+            let bits = rng.random_range(1u32..128);
             let il = BitInterleaving::new(degree, bits);
-            let col = seed % il.row_width();
+            let col = rng.random::<u64>() as u32 % il.row_width();
             let (w, b) = il.column_to_logical(col);
-            prop_assert_eq!(il.logical_to_column(w, b), col);
+            assert_eq!(
+                il.logical_to_column(w, b),
+                col,
+                "degree={degree} bits={bits}"
+            );
         }
+    }
 
-        #[test]
-        fn prop_burst_le_degree_one_flip_per_word(
-            degree in 1u32..16,
-            start_frac: u32,
-            len_frac: u32,
-        ) {
+    #[test]
+    fn prop_burst_le_degree_one_flip_per_word() {
+        let mut rng = StdRng::seed_from_u64(0x11E1_0002);
+        for _ in 0..256 {
+            let degree = rng.random_range(1u32..16);
             let il = BitInterleaving::new(degree, 64);
-            let len = 1 + len_frac % degree;
-            let start = start_frac % (il.row_width() - len);
+            let len = 1 + rng.random::<u64>() as u32 % degree;
+            let start = rng.random::<u64>() as u32 % (il.row_width() - len);
             for (_, bits) in il.burst_to_flips(start, len) {
-                prop_assert_eq!(bits.len(), 1);
+                assert_eq!(bits.len(), 1, "degree={degree} start={start} len={len}");
             }
         }
     }

@@ -33,7 +33,10 @@ impl InterleavedParity {
     /// Panics if `ways` is zero or does not divide 64.
     #[must_use]
     pub fn new(ways: u32) -> Self {
-        assert!(ways > 0 && 64 % ways == 0, "ways must divide 64, got {ways}");
+        assert!(
+            ways > 0 && 64 % ways == 0,
+            "ways must divide 64, got {ways}"
+        );
         InterleavedParity { ways }
     }
 
@@ -115,7 +118,7 @@ impl Default for InterleavedParity {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cppc_campaign::rng::{rngs::StdRng, RngExt, SeedableRng};
 
     fn reference_encode(word: u64, ways: u32) -> u64 {
         let mut parity = 0u64;
@@ -175,35 +178,62 @@ mod tests {
         let _ = InterleavedParity::new(7);
     }
 
-    proptest! {
-        #[test]
-        fn encode_matches_reference(word: u64, ways in prop::sample::select(vec![1u32, 2, 4, 8, 16, 32, 64])) {
+    #[test]
+    fn encode_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(0x117E_0001);
+        let all_ways = [1u32, 2, 4, 8, 16, 32, 64];
+        for _ in 0..256 {
+            let word = rng.random::<u64>();
+            let ways = all_ways[rng.random_range(0..all_ways.len())];
             let code = InterleavedParity::new(ways);
-            prop_assert_eq!(code.encode(word), reference_encode(word, ways));
+            assert_eq!(
+                code.encode(word),
+                reference_encode(word, ways),
+                "ways {ways}"
+            );
         }
+    }
 
-        #[test]
-        fn clean_syndrome_is_zero(word: u64) {
+    #[test]
+    fn clean_syndrome_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0x117E_0002);
+        for _ in 0..256 {
+            let word = rng.random::<u64>();
             let code = InterleavedParity::new(8);
-            prop_assert_eq!(code.syndrome(word, code.encode(word)), 0);
+            assert_eq!(code.syndrome(word, code.encode(word)), 0);
         }
+    }
 
-        #[test]
-        fn any_burst_le_8_detected(word: u64, start in 0u32..64, len in 1u32..=8) {
+    #[test]
+    fn any_burst_le_8_detected() {
+        let mut rng = StdRng::seed_from_u64(0x117E_0003);
+        for _ in 0..256 {
+            let word = rng.random::<u64>();
+            let start = rng.random_range(0u32..64);
+            let len = rng.random_range(1u32..=8);
             let code = InterleavedParity::new(8);
             let stored = code.encode(word);
             // A burst that would run off the top of the word is clipped —
             // still at least one bit flips.
             let len = len.min(64 - start);
-            let mask = if len == 64 { u64::MAX } else { ((1u64 << len) - 1) << start };
+            let mask = if len == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << len) - 1) << start
+            };
             let syn = code.syndrome(word ^ mask, stored);
-            prop_assert_eq!(syn.count_ones(), len, "each flipped bit its own group");
+            assert_eq!(syn.count_ones(), len, "each flipped bit its own group");
         }
+    }
 
-        #[test]
-        fn encoding_is_linear(a: u64, b: u64) {
+    #[test]
+    fn encoding_is_linear() {
+        let mut rng = StdRng::seed_from_u64(0x117E_0004);
+        for _ in 0..256 {
+            let a = rng.random::<u64>();
+            let b = rng.random::<u64>();
             let code = InterleavedParity::new(8);
-            prop_assert_eq!(code.encode(a ^ b), code.encode(a) ^ code.encode(b));
+            assert_eq!(code.encode(a ^ b), code.encode(a) ^ code.encode(b));
         }
     }
 }

@@ -36,9 +36,7 @@ impl BlockDecodeOutcome {
     #[must_use]
     pub fn data(self) -> Option<Vec<u64>> {
         match self {
-            BlockDecodeOutcome::Clean(d) | BlockDecodeOutcome::Corrected { data: d, .. } => {
-                Some(d)
-            }
+            BlockDecodeOutcome::Clean(d) | BlockDecodeOutcome::Corrected { data: d, .. } => Some(d),
             BlockDecodeOutcome::DetectedUncorrectable => None,
         }
     }
@@ -239,7 +237,7 @@ impl BlockSecded {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cppc_campaign::rng::{rngs::StdRng, RngExt, SeedableRng};
 
     #[test]
     fn paper_l2_block_dimensions() {
@@ -324,45 +322,58 @@ mod tests {
         let _ = BlockSecded::new(0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(data in prop::collection::vec(any::<u64>(), 4)) {
+    fn random_block(rng: &mut StdRng) -> Vec<u64> {
+        (0..4).map(|_| rng.random::<u64>()).collect()
+    }
+
+    #[test]
+    fn prop_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x5ECD_0001);
+        for _ in 0..128 {
+            let data = random_block(&mut rng);
             let code = BlockSecded::new(4);
             let check = code.encode(&data).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 code.decode(&data, check).unwrap(),
                 BlockDecodeOutcome::Clean(data.clone())
             );
         }
+    }
 
-        #[test]
-        fn prop_single_flip_corrected(
-            data in prop::collection::vec(any::<u64>(), 4),
-            bit in 0u32..256,
-        ) {
+    #[test]
+    fn prop_single_flip_corrected() {
+        let mut rng = StdRng::seed_from_u64(0x5ECD_0002);
+        for _ in 0..128 {
+            let data = random_block(&mut rng);
+            let bit = rng.random_range(0u32..256);
             let code = BlockSecded::new(4);
             let check = code.encode(&data).unwrap();
             let mut corrupted = data.clone();
             corrupted[(bit / 64) as usize] ^= 1u64 << (bit % 64);
             let out = code.decode(&corrupted, check).unwrap();
-            prop_assert_eq!(out.data(), Some(data));
+            assert_eq!(out.data(), Some(data), "bit {bit}");
         }
+    }
 
-        #[test]
-        fn prop_double_flip_detected(
-            data in prop::collection::vec(any::<u64>(), 4),
-            a in 0u32..256,
-            b in 0u32..256,
-        ) {
-            prop_assume!(a != b);
+    #[test]
+    fn prop_double_flip_detected() {
+        let mut rng = StdRng::seed_from_u64(0x5ECD_0003);
+        for _ in 0..128 {
+            let data = random_block(&mut rng);
+            let a = rng.random_range(0u32..256);
+            let b = rng.random_range(0u32..256);
+            if a == b {
+                continue;
+            }
             let code = BlockSecded::new(4);
             let check = code.encode(&data).unwrap();
             let mut corrupted = data.clone();
             corrupted[(a / 64) as usize] ^= 1u64 << (a % 64);
             corrupted[(b / 64) as usize] ^= 1u64 << (b % 64);
-            prop_assert_eq!(
+            assert_eq!(
                 code.decode(&corrupted, check).unwrap(),
-                BlockDecodeOutcome::DetectedUncorrectable
+                BlockDecodeOutcome::DetectedUncorrectable,
+                "bits {a},{b}"
             );
         }
     }

@@ -122,7 +122,10 @@ mod tests {
         let cppc1 = AreaModel::cppc(L1, 1, 1, 64);
         let correction_cost = cppc1.overhead_bits() - parity1.overhead_bits();
         let secded_cost = AreaModel::secded(L1).overhead_bits() - parity1.overhead_bits();
-        assert!(correction_cost < secded_cost / 100.0, "{correction_cost} vs {secded_cost}");
+        assert!(
+            correction_cost < secded_cost / 100.0,
+            "{correction_cost} vs {secded_cost}"
+        );
         // And a word-parity CPPC stays far below SECDED in total.
         assert!(cppc1.overhead_fraction() < 0.02);
     }

@@ -85,9 +85,8 @@ impl CacheEnergyModel {
         let data_bits_per_block = (block_bytes * 8) as f64;
         let width_factor = (data_bits_per_block + code_bits_per_block as f64) / data_bits_per_block;
         let assoc_factor = 1.0 + 0.1 * ((associativity as f64).log2());
-        let base =
-            ANCHOR_ENERGY_PJ * (size / ANCHOR_ENERGY_BYTES).sqrt() * assoc_factor / 1.1
-                * node.energy_scale();
+        let base = ANCHOR_ENERGY_PJ * (size / ANCHOR_ENERGY_BYTES).sqrt() * assoc_factor / 1.1
+            * node.energy_scale();
 
         let bitline = base * beta * width_factor * f64::from(interleave_degree);
         let peripheral = base * (1.0 - beta) * (1.0 + 0.3 * (width_factor - 1.0));

@@ -278,14 +278,23 @@ mod tests {
 
     #[test]
     fn code_bit_accessors() {
-        assert_eq!(ProtectionKind::Secded { interleaved: true }.code_bits_per_word(), 8);
+        assert_eq!(
+            ProtectionKind::Secded { interleaved: true }.code_bits_per_word(),
+            8
+        );
         assert_eq!(ProtectionKind::Cppc { ways: 8 }.code_bits_per_word(), 8);
         assert_eq!(
             ProtectionKind::Secded { interleaved: true }.interleave_degree(),
             8
         );
-        assert_eq!(ProtectionKind::Secded { interleaved: false }.interleave_degree(), 1);
-        assert_eq!(ProtectionKind::TwoDimParity { ways: 8 }.interleave_degree(), 1);
+        assert_eq!(
+            ProtectionKind::Secded { interleaved: false }.interleave_degree(),
+            1
+        );
+        assert_eq!(
+            ProtectionKind::TwoDimParity { ways: 8 }.interleave_degree(),
+            1
+        );
     }
 
     #[test]

@@ -2,13 +2,20 @@
 //!
 //! A campaign runs `trials` independent experiments. Each experiment
 //! receives a freshly seeded RNG stream (derived deterministically from
-//! the campaign seed), builds/loads a system, injects a fault, exercises
-//! the recovery path and reports an [`Outcome`]. The tally mirrors the
-//! standard soft-error taxonomy the paper uses: corrected events,
-//! Detected-Unrecoverable Errors (DUE) and Silent Data Corruptions (SDC).
+//! the campaign seed via [`cppc_campaign::trial_seed`]), builds/loads a
+//! system, injects a fault, exercises the recovery path and reports an
+//! [`Outcome`]. The tally mirrors the standard soft-error taxonomy the
+//! paper uses: corrected events, Detected-Unrecoverable Errors (DUE)
+//! and Silent Data Corruptions (SDC).
+//!
+//! Campaigns execute through the [`cppc_campaign`] engine: the
+//! sequential [`Campaign::run`] and the sharded, multi-threaded
+//! [`Campaign::run_parallel`] derive identical per-trial RNG streams
+//! and therefore produce **bit-identical tallies at any thread count**.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cppc_campaign::json::Json;
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::{Accumulator, CampaignConfig, Persist};
 
 /// The outcome of one injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,6 +86,50 @@ impl OutcomeTally {
     }
 }
 
+impl Accumulator for OutcomeTally {
+    type Item = Outcome;
+
+    fn record(&mut self, _trial: u64, outcome: Outcome) {
+        OutcomeTally::record(self, outcome);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.masked += other.masked;
+        self.corrected += other.corrected;
+        self.due += other.due;
+        self.sdc += other.sdc;
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("Masked", self.masked),
+            ("Corrected", self.corrected),
+            ("DUE", self.due),
+            ("SDC", self.sdc),
+        ]
+    }
+}
+
+impl Persist for OutcomeTally {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("masked".into(), Json::UInt(self.masked)),
+            ("corrected".into(), Json::UInt(self.corrected)),
+            ("due".into(), Json::UInt(self.due)),
+            ("sdc".into(), Json::UInt(self.sdc)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        Some(OutcomeTally {
+            masked: value.get("masked")?.as_u64()?,
+            corrected: value.get("corrected")?.as_u64()?,
+            due: value.get("due")?.as_u64()?,
+            sdc: value.get("sdc")?.as_u64()?,
+        })
+    }
+}
+
 /// A deterministic fault-injection campaign.
 ///
 /// # Example
@@ -90,6 +141,10 @@ impl OutcomeTally {
 /// let tally = Campaign::new(0xC0FFEE).run(100, |_rng, _trial| Outcome::Corrected);
 /// assert_eq!(tally.corrected, 100);
 /// assert_eq!(tally.coverage(), 1.0);
+///
+/// // The multi-threaded path gives bit-identical results:
+/// let par = Campaign::new(0xC0FFEE).run_parallel(100, 4, |_rng, _trial| Outcome::Corrected);
+/// assert_eq!(tally, par);
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Campaign {
@@ -104,29 +159,52 @@ impl Campaign {
         Campaign { seed }
     }
 
-    /// Runs `trials` experiments. `experiment` receives a per-trial RNG
-    /// and the trial index.
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The engine configuration equivalent to this campaign — the entry
+    /// point for checkpointed / metered runs through
+    /// [`cppc_campaign::run_resumable`].
+    #[must_use]
+    pub fn config(&self, trials: u64) -> CampaignConfig {
+        CampaignConfig::new(self.seed, trials)
+    }
+
+    /// Runs `trials` experiments sequentially. `experiment` receives a
+    /// per-trial RNG and the trial index.
     pub fn run<F>(&self, trials: u64, mut experiment: F) -> OutcomeTally
     where
         F: FnMut(&mut StdRng, u64) -> Outcome,
     {
         let mut tally = OutcomeTally::default();
         for trial in 0..trials {
-            // SplitMix-style stream derivation keeps trials independent.
-            let trial_seed = self
-                .seed
-                .wrapping_add(trial.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let mut rng = StdRng::seed_from_u64(trial_seed);
-            tally.record(experiment(&mut rng, trial));
+            // The same stream derivation the parallel engine uses, so
+            // both paths see identical randomness.
+            let mut rng = cppc_campaign::trial_rng(self.seed, trial);
+            OutcomeTally::record(&mut tally, experiment(&mut rng, trial));
         }
         tally
+    }
+
+    /// Runs `trials` experiments across `threads` workers (0 = all CPUs)
+    /// through the campaign engine. Bit-identical to [`Campaign::run`]
+    /// at any thread count.
+    pub fn run_parallel<F>(&self, trials: u64, threads: usize, experiment: F) -> OutcomeTally
+    where
+        F: Fn(&mut StdRng, u64) -> Outcome + Sync,
+    {
+        cppc_campaign::run::<OutcomeTally, _>(&self.config(trials).threads(threads), experiment)
+            .result
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
+    use cppc_campaign::rng::RngExt;
 
     #[test]
     fn tally_records_all_kinds() {
@@ -214,5 +292,74 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), firsts.len(), "trial streams must differ");
+    }
+
+    /// A deterministic experiment whose outcome depends on the trial's
+    /// RNG stream — any divergence between paths shows up as a
+    /// different tally.
+    fn stream_sensitive(rng: &mut StdRng, _trial: u64) -> Outcome {
+        match rng.random_range(0..4u32) {
+            0 => Outcome::Masked,
+            1 => Outcome::Corrected,
+            2 => Outcome::DetectedUnrecoverable,
+            _ => Outcome::SilentCorruption,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let c = Campaign::new(0xBEEF);
+        let seq = c.run(513, stream_sensitive);
+        for threads in [1, 2, 8] {
+            assert_eq!(c.run_parallel(513, threads, stream_sensitive), seq);
+        }
+    }
+
+    #[test]
+    fn tally_merge_is_componentwise() {
+        let mut a = OutcomeTally {
+            masked: 1,
+            corrected: 2,
+            due: 3,
+            sdc: 4,
+        };
+        Accumulator::merge(
+            &mut a,
+            OutcomeTally {
+                masked: 10,
+                corrected: 20,
+                due: 30,
+                sdc: 40,
+            },
+        );
+        assert_eq!(a.total(), 110);
+        assert_eq!(a.due, 33);
+    }
+
+    #[test]
+    fn tally_persist_roundtrip() {
+        let t = OutcomeTally {
+            masked: 5,
+            corrected: 6,
+            due: 7,
+            sdc: 8,
+        };
+        let json = t.to_json();
+        assert_eq!(OutcomeTally::from_json(&json), Some(t));
+        assert_eq!(OutcomeTally::from_json(&Json::Null), None);
+    }
+
+    #[test]
+    fn live_counters_use_paper_taxonomy() {
+        let t = OutcomeTally {
+            masked: 1,
+            corrected: 2,
+            due: 3,
+            sdc: 4,
+        };
+        assert_eq!(
+            Accumulator::counters(&t),
+            vec![("Masked", 1), ("Corrected", 2), ("DUE", 3), ("SDC", 4)]
+        );
     }
 }

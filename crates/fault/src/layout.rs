@@ -103,7 +103,7 @@ impl PhysicalLayout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cppc_campaign::rng::{rngs::StdRng, RngExt, SeedableRng};
 
     #[test]
     fn roundtrip_small() {
@@ -154,27 +154,41 @@ mod tests {
         let _ = PhysicalLayout::new(4, 2, 4).location_of(32);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(sets in 1usize..64, ways in 1usize..8, wpb in 1usize..16, seed: usize) {
+    #[test]
+    fn prop_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x1A70);
+        for _ in 0..256 {
+            let sets = rng.random_range(1usize..64);
+            let ways = rng.random_range(1usize..8);
+            let wpb = rng.random_range(1usize..16);
             let l = PhysicalLayout::new(sets, ways, wpb);
-            let row = seed % l.num_rows();
+            let row = rng.random::<u64>() as usize % l.num_rows();
             let (s, w, word) = l.location_of(row);
-            prop_assert_eq!(l.row_of(s, w, word), row);
+            assert_eq!(
+                l.row_of(s, w, word),
+                row,
+                "sets={sets} ways={ways} wpb={wpb}"
+            );
         }
+    }
 
-        #[test]
-        fn prop_distinct_rows(sets in 1usize..16, ways in 1usize..4, wpb in 1usize..8) {
+    #[test]
+    fn prop_distinct_rows() {
+        let mut rng = StdRng::seed_from_u64(0x1A71);
+        for _ in 0..64 {
+            let sets = rng.random_range(1usize..16);
+            let ways = rng.random_range(1usize..4);
+            let wpb = rng.random_range(1usize..8);
             let l = PhysicalLayout::new(sets, ways, wpb);
             let mut seen = std::collections::HashSet::new();
             for s in 0..sets {
                 for w in 0..ways {
                     for word in 0..wpb {
-                        prop_assert!(seen.insert(l.row_of(s, w, word)));
+                        assert!(seen.insert(l.row_of(s, w, word)));
                     }
                 }
             }
-            prop_assert_eq!(seen.len(), l.num_rows());
+            assert_eq!(seen.len(), l.num_rows());
         }
     }
 }

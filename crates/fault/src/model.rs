@@ -1,7 +1,7 @@
 //! Fault models and deterministic fault-pattern generators.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 
 /// One flipped bit: physical row + bit column (0–63).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

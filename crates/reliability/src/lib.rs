@@ -19,9 +19,9 @@ pub mod mttf;
 pub mod residency;
 
 pub use fit::SeuRate;
+pub use montecarlo::{simulate_double_fault_mttf, MonteCarloConfig, MonteCarloResult};
 pub use mttf::{
     mttf_aliasing_years, mttf_domain_double_fault_years, mttf_one_dim_parity_years,
     ReliabilityParams,
 };
-pub use montecarlo::{simulate_double_fault_mttf, MonteCarloConfig, MonteCarloResult};
 pub use residency::ResidencyReport;

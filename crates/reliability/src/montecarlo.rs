@@ -15,9 +15,15 @@
 //! result back — the standard accelerated-testing argument (the paper's
 //! own reference \[1\] does physical accelerated testing with neutron
 //! beams).
+//!
+//! Trials run through the [`cppc_campaign`] engine with one RNG stream
+//! per trial, so the estimate is bit-identical at any thread count and
+//! campaigns can be checkpointed and resumed.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::json::Json;
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::RngExt;
+use cppc_campaign::{Accumulator, CampaignConfig, Persist};
 
 use crate::fit::HOURS_PER_YEAR;
 
@@ -55,6 +61,91 @@ impl MonteCarloResult {
     }
 }
 
+/// One simulated trial: time to failure and faults absorbed on the way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialSample {
+    /// Hours until the double-fault failure.
+    pub time_hours: f64,
+    /// Faults absorbed up to and including the failing one.
+    pub faults: u64,
+}
+
+/// Running sums of the Monte Carlo estimator — the engine accumulator.
+///
+/// Sums are accumulated per shard and merged in ascending shard order,
+/// which fixes the floating-point summation tree independently of the
+/// executing thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MonteCarloAccumulator {
+    /// Number of trials summed.
+    pub n: u64,
+    /// Σ time-to-failure (hours).
+    pub sum_t: f64,
+    /// Σ time-to-failure² (hours²).
+    pub sum_t2: f64,
+    /// Σ faults absorbed.
+    pub total_faults: u64,
+}
+
+impl MonteCarloAccumulator {
+    /// Folds the sums into the final estimate.
+    #[must_use]
+    pub fn finish(&self) -> MonteCarloResult {
+        let n = self.n as f64;
+        let mean = self.sum_t / n;
+        // Sum-of-squares variance; tolerable conditioning at the trial
+        // counts (≤ 1e6) and spreads (CV ~ 1) this estimator sees.
+        let var = (self.sum_t2 - n * mean * mean).max(0.0) / (n - 1.0).max(1.0);
+        MonteCarloResult {
+            mttf_hours: mean,
+            std_error_hours: (var / n).sqrt(),
+            mean_faults_to_failure: self.total_faults as f64 / n,
+        }
+    }
+}
+
+impl Accumulator for MonteCarloAccumulator {
+    type Item = TrialSample;
+
+    fn record(&mut self, _trial: u64, sample: TrialSample) {
+        self.n += 1;
+        self.sum_t += sample.time_hours;
+        self.sum_t2 += sample.time_hours * sample.time_hours;
+        self.total_faults += sample.faults;
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.n += other.n;
+        self.sum_t += other.sum_t;
+        self.sum_t2 += other.sum_t2;
+        self.total_faults += other.total_faults;
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("Trials", self.n), ("Faults", self.total_faults)]
+    }
+}
+
+impl Persist for MonteCarloAccumulator {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("n".into(), Json::UInt(self.n)),
+            ("sum_t".into(), Json::from_f64_bits(self.sum_t)),
+            ("sum_t2".into(), Json::from_f64_bits(self.sum_t2)),
+            ("total_faults".into(), Json::UInt(self.total_faults)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        Some(MonteCarloAccumulator {
+            n: value.get("n")?.as_u64()?,
+            sum_t: value.get("sum_t")?.as_f64_bits()?,
+            sum_t2: value.get("sum_t2")?.as_f64_bits()?,
+            total_faults: value.get("total_faults")?.as_u64()?,
+        })
+    }
+}
+
 /// The analytical prediction for the same process (no AVF —
 /// this is raw time-to-double-fault): `1 / (λ_total · λ_domain · Tavg)`.
 #[must_use]
@@ -63,49 +154,73 @@ pub fn analytic_mttf_hours(cfg: &MonteCarloConfig) -> f64 {
     1.0 / (cfg.faults_per_hour * lambda_domain * cfg.tavg_hours)
 }
 
-/// Runs the accelerated simulation.
+/// Simulates one trial of the double-fault process on its own RNG
+/// stream. This is the experiment body handed to the campaign engine.
+#[must_use]
+pub fn simulate_trial(cfg: &MonteCarloConfig, rng: &mut StdRng) -> TrialSample {
+    let mut t = 0.0f64;
+    let mut last_fault: Vec<f64> = vec![f64::NEG_INFINITY; cfg.domains];
+    let mut faults = 0u64;
+    loop {
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = rng.random();
+        t += -u.max(f64::MIN_POSITIVE).ln() / cfg.faults_per_hour;
+        faults += 1;
+        let domain = rng.random_range(0..cfg.domains);
+        if t - last_fault[domain] < cfg.tavg_hours {
+            return TrialSample {
+                time_hours: t,
+                faults,
+            };
+        }
+        last_fault[domain] = t;
+    }
+}
+
+fn validate(cfg: &MonteCarloConfig) {
+    assert!(cfg.faults_per_hour > 0.0, "rate must be positive");
+    assert!(cfg.domains > 0, "need domains");
+    assert!(cfg.tavg_hours > 0.0, "window must be positive");
+    assert!(cfg.trials > 0, "need trials");
+}
+
+/// The engine configuration for this estimation — entry point for
+/// checkpointed runs via [`cppc_campaign::run_resumable`].
+#[must_use]
+pub fn campaign_config(cfg: &MonteCarloConfig, seed: u64) -> CampaignConfig {
+    CampaignConfig::new(seed, u64::from(cfg.trials))
+}
+
+/// Runs the accelerated simulation on a single thread.
 ///
 /// # Panics
 ///
 /// Panics if any parameter is non-positive.
 #[must_use]
 pub fn simulate_double_fault_mttf(cfg: &MonteCarloConfig, seed: u64) -> MonteCarloResult {
-    assert!(cfg.faults_per_hour > 0.0, "rate must be positive");
-    assert!(cfg.domains > 0, "need domains");
-    assert!(cfg.tavg_hours > 0.0, "window must be positive");
-    assert!(cfg.trials > 0, "need trials");
+    simulate_double_fault_mttf_parallel(cfg, seed, 1)
+}
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut failure_times = Vec::with_capacity(cfg.trials as usize);
-    let mut total_faults = 0u64;
-
-    for _ in 0..cfg.trials {
-        let mut t = 0.0f64;
-        let mut last_fault: Vec<f64> = vec![f64::NEG_INFINITY; cfg.domains];
-        let mut faults = 0u64;
-        loop {
-            // Exponential inter-arrival via inverse CDF.
-            let u: f64 = rng.random();
-            t += -u.max(f64::MIN_POSITIVE).ln() / cfg.faults_per_hour;
-            faults += 1;
-            let domain = rng.random_range(0..cfg.domains);
-            if t - last_fault[domain] < cfg.tavg_hours {
-                failure_times.push(t);
-                total_faults += faults;
-                break;
-            }
-            last_fault[domain] = t;
-        }
-    }
-
-    let n = failure_times.len() as f64;
-    let mean = failure_times.iter().sum::<f64>() / n;
-    let var = failure_times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
-    MonteCarloResult {
-        mttf_hours: mean,
-        std_error_hours: (var / n).sqrt(),
-        mean_faults_to_failure: total_faults as f64 / n,
-    }
+/// Runs the accelerated simulation across `threads` workers (0 = all
+/// CPUs). Bit-identical to the single-threaded estimate at any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if any parameter is non-positive.
+#[must_use]
+pub fn simulate_double_fault_mttf_parallel(
+    cfg: &MonteCarloConfig,
+    seed: u64,
+    threads: usize,
+) -> MonteCarloResult {
+    validate(cfg);
+    let engine_cfg = campaign_config(cfg, seed).threads(threads);
+    cppc_campaign::run::<MonteCarloAccumulator, _>(&engine_cfg, |rng, _trial| {
+        simulate_trial(cfg, rng)
+    })
+    .result
+    .finish()
 }
 
 #[cfg(test)]
@@ -129,7 +244,11 @@ mod tests {
         let mc = simulate_double_fault_mttf(&c, 1);
         let analytic = analytic_mttf_hours(&c);
         let err = (mc.mttf_hours - analytic).abs() / analytic;
-        assert!(err < 0.10, "MC {} vs analytic {analytic} ({err:.2} rel)", mc.mttf_hours);
+        assert!(
+            err < 0.10,
+            "MC {} vs analytic {analytic} ({err:.2} rel)",
+            mc.mttf_hours
+        );
     }
 
     #[test]
@@ -139,7 +258,11 @@ mod tests {
         let mc = simulate_double_fault_mttf(&c, 2);
         let analytic = analytic_mttf_hours(&c);
         let err = (mc.mttf_hours - analytic).abs() / analytic;
-        assert!(err < 0.10, "MC {} vs analytic {analytic} ({err:.2} rel)", mc.mttf_hours);
+        assert!(
+            err < 0.10,
+            "MC {} vs analytic {analytic} ({err:.2} rel)",
+            mc.mttf_hours
+        );
     }
 
     #[test]
@@ -190,12 +313,46 @@ mod tests {
     }
 
     #[test]
+    fn bit_identical_at_any_thread_count() {
+        let c = cfg(4, 25.0, 0.002);
+        let one = simulate_double_fault_mttf_parallel(&c, 11, 1);
+        for threads in [2, 8] {
+            let par = simulate_double_fault_mttf_parallel(&c, 11, threads);
+            assert_eq!(one, par, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
     fn statistics_are_sane() {
         let r = simulate_double_fault_mttf(&cfg(2, 30.0, 0.003), 10);
         assert!(r.std_error_hours > 0.0);
         assert!(r.std_error_hours < r.mttf_hours);
         assert!(r.mean_faults_to_failure > 1.0);
         assert!(r.mttf_years() < r.mttf_hours);
+    }
+
+    #[test]
+    fn accumulator_persist_roundtrip() {
+        let mut acc = MonteCarloAccumulator::default();
+        Accumulator::record(
+            &mut acc,
+            0,
+            TrialSample {
+                time_hours: 1.5,
+                faults: 3,
+            },
+        );
+        Accumulator::record(
+            &mut acc,
+            1,
+            TrialSample {
+                time_hours: 0.25,
+                faults: 2,
+            },
+        );
+        let restored = MonteCarloAccumulator::from_json(&acc.to_json()).unwrap();
+        assert_eq!(acc, restored);
+        assert_eq!(acc.sum_t.to_bits(), restored.sum_t.to_bits());
     }
 
     #[test]

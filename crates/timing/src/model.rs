@@ -159,9 +159,8 @@ impl TimingModel {
         // misses pay DRAM, partially hidden by MLP/OoO overlap.
         let m = &self.machine;
         let l1_miss_cycles = l1_stats.misses() as f64 * f64::from(m.l2.latency_cycles);
-        let l2_miss_cycles = l2_stats.misses() as f64
-            * f64::from(m.memory_latency_cycles)
-            * (1.0 - m.mlp_overlap);
+        let l2_miss_cycles =
+            l2_stats.misses() as f64 * f64::from(m.memory_latency_cycles) * (1.0 - m.mlp_overlap);
         let memory_cpi = (l1_miss_cycles + l2_miss_cycles) / instructions;
 
         let base_cpi = profile.base_cpi.max(1.0 / f64::from(m.issue_width));
@@ -175,9 +174,7 @@ impl TimingModel {
             PortConfig::SeparateReadWrite => {
                 (l1_stats.loads() as f64 / provisional_cycles).min(1.0)
             }
-            PortConfig::SinglePorted => {
-                (l1_stats.accesses() as f64 / provisional_cycles).min(1.0)
-            }
+            PortConfig::SinglePorted => (l1_stats.accesses() as f64 / provisional_cycles).min(1.0),
         };
         let conflict_cycles = |events: f64, steal: f64| -> f64 {
             let steal = match ports {
@@ -249,9 +246,7 @@ mod tests {
         let twodim = run_all(L1Scheme::TwoDimParity);
         let mut cppc_overheads = Vec::new();
         let mut twodim_overheads = Vec::new();
-        for ((name, b), ((_, c), (_, t))) in
-            base.iter().zip(cppc.iter().zip(twodim.iter()))
-        {
+        for ((name, b), ((_, c), (_, t))) in base.iter().zip(cppc.iter().zip(twodim.iter())) {
             let oc = c / b - 1.0;
             let ot = t / b - 1.0;
             assert!(oc >= 0.0 && ot >= oc, "{name}: {oc} vs {ot}");
@@ -262,7 +257,11 @@ mod tests {
         let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
         let (ac, at) = (avg(&cppc_overheads), avg(&twodim_overheads));
         assert!(ac < 0.01, "CPPC avg overhead {ac} (paper: 0.3%)");
-        assert!(max(&cppc_overheads) < 0.025, "CPPC max {:?}", max(&cppc_overheads));
+        assert!(
+            max(&cppc_overheads) < 0.025,
+            "CPPC max {:?}",
+            max(&cppc_overheads)
+        );
         assert!(at > ac * 2.0, "2D parity clearly worse: {at} vs {ac}");
         assert!(at < 0.10, "2D avg overhead {at} (paper: 1.7%)");
     }

@@ -215,8 +215,7 @@ impl PipelineModel {
                         result.cycles += stall;
                         // A long stall is a drain bonanza.
                         store_buffer = (store_buffer - stall).max(0.0);
-                        idle_read_slots =
-                            (idle_read_slots + stall).min(f64::from(m.lsq_size));
+                        idle_read_slots = (idle_read_slots + stall).min(f64::from(m.lsq_size));
                     }
                 }
                 MemOp::Store(..) | MemOp::StoreByte(..) => {
@@ -298,7 +297,10 @@ mod tests {
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let cppc = mean(&overheads(L1Scheme::Cppc));
         let twodim = mean(&overheads(L1Scheme::TwoDimParity));
-        assert!((0.0..0.015).contains(&cppc), "CPPC structural overhead {cppc}");
+        assert!(
+            (0.0..0.015).contains(&cppc),
+            "CPPC structural overhead {cppc}"
+        );
         assert!(twodim > 2.0 * cppc, "2D {twodim} vs CPPC {cppc}");
         assert!(twodim < 0.12, "2D structural overhead {twodim}");
     }
@@ -341,10 +343,8 @@ mod tests {
         let model = PipelineModel::default();
         let p = &spec2000_profiles()[2];
         let r = model.simulate(p, L1Scheme::TwoDimParity, OPS, 6);
-        let accounted = r.miss_stall_cycles
-            + r.conflict_cycles
-            + r.replay_cycles
-            + r.store_buffer_stall_cycles;
+        let accounted =
+            r.miss_stall_cycles + r.conflict_cycles + r.replay_cycles + r.store_buffer_stall_cycles;
         assert!(accounted < r.cycles, "stalls are a subset of cycles");
         assert!(r.cpi() > 0.3);
     }

@@ -1,8 +1,8 @@
 //! The deterministic trace generator.
 
 use cppc_cache_sim::hierarchy::MemOp;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 
 use crate::profile::BenchmarkProfile;
 
@@ -114,9 +114,8 @@ impl TraceGenerator {
             // Stores write a narrower slice of the hot region than loads
             // read (see `store_region_fraction`).
             if is_store && a < p.hot_set_bytes && p.store_region_fraction < 1.0 {
-                let region = ((p.hot_set_bytes as f64 * p.store_region_fraction) as u64)
-                    .max(64)
-                    & !7;
+                let region =
+                    ((p.hot_set_bytes as f64 * p.store_region_fraction) as u64).max(64) & !7;
                 a %= region;
             }
             a
@@ -193,7 +192,10 @@ mod tests {
             .take(n)
             .filter(|op| matches!(op, MemOp::StoreByte(..)))
             .count();
-        let stores = TraceGenerator::new(gzip, 3).take(n).filter(MemOp::is_store).count();
+        let stores = TraceGenerator::new(gzip, 3)
+            .take(n)
+            .filter(MemOp::is_store)
+            .count();
         let frac = byte_stores as f64 / stores as f64;
         assert!((frac - gzip.byte_store_fraction).abs() < 0.03, "{frac}");
         // swim has none.

@@ -1,8 +1,8 @@
 //! Microbenchmark access patterns for targeted experiments and benches.
 
 use cppc_cache_sim::hierarchy::MemOp;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 
 /// A sequential read-then-write sweep over `bytes` of memory with the
 /// given word `stride_words` (1 = dense).

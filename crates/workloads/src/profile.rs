@@ -339,7 +339,11 @@ mod tests {
     fn loads_dominate_stores() {
         for p in spec2000_profiles() {
             assert!(p.loads_per_kinst > p.stores_per_kinst, "{}", p.name);
-            assert!(p.store_fraction() > 0.15 && p.store_fraction() < 0.45, "{}", p.name);
+            assert!(
+                p.store_fraction() > 0.15 && p.store_fraction() < 0.45,
+                "{}",
+                p.name
+            );
         }
     }
 

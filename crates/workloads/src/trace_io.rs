@@ -113,8 +113,7 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemOp>, TraceError> {
                 MemOp::Store(addr, v)
             }
             "B" => {
-                let v =
-                    u8::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+                let v = u8::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
                 MemOp::StoreByte(addr, v)
             }
             _ => return Err(bad()),

@@ -8,19 +8,15 @@ use cppc::core::baselines::OneDimParityCache;
 use cppc::core::{CppcCache, CppcConfig};
 use cppc::fault::campaign::{Campaign, Outcome, OutcomeTally};
 use cppc::fault::model::{FaultGenerator, FaultModel};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 
 fn geometry() -> CacheGeometry {
     CacheGeometry::new(4096, 2, 32).expect("valid geometry")
 }
 
 /// Fills way 0 with dirty random data and returns the ground truth.
-fn fill_dirty(
-    cache: &mut CppcCache,
-    mem: &mut MainMemory,
-    seed: u64,
-) -> Vec<(u64, u64)> {
+fn fill_dirty(cache: &mut CppcCache, mem: &mut MainMemory, seed: u64) -> Vec<(u64, u64)> {
     let geo = *cache.geometry();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut truth = Vec::new();
@@ -106,15 +102,41 @@ fn main() {
 
     for (name, model) in [
         ("single-bit SEU", FaultModel::TemporalSingleBit),
-        ("3x3 solid square", FaultModel::SpatialSquare { rows: 3, cols: 3, density: 1.0 }),
-        ("8x8 solid square", FaultModel::SpatialSquare { rows: 8, cols: 8, density: 1.0 }),
+        (
+            "3x3 solid square",
+            FaultModel::SpatialSquare {
+                rows: 3,
+                cols: 3,
+                density: 1.0,
+            },
+        ),
+        (
+            "8x8 solid square",
+            FaultModel::SpatialSquare {
+                rows: 8,
+                cols: 8,
+                density: 1.0,
+            },
+        ),
     ] {
         println!("{name}:");
         report("1D parity", &campaign_parity(model, trials));
-        report("CPPC basic (1b parity)", &campaign_cppc(CppcConfig::basic(), model, trials));
-        report("CPPC paper (1 pair)", &campaign_cppc(CppcConfig::paper(), model, trials));
-        report("CPPC 2 pairs", &campaign_cppc(CppcConfig::two_pairs(), model, trials));
-        report("CPPC 8 pairs", &campaign_cppc(CppcConfig::eight_pairs(), model, trials));
+        report(
+            "CPPC basic (1b parity)",
+            &campaign_cppc(CppcConfig::basic(), model, trials),
+        );
+        report(
+            "CPPC paper (1 pair)",
+            &campaign_cppc(CppcConfig::paper(), model, trials),
+        );
+        report(
+            "CPPC 2 pairs",
+            &campaign_cppc(CppcConfig::two_pairs(), model, trials),
+        );
+        report(
+            "CPPC 8 pairs",
+            &campaign_cppc(CppcConfig::eight_pairs(), model, trials),
+        );
         println!();
     }
     println!("notes:");

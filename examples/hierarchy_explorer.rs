@@ -30,18 +30,25 @@ fn main() {
     let machine = MachineConfig::table1();
     let model = TimingModel::new(machine);
 
-    println!("benchmark {} — {OPS} memory ops on the Table 1 machine\n", profile.name);
+    println!(
+        "benchmark {} — {OPS} memory ops on the Table 1 machine\n",
+        profile.name
+    );
 
     let base = model.simulate(profile, L1Scheme::OneDimParity, OPS, 42);
     println!("functional behaviour:");
-    println!("  L1: {:>9} accesses, miss rate {:>5.2}%, stores-to-dirty {:>6}",
+    println!(
+        "  L1: {:>9} accesses, miss rate {:>5.2}%, stores-to-dirty {:>6}",
         base.l1_stats.accesses(),
         base.l1_stats.miss_rate() * 100.0,
-        base.l1_stats.stores_to_dirty);
-    println!("  L2: {:>9} accesses, miss rate {:>5.2}%, write-backs {:>9}",
+        base.l1_stats.stores_to_dirty
+    );
+    println!(
+        "  L2: {:>9} accesses, miss rate {:>5.2}%, write-backs {:>9}",
         base.l2_stats.accesses(),
         base.l2_stats.miss_rate() * 100.0,
-        base.l2_stats.writebacks);
+        base.l2_stats.writebacks
+    );
 
     println!("\nCPI under each L1 protection scheme:");
     for (name, scheme) in [
@@ -63,11 +70,29 @@ fn main() {
     let node = TechnologyNode::Nm32;
     println!("\nnormalised dynamic energy:");
     for (level, stats, size, assoc, block) in [
-        ("L1", base.l1_stats, machine.l1d.size_bytes, machine.l1d.associativity, machine.l1d.block_bytes),
-        ("L2", base.l2_stats, machine.l2.size_bytes, machine.l2.associativity, machine.l2.block_bytes),
+        (
+            "L1",
+            base.l1_stats,
+            machine.l1d.size_bytes,
+            machine.l1d.associativity,
+            machine.l1d.block_bytes,
+        ),
+        (
+            "L2",
+            base.l2_stats,
+            machine.l2.size_bytes,
+            machine.l2.associativity,
+            machine.l2.block_bytes,
+        ),
     ] {
         let counts = counts_from_stats(&stats, (block / 8) as u32);
-        let parity = SchemeEnergy::new(size, assoc, block, ProtectionKind::OneDimParity { ways: 8 }, node);
+        let parity = SchemeEnergy::new(
+            size,
+            assoc,
+            block,
+            ProtectionKind::OneDimParity { ways: 8 },
+            node,
+        );
         let reference = parity.total_pj(&counts);
         print!("  {level}: ");
         for (name, kind) in [

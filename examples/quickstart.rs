@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // exactly why write-back caches need correction, not just detection.
     cache.store_word(0x1000, 0xDEAD_BEEF_CAFE_F00D, &mut memory)?;
     cache.store_word(0x1008, 0x0123_4567_89AB_CDEF, &mut memory)?;
-    println!("stored two dirty words; dirty count = {}", cache.dirty_word_count());
+    println!(
+        "stored two dirty words; dirty count = {}",
+        cache.dirty_word_count()
+    );
 
     // The defining invariant: R1 ^ R2 equals the XOR of the (rotated)
     // dirty words currently in the cache.

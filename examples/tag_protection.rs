@@ -6,8 +6,8 @@
 //! Run with `cargo run --release --example tag_protection`.
 
 use cppc::core::tags::{pack_entry, unpack_entry, TagCppc};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 
 fn main() {
     // A 32KB 2-way cache has 1024 tag entries.
@@ -21,7 +21,10 @@ fn main() {
         tags.allocate(slot, entry);
         truth.push(entry);
     }
-    println!("tag array filled: 1024 entries, invariant holds = {}", tags.verify_invariant());
+    println!(
+        "tag array filled: 1024 entries, invariant holds = {}",
+        tags.verify_invariant()
+    );
 
     // Strike a tag: without protection this could produce a false hit —
     // the cache would serve another address's data. With CPPC-for-tags,

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 
 pub use cppc_cache_sim as cache_sim;
+pub use cppc_campaign as campaign;
 pub use cppc_coherence as coherence;
 pub use cppc_core as core;
 pub use cppc_ecc as ecc;

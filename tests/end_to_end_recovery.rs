@@ -7,8 +7,8 @@ use cppc::core::{CppcCache, CppcConfig};
 use cppc::fault::model::{FaultGenerator, FaultModel};
 use cppc::workloads::{spec2000_profiles, TraceGenerator};
 use cppc_cache_sim::hierarchy::MemOp;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
 /// Runs `ops` operations of a SPEC-like trace on an L1 CPPC backed by
@@ -50,8 +50,7 @@ fn run_with_faults(config: CppcConfig, model: FaultModel, fault_every: usize, se
                 let r = cache.store_byte(addr, v, &mut mem);
                 if r.is_ok() {
                     let old = *oracle.get(&word_addr).unwrap_or(&0);
-                    let merged =
-                        (old & !(0xFFu64 << (8 * lane))) | (u64::from(v) << (8 * lane));
+                    let merged = (old & !(0xFFu64 << (8 * lane))) | (u64::from(v) << (8 * lane));
                     oracle.insert(word_addr, merged);
                 }
                 r.map(|_| ())
@@ -81,7 +80,12 @@ fn single_bit_faults_never_corrupt_paper_config() {
 #[test]
 fn single_bit_faults_never_corrupt_basic_config() {
     for seed in 0..8 {
-        run_with_faults(CppcConfig::basic(), FaultModel::TemporalSingleBit, 211, seed);
+        run_with_faults(
+            CppcConfig::basic(),
+            FaultModel::TemporalSingleBit,
+            211,
+            seed,
+        );
     }
 }
 

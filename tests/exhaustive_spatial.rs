@@ -12,8 +12,8 @@
 use cppc::cache_sim::{CacheGeometry, MainMemory, ReplacementPolicy};
 use cppc::core::{CppcCache, CppcConfig};
 use cppc::fault::model::{BitFlip, FaultPattern};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 
 /// 512-byte cache: 8 sets x 2 ways x 4 words = 32 way-0 rows.
 fn build(config: CppcConfig) -> (CppcCache, MainMemory, Vec<u64>) {

@@ -7,8 +7,8 @@ use cppc::core::full::FullyProtectedCache;
 use cppc::core::CppcConfig;
 use cppc::workloads::{read_trace, spec2000_profiles, write_trace, TraceGenerator};
 use cppc_cache_sim::hierarchy::{MemOp, TwoLevelHierarchy};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
 #[test]

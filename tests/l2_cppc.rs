@@ -5,8 +5,8 @@
 use cppc::cache_sim::{Cache, CacheGeometry, MainMemory, ReplacementPolicy};
 use cppc::core::{CppcCache, CppcConfig};
 use cppc_cache_sim::cache::Backing;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
 /// Adapter: an L2 CPPC + memory acting as the backing store of a plain
@@ -19,7 +19,9 @@ struct L2CppcBacking<'a> {
 impl Backing for L2CppcBacking<'_> {
     fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
         debug_assert_eq!(words, self.l2.geometry().words_per_block());
-        self.l2.read_block(base, self.mem).expect("L2 DUE during fetch")
+        self.l2
+            .read_block(base, self.mem)
+            .expect("L2 DUE during fetch")
     }
 
     fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
@@ -61,7 +63,10 @@ fn l1_traffic_keeps_l2_invariant() {
     }
     assert!(l2.verify_invariant(), "L2 CPPC invariant after L1 traffic");
     // L2 saw block-granularity read-before-writes.
-    assert!(l2.stats().rbw_block_reads > 0, "write-backs hit dirty L2 blocks");
+    assert!(
+        l2.stats().rbw_block_reads > 0,
+        "write-backs hit dirty L2 blocks"
+    );
 }
 
 #[test]
@@ -134,7 +139,8 @@ fn spatial_fault_across_l2_blocks_corrected() {
     l2.inject(&FaultPattern::new(
         rows.iter().map(|&row| BitFlip { row, col: 3 }).collect(),
     ));
-    l2.recover_all(&mut mem).expect("byte shifting corrects the stripe");
+    l2.recover_all(&mut mem)
+        .expect("byte shifting corrects the stripe");
     let mut backing = L2CppcBacking {
         l2: &mut l2,
         mem: &mut mem,

@@ -27,13 +27,22 @@ fn figure10_cpi_shape() {
             .breakdown_from_stats(&p, L1Scheme::Cppc, OPS, base.l1_stats, base.l2_stats)
             .cpi();
         let t = model
-            .breakdown_from_stats(&p, L1Scheme::TwoDimParity, OPS, base.l1_stats, base.l2_stats)
+            .breakdown_from_stats(
+                &p,
+                L1Scheme::TwoDimParity,
+                OPS,
+                base.l1_stats,
+                base.l2_stats,
+            )
             .cpi();
         cppc.push(c / base.cpi() - 1.0);
         twodim.push(t / base.cpi() - 1.0);
     }
     let (ac, at) = (mean(&cppc), mean(&twodim));
-    assert!((0.0..0.01).contains(&ac), "CPPC avg CPI overhead {ac} (paper 0.3%)");
+    assert!(
+        (0.0..0.01).contains(&ac),
+        "CPPC avg CPI overhead {ac} (paper 0.3%)"
+    );
     assert!(at > 2.0 * ac, "2D overhead {at} must dwarf CPPC's {ac}");
     assert!(at < 0.08, "2D avg CPI overhead {at} (paper 1.7%)");
 }
@@ -50,16 +59,40 @@ fn figures11_12_energy_shape() {
 
     let schemes = |size: usize, assoc: usize, block: usize| {
         (
-            SchemeEnergy::new(size, assoc, block, ProtectionKind::OneDimParity { ways: 8 }, node),
+            SchemeEnergy::new(
+                size,
+                assoc,
+                block,
+                ProtectionKind::OneDimParity { ways: 8 },
+                node,
+            ),
             SchemeEnergy::new(size, assoc, block, ProtectionKind::Cppc { ways: 8 }, node),
-            SchemeEnergy::new(size, assoc, block, ProtectionKind::Secded { interleaved: true }, node),
-            SchemeEnergy::new(size, assoc, block, ProtectionKind::TwoDimParity { ways: 8 }, node),
+            SchemeEnergy::new(
+                size,
+                assoc,
+                block,
+                ProtectionKind::Secded { interleaved: true },
+                node,
+            ),
+            SchemeEnergy::new(
+                size,
+                assoc,
+                block,
+                ProtectionKind::TwoDimParity { ways: 8 },
+                node,
+            ),
         )
     };
-    let (l1_par, l1_cppc, l1_sec, l1_2d) =
-        schemes(machine.l1d.size_bytes, machine.l1d.associativity, machine.l1d.block_bytes);
-    let (l2_par, l2_cppc, l2_sec, l2_2d) =
-        schemes(machine.l2.size_bytes, machine.l2.associativity, machine.l2.block_bytes);
+    let (l1_par, l1_cppc, l1_sec, l1_2d) = schemes(
+        machine.l1d.size_bytes,
+        machine.l1d.associativity,
+        machine.l1d.block_bytes,
+    );
+    let (l2_par, l2_cppc, l2_sec, l2_2d) = schemes(
+        machine.l2.size_bytes,
+        machine.l2.associativity,
+        machine.l2.block_bytes,
+    );
 
     let mut l1_ratios = Vec::new();
     let mut l2_ratios = Vec::new();
@@ -93,7 +126,10 @@ fn figures11_12_energy_shape() {
 
     // L2 (Figure 12): paper +7% / +68% / +75%; CPPC cheaper at L2.
     assert!(l2c > 1.0 && l2c < 1.2, "L2 CPPC {l2c}");
-    assert!(l2c < l1c, "CPPC is relatively cheaper at L2 ({l2c} vs {l1c})");
+    assert!(
+        l2c < l1c,
+        "CPPC is relatively cheaper at L2 ({l2c} vs {l1c})"
+    );
     assert!(l2s > l2c, "L2 SECDED {l2s}");
     assert!(l2t > 1.4, "L2 2D {l2t}");
 
@@ -137,8 +173,20 @@ fn area_claim() {
 #[test]
 fn secded_bitline_rule() {
     let node = TechnologyNode::Nm32;
-    let plain = SchemeEnergy::new(32 * 1024, 2, 32, ProtectionKind::Secded { interleaved: false }, node);
-    let inter = SchemeEnergy::new(32 * 1024, 2, 32, ProtectionKind::Secded { interleaved: true }, node);
+    let plain = SchemeEnergy::new(
+        32 * 1024,
+        2,
+        32,
+        ProtectionKind::Secded { interleaved: false },
+        node,
+    );
+    let inter = SchemeEnergy::new(
+        32 * 1024,
+        2,
+        32,
+        ProtectionKind::Secded { interleaved: true },
+        node,
+    );
     let counts = AccessCounts {
         reads: 1000,
         writes: 500,

@@ -9,8 +9,8 @@
 //! fault-injection campaigns.
 
 use cppc::cache_sim::{CacheGeometry, MainMemory, ReplacementPolicy};
+use cppc::campaign::rng::{rngs::StdRng, RngExt, SeedableRng};
 use cppc::core::{CppcCache, CppcConfig};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -23,15 +23,25 @@ enum Op {
     Flush,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => any::<u16>().prop_map(Op::Load),
-        4 => (any::<u16>(), any::<u64>()).prop_map(|(a, v)| Op::Store(a, v)),
-        1 => (any::<u16>(), any::<u8>()).prop_map(|(a, v)| Op::StoreByte(a, v)),
-        2 => (any::<u16>(), 0u8..64).prop_map(|(addr, bit)| Op::FlipBit { addr, bit }),
-        1 => Just(Op::Recover),
-        1 => Just(Op::Flush),
-    ]
+/// Draws one op with the same weights the proptest strategy used:
+/// Load 4, Store 4, StoreByte 1, FlipBit 2, Recover 1, Flush 1.
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0u32..13) {
+        0..=3 => Op::Load(rng.random::<u64>() as u16),
+        4..=7 => Op::Store(rng.random::<u64>() as u16, rng.random::<u64>()),
+        8 => Op::StoreByte(rng.random::<u64>() as u16, rng.random::<u64>() as u8),
+        9 | 10 => Op::FlipBit {
+            addr: rng.random::<u64>() as u16,
+            bit: rng.random_range(0u32..64) as u8,
+        },
+        11 => Op::Recover,
+        _ => Op::Flush,
+    }
+}
+
+fn random_program(rng: &mut StdRng) -> Vec<Op> {
+    let len = rng.random_range(1usize..120);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 fn run_program(config: CppcConfig, ops: Vec<Op>) {
@@ -123,26 +133,29 @@ fn run_program(config: CppcConfig, ops: Vec<Op>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn basic_config_program(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        run_program(CppcConfig::basic(), ops);
+fn run_many(config_of: fn() -> CppcConfig, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..96 {
+        run_program(config_of(), random_program(&mut rng));
     }
+}
 
-    #[test]
-    fn paper_config_program(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        run_program(CppcConfig::paper(), ops);
-    }
+#[test]
+fn basic_config_program() {
+    run_many(CppcConfig::basic, 0x0901);
+}
 
-    #[test]
-    fn two_pair_config_program(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        run_program(CppcConfig::two_pairs(), ops);
-    }
+#[test]
+fn paper_config_program() {
+    run_many(CppcConfig::paper, 0x0902);
+}
 
-    #[test]
-    fn eight_pair_config_program(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        run_program(CppcConfig::eight_pairs(), ops);
-    }
+#[test]
+fn two_pair_config_program() {
+    run_many(CppcConfig::two_pairs, 0x0903);
+}
+
+#[test]
+fn eight_pair_config_program() {
+    run_many(CppcConfig::eight_pairs, 0x0904);
 }
