@@ -17,4 +17,15 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== cargo doc (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== docs/METRICS.md freshness"
+cargo run -q -p cppc-cli --bin metrics-md > docs/METRICS.md
+git diff --exit-code -- docs/METRICS.md || {
+    echo "docs/METRICS.md is stale: regenerate with" \
+         "'cargo run -p cppc-cli --bin metrics-md > docs/METRICS.md'" >&2
+    exit 1
+}
+
 echo "CI OK"

@@ -240,11 +240,16 @@ impl TwoLevelHierarchy {
         result
     }
 
-    /// Runs a whole trace.
+    /// Runs a whole trace, publishing per-level stat deltas to the
+    /// global [`obs`](crate::obs) registry once at the end.
     pub fn run<I: IntoIterator<Item = MemOp>>(&mut self, trace: I) {
+        let (l1_before, l2_before) = self.stats();
         for op in trace {
             self.step(op);
         }
+        let (l1_after, l2_after) = self.stats();
+        crate::obs::publish_level_delta(1, &l1_before, &l1_after);
+        crate::obs::publish_level_delta(2, &l2_before, &l2_after);
     }
 
     /// Zeroes both levels' statistics (cache contents and the clock are

@@ -43,6 +43,7 @@ pub mod geometry;
 pub mod hierarchy;
 pub mod hierarchy3;
 pub mod memory;
+pub mod obs;
 pub mod replacement;
 pub mod stats;
 pub mod victim;

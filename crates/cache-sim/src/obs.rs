@@ -1,0 +1,137 @@
+//! Global observability for the cache hierarchy.
+//!
+//! Per-instance [`CacheStats`] bundles remain
+//! the source of truth for experiments (they merge, reset and feed the
+//! energy model); this module additionally publishes per-level **deltas**
+//! into the process-wide `cppc-obs` registry so `cppc-cli stats` can
+//! show where hierarchy traffic went. Deltas are published once per
+//! [`run`](crate::hierarchy::TwoLevelHierarchy::run) call — a choke
+//! point — so the per-access hot path carries no extra work at all.
+
+use crate::stats::CacheStats;
+use cppc_obs::Counter;
+
+cppc_obs::metrics! {
+    group L1_METRICS: "cache.l1", "L1 data cache events (published per hierarchy run).";
+    counter L1_LOAD_HITS: "cache.l1.load_hits", "events", "Loads served by the L1 without going below.";
+    counter L1_LOAD_MISSES: "cache.l1.load_misses", "events", "Loads that missed the L1 and fetched from L2.";
+    counter L1_STORE_HITS: "cache.l1.store_hits", "events", "Stores absorbed by a resident L1 block.";
+    counter L1_STORE_MISSES: "cache.l1.store_misses", "events", "Stores that write-allocated an L1 block first.";
+    counter L1_WRITEBACKS: "cache.l1.writebacks", "events", "Dirty L1 victim blocks pushed down to the L2.";
+    counter L1_FILLS: "cache.l1.fills", "events", "Blocks installed into the L1 on misses.";
+}
+
+cppc_obs::metrics! {
+    group L2_METRICS: "cache.l2", "L2 cache events (published per hierarchy run).";
+    counter L2_LOAD_HITS: "cache.l2.load_hits", "events", "L1 miss fetches served by the L2.";
+    counter L2_LOAD_MISSES: "cache.l2.load_misses", "events", "L1 miss fetches that also missed the L2.";
+    counter L2_STORE_HITS: "cache.l2.store_hits", "events", "L1 write-backs absorbed by a resident L2 block.";
+    counter L2_STORE_MISSES: "cache.l2.store_misses", "events", "L1 write-backs that write-allocated an L2 block.";
+    counter L2_WRITEBACKS: "cache.l2.writebacks", "events", "Dirty L2 victim blocks pushed down a level.";
+    counter L2_FILLS: "cache.l2.fills", "events", "Blocks installed into the L2 on misses.";
+}
+
+cppc_obs::metrics! {
+    group L3_METRICS: "cache.l3", "L3 cache events (three-level hierarchy runs only).";
+    counter L3_LOAD_HITS: "cache.l3.load_hits", "events", "L2 miss fetches served by the L3.";
+    counter L3_LOAD_MISSES: "cache.l3.load_misses", "events", "L2 miss fetches that went to main memory.";
+    counter L3_STORE_HITS: "cache.l3.store_hits", "events", "L2 write-backs absorbed by a resident L3 block.";
+    counter L3_STORE_MISSES: "cache.l3.store_misses", "events", "L2 write-backs that write-allocated an L3 block.";
+    counter L3_WRITEBACKS: "cache.l3.writebacks", "events", "Dirty L3 victim blocks written to main memory.";
+    counter L3_FILLS: "cache.l3.fills", "events", "Blocks installed into the L3 on misses.";
+}
+
+struct LevelCounters {
+    load_hits: &'static Counter,
+    load_misses: &'static Counter,
+    store_hits: &'static Counter,
+    store_misses: &'static Counter,
+    writebacks: &'static Counter,
+    fills: &'static Counter,
+}
+
+static LEVELS: [LevelCounters; 3] = [
+    LevelCounters {
+        load_hits: &L1_LOAD_HITS,
+        load_misses: &L1_LOAD_MISSES,
+        store_hits: &L1_STORE_HITS,
+        store_misses: &L1_STORE_MISSES,
+        writebacks: &L1_WRITEBACKS,
+        fills: &L1_FILLS,
+    },
+    LevelCounters {
+        load_hits: &L2_LOAD_HITS,
+        load_misses: &L2_LOAD_MISSES,
+        store_hits: &L2_STORE_HITS,
+        store_misses: &L2_STORE_MISSES,
+        writebacks: &L2_WRITEBACKS,
+        fills: &L2_FILLS,
+    },
+    LevelCounters {
+        load_hits: &L3_LOAD_HITS,
+        load_misses: &L3_LOAD_MISSES,
+        store_hits: &L3_STORE_HITS,
+        store_misses: &L3_STORE_MISSES,
+        writebacks: &L3_WRITEBACKS,
+        fills: &L3_FILLS,
+    },
+];
+
+/// Registers the cache metric groups (idempotent). Called from the
+/// publish path and from `cppc-cli`'s describe mode.
+pub fn register_metrics() {
+    L1_METRICS.register();
+    L2_METRICS.register();
+    L3_METRICS.register();
+}
+
+/// Publishes the difference between two stat snapshots of cache level
+/// `level` (1-based) into the global registry. Counters that went
+/// backwards (stats were reset mid-run) contribute nothing.
+pub fn publish_level_delta(level: usize, before: &CacheStats, after: &CacheStats) {
+    assert!((1..=LEVELS.len()).contains(&level), "level out of range");
+    register_metrics();
+    let c = &LEVELS[level - 1];
+    c.load_hits
+        .add(after.load_hits.saturating_sub(before.load_hits));
+    c.load_misses
+        .add(after.load_misses.saturating_sub(before.load_misses));
+    c.store_hits
+        .add(after.store_hits.saturating_sub(before.store_hits));
+    c.store_misses
+        .add(after.store_misses.saturating_sub(before.store_misses));
+    c.writebacks
+        .add(after.writebacks.saturating_sub(before.writebacks));
+    c.fills.add(after.fills.saturating_sub(before.fills));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_publication_is_monotonic_and_safe() {
+        register_metrics();
+        let after = CacheStats {
+            load_hits: 5,
+            writebacks: 2,
+            ..CacheStats::default()
+        };
+        let before = CacheStats::default();
+        let h0 = L1_LOAD_HITS.get();
+        let w0 = L1_WRITEBACKS.get();
+        publish_level_delta(1, &before, &after);
+        // Reversed order must not underflow (e.g. reset between snaps).
+        publish_level_delta(1, &after, &before);
+        if cfg!(feature = "obs") {
+            assert_eq!(L1_LOAD_HITS.get(), h0 + 5);
+            assert_eq!(L1_WRITEBACKS.get(), w0 + 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level out of range")]
+    fn level_zero_rejected() {
+        publish_level_delta(0, &CacheStats::default(), &CacheStats::default());
+    }
+}

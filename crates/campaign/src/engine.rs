@@ -356,6 +356,8 @@ where
             since_save += 1;
             if finished || since_save >= policy.every_shards {
                 since_save = 0;
+                let _ckpt_span = crate::obs::CHECKPOINT_WRITE.start();
+                crate::obs::CHECKPOINT_WRITES.inc();
                 if let Err(e) = write_checkpoint(&policy.path, identity, slots) {
                     io_error.get_or_insert(e);
                 }
@@ -392,12 +394,14 @@ where
     let mut slots: Vec<Option<A>> = (0..total_shards).map(|_| None).collect();
     let mut tracker = MetricsTracker::new(cfg.trials, total_shards);
 
+    crate::obs::register_metrics();
     let mut resumed = 0u64;
     for (shard, acc) in preloaded {
         let slot = &mut slots[shard as usize];
         if slot.is_none() {
             let (lo, hi) = cfg.shard_bounds(shard);
             tracker.record_resumed(hi - lo, &acc.counters());
+            crate::obs::SHARDS_RESUMED.inc();
             *slot = Some(acc);
             resumed += 1;
         }
@@ -423,6 +427,7 @@ where
             scope.spawn(move || {
                 while let Some(shard) = queue.next(worker) {
                     let (lo, hi) = cfg.shard_bounds(shard);
+                    let _shard_span = crate::obs::SHARD_LATENCY.start();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         let mut acc = A::default();
                         for trial in lo..hi {
@@ -442,6 +447,12 @@ where
                         break;
                     }
                 }
+                // Spill this worker's span aggregates before the closure
+                // returns: `thread::scope` unblocks on closure completion,
+                // which can precede the thread's TLS destructors, so a
+                // snapshot taken right after the scope would race the
+                // destructor-driven spill.
+                cppc_obs::flush();
             });
         }
         drop(tx);
@@ -451,11 +462,17 @@ where
                 WorkerMsg::Done { shard, acc } => {
                     let (lo, hi) = cfg.shard_bounds(shard);
                     tracker.record_executed(hi - lo, &acc.counters());
+                    crate::obs::SHARDS_EXECUTED.inc();
+                    crate::obs::TRIALS_EXECUTED.add(hi - lo);
                     slots[shard as usize] = Some(acc);
                 }
                 WorkerMsg::Failed { shard, message } => {
                     let (lo, hi) = cfg.shard_bounds(shard);
                     tracker.record_failed(hi - lo);
+                    crate::obs::SHARDS_FAILED.inc();
+                    cppc_obs::record_event("campaign.shard_failed", || {
+                        format!("shard {shard} (trials {lo}..{hi}): {message}")
+                    });
                     failed.push(FailedShard {
                         shard,
                         trial_lo: lo,

@@ -45,12 +45,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod checkpoint;
 pub mod engine;
 pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod rng;
 
 pub use checkpoint::{CampaignIdentity, CheckpointError, Persist};

@@ -1,0 +1,23 @@
+//! Global observability for the campaign engine.
+//!
+//! Shard latency, checkpoint write time and shard failures feed the
+//! process-wide `cppc-obs` registry and event ring. The per-campaign
+//! `MetricsTracker` snapshots (the engine's [`Progress`](crate::Progress)
+//! reports) remain the deterministic, per-run source of truth; these
+//! metrics accumulate across every campaign in the process.
+
+cppc_obs::metrics! {
+    group CAMPAIGN_METRICS: "campaign", "Campaign engine: shard throughput, checkpointing and failures.";
+    counter SHARDS_EXECUTED: "campaign.shards_executed", "shards", "Shards executed to completion by worker threads.";
+    counter SHARDS_RESUMED: "campaign.shards_resumed", "shards", "Shards skipped because a checkpoint already held them.";
+    counter SHARDS_FAILED: "campaign.shards_failed", "shards", "Shards abandoned because a trial panicked.";
+    counter TRIALS_EXECUTED: "campaign.trials_executed", "trials", "Individual trials run (excludes resumed trials).";
+    counter CHECKPOINT_WRITES: "campaign.checkpoint_writes", "events", "Checkpoint files written.";
+    timer SHARD_LATENCY: "campaign.shard.ns", "ns", "Wall time of each shard (its whole trial range).";
+    timer CHECKPOINT_WRITE: "campaign.checkpoint.write.ns", "ns", "Wall time of each checkpoint serialisation + write.";
+}
+
+/// Registers the campaign metric group (idempotent).
+pub fn register_metrics() {
+    CAMPAIGN_METRICS.register();
+}

@@ -1,0 +1,49 @@
+//! The engine's observability hooks: shard spans spill from worker
+//! threads at exit, and executed/failed shard counts reach the global
+//! registry.
+
+use cppc_campaign::{run, Accumulator, CampaignConfig};
+
+#[derive(Default)]
+struct CountAcc(u64);
+
+impl Accumulator for CountAcc {
+    type Item = u64;
+    fn record(&mut self, _trial: u64, _item: u64) {
+        self.0 += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+#[test]
+fn shard_metrics_reach_global_registry() {
+    let executed_before = cppc_campaign::obs::SHARDS_EXECUTED.get();
+    let spans_before = cppc_campaign::obs::SHARD_LATENCY.stats();
+    let trials_before = cppc_campaign::obs::TRIALS_EXECUTED.get();
+
+    let cfg = CampaignConfig::new(0xB0B, 500).threads(2);
+    let report: cppc_campaign::CampaignReport<CountAcc> = run(&cfg, |_rng, trial| trial);
+    assert_eq!(report.result.0, 500);
+    let shards = report.completed_shards;
+    assert!(shards > 0);
+
+    cppc_obs::flush();
+    if cfg!(feature = "obs") {
+        assert_eq!(
+            cppc_campaign::obs::SHARDS_EXECUTED.get() - executed_before,
+            shards
+        );
+        assert_eq!(
+            cppc_campaign::obs::TRIALS_EXECUTED.get() - trials_before,
+            500
+        );
+        let spans = cppc_campaign::obs::SHARD_LATENCY.stats();
+        assert_eq!(
+            spans.count - spans_before.count,
+            shards,
+            "each shard records exactly one latency span"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Generates `docs/METRICS.md` from the `cppc-obs` metric registry.
+//!
+//! Prints the reference to stdout; the checked-in file is produced with
+//!
+//! ```console
+//! $ cargo run -p cppc-cli --bin metrics-md > docs/METRICS.md
+//! ```
+//!
+//! and `ci.sh` regenerates it and fails on drift, so the document can
+//! never fall out of sync with the metrics declared in code.
+
+fn main() {
+    // Touch every instrumented crate so its groups self-register; the
+    // reference lists metadata only and works with `obs` off too.
+    cppc_cache_sim::obs::register_metrics();
+    cppc_core::obs::register_metrics();
+    cppc_timing::obs::register_metrics();
+    cppc_campaign::obs::register_metrics();
+    print!("{}", cppc_obs::reference_markdown());
+}

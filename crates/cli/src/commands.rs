@@ -75,6 +75,16 @@ COMMANDS:
   coherence    multiprocessor CPPC read-before-write sweep
                  --cores <n>      cores (default 4)
                  --ops <n>        total ops (default 100000)
+  stats        run a workload + mini campaign, then print the live
+               metrics registry (see docs/METRICS.md)
+                 --bench <name>   benchmark (default gcc)
+                 --ops <n>        memory operations (default 200000)
+                 --seed <n>       seed (default 42)
+                 --trials <n>     injection trials (default 200)
+                 --format table|json (default table)
+                 --all true|false include zero metrics (default false)
+                 --events <n>     ring events to tail (default 10)
+                 --describe true  print the metrics reference, no run
   help         this text"
     );
 }
@@ -550,6 +560,85 @@ pub fn sweep(args: &ParsedArgs) -> CliResult {
             }
         }
         other => return Err(format!("unknown sweep '{other}' (use pairs|ways)").into()),
+    }
+    Ok(())
+}
+
+/// Registers every instrumented subsystem's metric groups, so describe
+/// mode and snapshots list them even before any activity. Kept in sync
+/// with the `metrics-md` generator binary.
+pub fn register_all_metrics() {
+    cppc_cache_sim::obs::register_metrics();
+    cppc_core::obs::register_metrics();
+    cppc_timing::obs::register_metrics();
+    cppc_campaign::obs::register_metrics();
+}
+
+/// `stats`
+pub fn stats(args: &ParsedArgs) -> CliResult {
+    register_all_metrics();
+    if args.get_parsed("describe", false)? {
+        print!("{}", cppc_obs::reference_markdown());
+        return Ok(());
+    }
+
+    let bench = args.get_or("bench", "gcc");
+    let ops: usize = args.get_parsed("ops", 200_000)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let trials: u64 = args.get_parsed("trials", 200)?;
+    let format = args.get_or("format", "table");
+    let include_zero: bool = args.get_parsed("all", false)?;
+    let tail: usize = args.get_parsed("events", 10)?;
+
+    let profiles = spec2000_profiles();
+    let profile = profiles
+        .iter()
+        .find(|p| p.name == bench)
+        .ok_or_else(|| format!("unknown benchmark '{bench}' (see `benchmarks`)"))?;
+
+    // A Figure 10-style run: one functional pass shared by the three
+    // protection schemes, so the timing group accumulates a stall-cause
+    // breakdown covering each scheme's port-conflict term.
+    eprintln!("running {bench} ({ops} ops) across 1D-parity / CPPC / 2D-parity ...");
+    let model = TimingModel::new(MachineConfig::table1());
+    let base = model.simulate(profile, L1Scheme::OneDimParity, ops, seed);
+    for scheme in [L1Scheme::Cppc, L1Scheme::TwoDimParity] {
+        let _ = model.breakdown_from_stats(profile, scheme, ops, base.l1_stats, base.l2_stats);
+    }
+
+    // A small fault-injection campaign so the recovery engine, register
+    // file, campaign scheduler and event ring have something to show.
+    eprintln!("running {trials}-trial fault-injection campaign ...");
+    let geo = CacheGeometry::new(2048, 2, 32)?;
+    let cfg = CampaignConfig::new(seed, trials);
+    let fault = FaultModel::SpatialSquare {
+        rows: 4,
+        cols: 4,
+        density: 1.0,
+    };
+    let _report: CampaignReport<OutcomeTally> =
+        cppc_campaign::run(&cfg, inject_experiment(geo, CppcConfig::paper(), fault));
+    eprintln!();
+
+    let groups = cppc_obs::snapshot();
+    match format {
+        "table" => print!("{}", cppc_obs::render_table(&groups, include_zero)),
+        "json" => println!("{}", cppc_obs::render_json(&groups)),
+        other => return Err(format!("unknown format '{other}' (use table|json)").into()),
+    }
+
+    if tail > 0 && format == "table" {
+        let events = cppc_obs::events();
+        if !events.is_empty() {
+            println!(
+                "last {} of {} buffered events:",
+                tail.min(events.len()),
+                events.len()
+            );
+            for e in events.iter().rev().take(tail).rev() {
+                println!("  #{:<6} {:<22} {}", e.seq, e.label, e.detail);
+            }
+        }
     }
     Ok(())
 }

@@ -38,6 +38,7 @@ fn main() {
         "trace" => commands::trace(&parsed),
         "montecarlo" => commands::montecarlo(&parsed),
         "coherence" => commands::coherence(&parsed),
+        "stats" => commands::stats(&parsed),
         other => {
             eprintln!("error: unknown subcommand '{other}'");
             commands::print_help();

@@ -658,6 +658,14 @@ impl CppcCache {
                 applied += 1;
             }
         }
+        crate::obs::register_metrics();
+        crate::obs::FAULTS_INJECTED.add(applied as u64);
+        cppc_obs::record_event("cppc.inject", || {
+            format!(
+                "{applied} of {} flips landed on valid blocks",
+                pattern.flips().len()
+            )
+        });
         applied
     }
 
@@ -700,6 +708,35 @@ impl CppcCache {
     ///
     /// Returns [`Due`] when any fault is unrecoverable.
     pub fn recover_all<B: Backing>(&mut self, backing: &mut B) -> Result<RecoveryReport, Due> {
+        crate::obs::register_metrics();
+        crate::obs::RECOVERY_WALKS.inc();
+        let _walk = crate::obs::RECOVERY_WALK.start();
+        let detections_before = self.stats.detections;
+        let result = self.recover_all_inner(backing);
+        crate::obs::DETECTIONS.add(self.stats.detections - detections_before);
+        match &result {
+            Ok(report) => {
+                crate::obs::CORRECTED_CLEAN.add(report.corrected_clean as u64);
+                crate::obs::CORRECTED_DIRTY.add(report.corrected_dirty as u64);
+                crate::obs::VIA_LOCATOR.add(report.via_locator as u64);
+                if report.corrected_clean + report.corrected_dirty > 0 {
+                    cppc_obs::record_event("cppc.recovery", || {
+                        format!(
+                            "corrected clean={} dirty={} via_locator={}",
+                            report.corrected_clean, report.corrected_dirty, report.via_locator
+                        )
+                    });
+                }
+            }
+            Err(due) => {
+                crate::obs::DUES.inc();
+                cppc_obs::record_event("cppc.due", || format!("{:?}", due.reason));
+            }
+        }
+        result
+    }
+
+    fn recover_all_inner<B: Backing>(&mut self, backing: &mut B) -> Result<RecoveryReport, Due> {
         self.stats.recoveries += 1;
         let mut report = RecoveryReport::default();
         let geo = *self.inner.geometry();

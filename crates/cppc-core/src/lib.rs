@@ -34,7 +34,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baselines;
 pub mod cache;
@@ -42,6 +42,7 @@ pub mod config;
 pub mod full;
 pub mod icr;
 pub mod locator;
+pub mod obs;
 pub mod registers;
 pub mod rotate;
 pub mod tags;

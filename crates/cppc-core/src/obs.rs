@@ -1,0 +1,26 @@
+//! Global observability for the CPPC core.
+//!
+//! Publishes register-file activity and recovery outcomes into the
+//! process-wide `cppc-obs` registry, and traces each recovery walk /
+//! fault injection into the bounded event ring so a campaign failure
+//! can be reconstructed after the fact. Per-instance
+//! [`CppcStats`](crate::cache::CppcStats) bundles are unaffected.
+
+cppc_obs::metrics! {
+    group CPPC_METRICS: "cppc", "CPPC core: R1/R2 register updates, fault detection and the recovery engine.";
+    counter R1_UPDATES: "cppc.r1_updates", "events", "XOR updates absorbed into R1 — dirty data entering the cache.";
+    counter R2_UPDATES: "cppc.r2_updates", "events", "XOR updates absorbed into R2 — dirty data leaving the cache.";
+    counter FAULTS_INJECTED: "cppc.faults_injected", "bits", "Fault-pattern bits actually applied to resident blocks.";
+    counter RECOVERY_WALKS: "cppc.recovery.walks", "events", "Whole-cache recovery scans started (paper section 4.4).";
+    counter DETECTIONS: "cppc.recovery.detections", "events", "Parity violations found by recovery scans.";
+    counter CORRECTED_CLEAN: "cppc.recovery.corrected_clean", "events", "Faulty clean words repaired by re-fetching from below.";
+    counter CORRECTED_DIRTY: "cppc.recovery.corrected_dirty", "events", "Faulty dirty words rebuilt from the XOR registers.";
+    counter VIA_LOCATOR: "cppc.recovery.via_locator", "events", "Dirty repairs that needed the spatial fault locator.";
+    counter DUES: "cppc.recovery.dues", "events", "Detected-but-unrecoverable recovery outcomes.";
+    timer RECOVERY_WALK: "cppc.recovery.walk.ns", "ns", "Wall time of each whole-cache recovery scan.";
+}
+
+/// Registers the CPPC metric group (idempotent).
+pub fn register_metrics() {
+    CPPC_METRICS.register();
+}

@@ -75,6 +75,7 @@ impl RegisterFile {
     /// XORs `word`, rotated left by `rotation` bytes, into R1 of `pair`
     /// lane `lane` — the action on every store (paper Figure 2).
     pub fn absorb_store(&mut self, pair: usize, lane: usize, word: u64, rotation: u32) {
+        crate::obs::R1_UPDATES.inc();
         let i = self.idx(pair, lane);
         self.r1[i] ^= rotate_left_bytes(word, rotation);
         self.r1_parity[i] = byte_parity64(self.r1[i]);
@@ -84,6 +85,7 @@ impl RegisterFile {
     /// lane `lane` — the action when dirty data leaves the cache (by
     /// overwrite or write-back).
     pub fn absorb_removal(&mut self, pair: usize, lane: usize, word: u64, rotation: u32) {
+        crate::obs::R2_UPDATES.inc();
         let i = self.idx(pair, lane);
         self.r2[i] ^= rotate_left_bytes(word, rotation);
         self.r2_parity[i] = byte_parity64(self.r2[i]);

@@ -1,0 +1,83 @@
+//! `cppc-obs` — the workspace's unified observability layer.
+//!
+//! Every hot layer of the CPPC reproduction (the cache hierarchy, the
+//! CPPC core's register/recovery machinery, the timing model, the
+//! campaign engine) reports into one **static metric registry** defined
+//! here, so that where time and events go is visible end to end with a
+//! single `cppc-cli stats` call — and documented from a single source
+//! of truth (`docs/METRICS.md` is generated from the registry and CI
+//! rejects drift).
+//!
+//! Four pieces, all dependency-free:
+//!
+//! * [`registry`] — typed [`Counter`]/[`Gauge`]/[`Timer`] cells declared
+//!   with the [`metrics!`] macro, which makes a name, a unit and a doc
+//!   string mandatory for every metric;
+//! * [`span`] — scoped span timers ([`Timer::start`] returns a drop
+//!   guard) aggregating thread-locally and spilling to relaxed atomics;
+//! * [`ring`] — a bounded event ring buffer for fault-injection and
+//!   recovery traces ([`record_event`]);
+//! * [`export`] — [`snapshot`] plus table / JSON / markdown renderers.
+//!
+//! # Cost model
+//!
+//! Counters are one relaxed `fetch_add`. Span timers read the clock
+//! twice and touch only thread-local state. Two switches take even that
+//! away: the crate's **`enabled` feature** (default on; consumer crates
+//! forward it as their `obs` feature) compiles every update to nothing,
+//! and the runtime [`set_enabled`] flag short-circuits timers and ring
+//! events with one relaxed load.
+//!
+//! # Quick start
+//!
+//! ```
+//! mod obs {
+//!     cppc_obs::metrics! {
+//!         group DEMO_METRICS: "demo", "Example subsystem.";
+//!         counter DEMO_OPS: "demo.ops", "events", "Operations processed.";
+//!         timer DEMO_STEP: "demo.step.ns", "ns", "Wall time per processing step.";
+//!     }
+//! }
+//!
+//! obs::DEMO_METRICS.register();
+//! obs::DEMO_OPS.add(3);
+//! {
+//!     let _span = obs::DEMO_STEP.start(); // records on drop
+//! }
+//! cppc_obs::record_event("demo.fault", || "bit 4 flipped".to_string());
+//!
+//! let groups = cppc_obs::snapshot();
+//! let demo = groups.iter().find(|g| g.subsystem == "demo").unwrap();
+//! assert_eq!(demo.metrics[0].name, "demo.ops");
+//! println!("{}", cppc_obs::render_table(&groups, false));
+//! # Ok::<(), std::convert::Infallible>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod registry;
+pub mod ring;
+pub mod span;
+
+pub use export::{
+    reference_markdown, render_json, render_table, snapshot, GroupSnapshot, MetricSnapshot,
+    SnapshotValue,
+};
+pub use registry::{reset_all, Counter, Gauge, MetricDef, MetricGroup, MetricKind, MetricRef};
+pub use ring::{clear as clear_events, events, record_event, set_capacity, Event};
+pub use span::{flush, runtime_enabled, set_enabled, Span, Timer, TimerStats};
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static GLOBAL: Mutex<()> = Mutex::new(());
+
+    /// Tests that mutate process-global obs state (the runtime switch,
+    /// the ring capacity) hold this lock so they do not race each other.
+    pub(crate) fn hold() -> MutexGuard<'static, ()> {
+        GLOBAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,161 @@
+//! A bounded in-memory event ring buffer for fault-injection and
+//! recovery traces.
+//!
+//! Unlike the metric registry (aggregates only), the ring keeps the
+//! last `capacity` individual events — enough to reconstruct *what
+//! happened around* a fault: injection, detection, recovery outcome,
+//! shard failure. Recording is gated by the same runtime switch as the
+//! span timers and costs nothing when the `enabled` feature is off; the
+//! `detail` closure only runs when the event is actually stored.
+
+use std::sync::Mutex;
+
+/// Default ring capacity.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (process-wide, never reused).
+    pub seq: u64,
+    /// Static label identifying the event class, e.g. `cppc.recovery`.
+    pub label: &'static str,
+    /// Free-form detail built at record time.
+    pub detail: String,
+}
+
+struct Ring {
+    events: std::collections::VecDeque<Event>,
+    capacity: usize,
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    next_seq: u64,
+    dropped: u64,
+}
+
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+
+fn with_ring<R>(f: impl FnOnce(&mut Ring) -> R) -> R {
+    let mut guard = RING.lock().expect("event ring lock");
+    let ring = guard.get_or_insert_with(|| Ring {
+        events: std::collections::VecDeque::with_capacity(DEFAULT_CAPACITY),
+        capacity: DEFAULT_CAPACITY,
+        next_seq: 0,
+        dropped: 0,
+    });
+    f(ring)
+}
+
+/// Records an event. The `detail` closure is evaluated only when the
+/// event will actually be stored (feature on + runtime switch on).
+pub fn record_event(label: &'static str, detail: impl FnOnce() -> String) {
+    #[cfg(feature = "enabled")]
+    {
+        if !crate::span::runtime_enabled() {
+            return;
+        }
+        let detail = detail();
+        with_ring(|ring| {
+            if ring.events.len() >= ring.capacity {
+                ring.events.pop_front();
+                ring.dropped += 1;
+            }
+            let seq = ring.next_seq;
+            ring.next_seq += 1;
+            ring.events.push_back(Event { seq, label, detail });
+        });
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (label, detail);
+    }
+}
+
+/// Changes the ring capacity, trimming the oldest events if needed.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn set_capacity(capacity: usize) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    with_ring(|ring| {
+        ring.capacity = capacity;
+        while ring.events.len() > capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+    });
+}
+
+/// The buffered events, oldest first.
+#[must_use]
+pub fn events() -> Vec<Event> {
+    with_ring(|ring| ring.events.iter().cloned().collect())
+}
+
+/// How many events have been evicted to bound the ring.
+#[must_use]
+pub fn dropped() -> u64 {
+    with_ring(|ring| ring.dropped)
+}
+
+/// Empties the ring (sequence numbers keep increasing).
+pub fn clear() {
+    with_ring(|ring| {
+        ring.events.clear();
+        ring.dropped = 0;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn records_and_bounds() {
+        let _guard = crate::test_lock::hold();
+        clear();
+        set_capacity(4);
+        for i in 0..10 {
+            record_event("test.ring", || format!("event {i}"));
+        }
+        let got = events();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got.last().unwrap().detail, "event 9");
+        assert_eq!(got[0].detail, "event 6");
+        assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(dropped() >= 6);
+        set_capacity(DEFAULT_CAPACITY);
+        clear();
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn detail_closure_skipped_when_disabled() {
+        let _guard = crate::test_lock::hold();
+        clear();
+        crate::span::set_enabled(false);
+        let mut ran = false;
+        record_event("test.ring", || {
+            ran = true;
+            String::new()
+        });
+        crate::span::set_enabled(true);
+        assert!(!ran, "detail built despite runtime-disabled");
+        assert!(events().is_empty());
+    }
+
+    #[test]
+    #[cfg(not(feature = "enabled"))]
+    fn disabled_feature_stores_nothing() {
+        record_event("test.ring", || "x".to_string());
+        assert!(events().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _guard = crate::test_lock::hold();
+        set_capacity(0);
+    }
+}

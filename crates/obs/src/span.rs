@@ -1,0 +1,410 @@
+//! Scoped span timers with thread-local aggregation.
+//!
+//! [`Timer::start`] returns a guard; when the guard drops, the elapsed
+//! time is folded into a **thread-local** accumulator (no shared-cache
+//! traffic on the hot path) that spills into the timer's global atomics
+//! every [`SPILL_EVERY`] records and when the thread exits. Reading a
+//! timer therefore requires a [`flush`] of the calling thread first —
+//! [`crate::snapshot`] does this automatically.
+//!
+//! Two switches keep the disabled cost near zero:
+//!
+//! * the crate's `enabled` **feature** removes every body at compile
+//!   time;
+//! * the runtime [`set_enabled`] flag short-circuits `start` with one
+//!   relaxed atomic load, skipping the clock read entirely.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Number of log₂ histogram buckets a [`Timer`] keeps. Bucket 0 holds
+/// spans under 256 ns; each following bucket doubles the bound; the
+/// last bucket absorbs everything ≥ ~2.1 ms.
+pub const TIMER_BUCKETS: usize = 14;
+
+/// Thread-local records accumulated before spilling to the global
+/// atomics.
+pub const SPILL_EVERY: u64 = 64;
+
+static RUNTIME_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Runtime kill-switch for span timers and ring events (counters are
+/// single relaxed adds and stay on). Metrics already recorded remain.
+pub fn set_enabled(enabled: bool) {
+    RUNTIME_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the runtime switch is on.
+#[must_use]
+pub fn runtime_enabled() -> bool {
+    RUNTIME_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Histogram bucket index for a span of `ns` nanoseconds.
+#[must_use]
+pub fn bucket_of(ns: u64) -> usize {
+    let bits = 64 - ns.leading_zeros() as usize;
+    bits.saturating_sub(8).min(TIMER_BUCKETS - 1)
+}
+
+/// Inclusive upper bound (ns) of histogram bucket `i` (the last bucket
+/// is unbounded and reports `u64::MAX`).
+#[must_use]
+pub fn bucket_upper_ns(i: usize) -> u64 {
+    if i + 1 >= TIMER_BUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << (8 + i)) - 1
+    }
+}
+
+/// A duration histogram fed by scoped spans.
+#[derive(Debug)]
+pub struct Timer {
+    #[cfg(feature = "enabled")]
+    count: AtomicU64,
+    #[cfg(feature = "enabled")]
+    total_ns: AtomicU64,
+    #[cfg(feature = "enabled")]
+    max_ns: AtomicU64,
+    #[cfg(feature = "enabled")]
+    buckets: [AtomicU64; TIMER_BUCKETS],
+}
+
+/// One timer's aggregate state, as read by the exporters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimerStats {
+    /// Spans recorded.
+    pub count: u64,
+    /// Sum of span durations, ns.
+    pub total_ns: u64,
+    /// Longest span, ns.
+    pub max_ns: u64,
+    /// Log₂ duration histogram (see [`bucket_upper_ns`]).
+    pub buckets: [u64; TIMER_BUCKETS],
+}
+
+impl TimerStats {
+    /// Mean span duration in ns (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+impl Timer {
+    /// Creates an empty timer (used by the declaration macro).
+    #[must_use]
+    pub const fn new() -> Self {
+        Timer {
+            #[cfg(feature = "enabled")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            total_ns: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            max_ns: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            buckets: [const { AtomicU64::new(0) }; TIMER_BUCKETS],
+        }
+    }
+
+    /// Starts a span; the drop of the returned guard records it. When
+    /// disabled (feature or runtime switch) no clock is read.
+    #[must_use]
+    pub fn start(&'static self) -> Span {
+        #[cfg(feature = "enabled")]
+        {
+            if runtime_enabled() {
+                return Span::Running {
+                    timer: self,
+                    start: Instant::now(),
+                };
+            }
+        }
+        Span::Disabled
+    }
+
+    /// Records a span of `ns` nanoseconds through the thread-local
+    /// aggregator (public so instrumentation can time things a guard
+    /// cannot scope, e.g. checkpoint writes already measured).
+    pub fn record_ns(&'static self, ns: u64) {
+        #[cfg(feature = "enabled")]
+        local::record(self, ns);
+        #[cfg(not(feature = "enabled"))]
+        let _ = ns;
+    }
+
+    /// Current aggregate state. Call [`flush`] first to include the
+    /// calling thread's unspilled records.
+    #[must_use]
+    pub fn stats(&self) -> TimerStats {
+        #[cfg(feature = "enabled")]
+        {
+            let mut buckets = [0u64; TIMER_BUCKETS];
+            for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+                *out = b.load(Ordering::Relaxed);
+            }
+            TimerStats {
+                count: self.count.load(Ordering::Relaxed),
+                total_ns: self.total_ns.load(Ordering::Relaxed),
+                max_ns: self.max_ns.load(Ordering::Relaxed),
+                buckets,
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        TimerStats::default()
+    }
+
+    /// Zeroes the timer (test/reset support).
+    pub fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        {
+            self.count.store(0, Ordering::Relaxed);
+            self.total_ns.store(0, Ordering::Relaxed);
+            self.max_ns.store(0, Ordering::Relaxed);
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn spill(&self, count: u64, total_ns: u64, max_ns: u64, buckets: &[u64; TIMER_BUCKETS]) {
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.total_ns.fetch_add(total_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(max_ns, Ordering::Relaxed);
+        for (global, &local) in self.buckets.iter().zip(buckets) {
+            if local != 0 {
+                global.fetch_add(local, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::new()
+    }
+}
+
+/// Scope guard returned by [`Timer::start`]; records on drop.
+#[derive(Debug)]
+pub enum Span {
+    /// Timing is off — drop does nothing.
+    Disabled,
+    /// A live span.
+    Running {
+        /// The timer the span reports to.
+        timer: &'static Timer,
+        /// When the span began.
+        start: Instant,
+    },
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Span::Running { timer, start } = self {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            timer.record_ns(ns);
+        }
+    }
+}
+
+/// Spills the calling thread's aggregated spans into the global timers.
+/// Called automatically by [`crate::snapshot`] and at thread exit.
+///
+/// Worker threads that record spans should call this before their main
+/// closure returns. The exit-time spill runs in the thread's TLS
+/// destructor, and `std::thread::scope` (unlike [`JoinHandle::join`],
+/// which waits for full thread termination) unblocks as soon as the
+/// closure completes — so a snapshot taken right after a scope can race
+/// a destructor-driven spill and miss those records.
+///
+/// [`JoinHandle::join`]: std::thread::JoinHandle::join
+pub fn flush() {
+    #[cfg(feature = "enabled")]
+    local::flush_current_thread();
+}
+
+#[cfg(feature = "enabled")]
+mod local {
+    use super::{Timer, SPILL_EVERY, TIMER_BUCKETS};
+    use std::cell::RefCell;
+
+    struct LocalEntry {
+        timer: &'static Timer,
+        count: u64,
+        total_ns: u64,
+        max_ns: u64,
+        buckets: [u64; TIMER_BUCKETS],
+    }
+
+    #[derive(Default)]
+    struct LocalAgg {
+        entries: Vec<LocalEntry>,
+        pending: u64,
+    }
+
+    impl LocalAgg {
+        fn spill(&mut self) {
+            for e in &mut self.entries {
+                if e.count != 0 {
+                    e.timer.spill(e.count, e.total_ns, e.max_ns, &e.buckets);
+                    e.count = 0;
+                    e.total_ns = 0;
+                    e.max_ns = 0;
+                    e.buckets = [0; TIMER_BUCKETS];
+                }
+            }
+            self.pending = 0;
+        }
+    }
+
+    impl Drop for LocalAgg {
+        fn drop(&mut self) {
+            self.spill();
+        }
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<LocalAgg> = RefCell::new(LocalAgg::default());
+    }
+
+    pub(super) fn record(timer: &'static Timer, ns: u64) {
+        let landed = LOCAL
+            .try_with(|local| {
+                let mut local = local.borrow_mut();
+                let entry = match local
+                    .entries
+                    .iter_mut()
+                    .position(|e| std::ptr::eq(e.timer, timer))
+                {
+                    Some(i) => &mut local.entries[i],
+                    None => {
+                        local.entries.push(LocalEntry {
+                            timer,
+                            count: 0,
+                            total_ns: 0,
+                            max_ns: 0,
+                            buckets: [0; TIMER_BUCKETS],
+                        });
+                        local.entries.last_mut().expect("just pushed")
+                    }
+                };
+                entry.count += 1;
+                entry.total_ns += ns;
+                entry.max_ns = entry.max_ns.max(ns);
+                entry.buckets[super::bucket_of(ns)] += 1;
+                local.pending += 1;
+                if local.pending >= SPILL_EVERY {
+                    local.spill();
+                }
+            })
+            .is_ok();
+        if !landed {
+            // TLS already torn down (thread exit path): go straight to
+            // the global atomics.
+            timer.spill(1, ns, ns, &{
+                let mut b = [0; TIMER_BUCKETS];
+                b[super::bucket_of(ns)] = 1;
+                b
+            });
+        }
+    }
+
+    pub(super) fn flush_current_thread() {
+        let _ = LOCAL.try_with(|local| local.borrow_mut().spill());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static T: Timer = Timer::new();
+    #[cfg(feature = "enabled")]
+    static T2: Timer = Timer::new();
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(255), 0);
+        assert_eq!(bucket_of(256), 1);
+        assert_eq!(bucket_of(511), 1);
+        assert_eq!(bucket_of(512), 2);
+        assert_eq!(bucket_of(u64::MAX), TIMER_BUCKETS - 1);
+        assert_eq!(bucket_upper_ns(0), 255);
+        assert_eq!(bucket_upper_ns(1), 511);
+        assert_eq!(bucket_upper_ns(TIMER_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn spans_aggregate_through_tls() {
+        let _guard = crate::test_lock::hold();
+        for _ in 0..10 {
+            let _span = T.start();
+        }
+        T.record_ns(1000);
+        flush();
+        let stats = T.stats();
+        assert_eq!(stats.count, 11);
+        assert!(stats.total_ns >= 1000);
+        assert!(stats.max_ns >= 1000);
+        assert_eq!(stats.buckets.iter().sum::<u64>(), stats.count);
+        assert!((stats.mean_ns() as u128) <= u128::from(stats.total_ns));
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn worker_threads_spill_on_exit() {
+        // `JoinHandle::join` (unlike `thread::scope`) waits for full
+        // thread termination, including the TLS destructor that spills.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..100 {
+                        T2.record_ns(300);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // No flush needed: TLS destructors spilled at thread exit.
+        let stats = T2.stats();
+        assert_eq!(stats.count, 400);
+        assert_eq!(stats.total_ns, 400 * 300);
+        assert_eq!(stats.buckets[bucket_of(300)], 400);
+    }
+
+    #[test]
+    fn runtime_switch_skips_clock() {
+        let _guard = crate::test_lock::hold();
+        assert!(runtime_enabled());
+        set_enabled(false);
+        {
+            let _span = T.start(); // must not record
+        }
+        set_enabled(true);
+        // Only checkable when enabled at compile time.
+        #[cfg(feature = "enabled")]
+        {
+            flush();
+            let before = T.stats().count;
+            set_enabled(false);
+            drop(T.start());
+            set_enabled(true);
+            flush();
+            assert_eq!(T.stats().count, before);
+        }
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(TimerStats::default().mean_ns(), 0);
+    }
+}

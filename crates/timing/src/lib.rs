@@ -25,6 +25,7 @@
 pub mod accounting;
 pub mod config;
 pub mod model;
+pub mod obs;
 pub mod pipeline;
 
 pub use accounting::counts_from_stats;

@@ -107,6 +107,7 @@ impl TimingModel {
         memops: usize,
         seed: u64,
     ) -> CpiBreakdown {
+        let _span = crate::obs::SIMULATE.start();
         let l1 = self.machine.l1d.geometry().expect("valid L1 geometry");
         let l2 = self.machine.l2.geometry().expect("valid L2 geometry");
         let mut hierarchy = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
@@ -200,6 +201,13 @@ impl TimingModel {
                     + conflict_cycles(l1_stats.fills as f64 * wpb, 0.0)
             }
         };
+        crate::obs::publish_breakdown(
+            instructions,
+            instructions * base_cpi,
+            l1_miss_cycles,
+            l2_miss_cycles,
+            contention,
+        );
         CpiBreakdown {
             instructions,
             base_cpi,

@@ -1,0 +1,97 @@
+//! The metrics a deterministic campaign publishes must not depend on
+//! how many worker threads executed it: counters are derived only from
+//! the trial work itself, and the engine's shard decomposition is fixed
+//! by the config, not the schedule.
+//!
+//! Timers are excluded — span durations are wall-clock and so is their
+//! histogram — but span *counts* are checked, since one shard records
+//! exactly one latency span regardless of which thread ran it.
+
+use cppc::cache_sim::{CacheGeometry, MainMemory, ReplacementPolicy};
+use cppc::campaign::{run, CampaignConfig};
+use cppc::core::{CppcCache, CppcConfig};
+use cppc::fault::campaign::{Outcome, OutcomeTally};
+use cppc::fault::model::{FaultGenerator, FaultModel};
+use cppc::obs::{GroupSnapshot, SnapshotValue};
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
+
+const SEED: u64 = 0x0B5_DE7;
+const TRIALS: u64 = 96;
+
+/// The same strike-and-recover experiment `cppc-cli stats` runs,
+/// shrunk: it exercises cppc-core counters (R1/R2 updates, recovery
+/// walks, corrections) and campaign counters in one pass.
+fn experiment(rng: &mut StdRng, trial: u64) -> Outcome {
+    let geo = CacheGeometry::new(1024, 2, 32).expect("valid geometry");
+    let mut mem = MainMemory::new();
+    let mut cache = CppcCache::new_l1(geo, CppcConfig::paper(), ReplacementPolicy::Lru)
+        .expect("validated config");
+    let mut fill = StdRng::seed_from_u64(trial);
+    for set in 0..geo.num_sets() {
+        let addr = geo.address_of(0, set);
+        let v: u64 = fill.random();
+        cache.store_word(addr, v, &mut mem).expect("no faults yet");
+    }
+    let fault = FaultModel::SpatialSquare {
+        rows: 4,
+        cols: 4,
+        density: 1.0,
+    };
+    let mut generator = FaultGenerator::new(cache.layout().num_rows() / 2, rng.random());
+    if cache.inject(&generator.sample(fault)) == 0 {
+        return Outcome::Masked;
+    }
+    match cache.recover_all(&mut mem) {
+        Err(_) => Outcome::DetectedUnrecoverable,
+        Ok(_) => Outcome::Corrected,
+    }
+}
+
+/// Runs the campaign on `threads` workers and returns every
+/// deterministic metric value: counters, gauges, and timer counts
+/// (timer durations are wall-clock and excluded).
+fn deterministic_metrics(threads: usize) -> Vec<(String, u64)> {
+    cppc::obs::reset_all();
+    let cfg = CampaignConfig::new(SEED, TRIALS).threads(threads);
+    let report: cppc::campaign::CampaignReport<OutcomeTally> = run(&cfg, experiment);
+    assert_eq!(report.trials_merged, TRIALS);
+
+    let groups: Vec<GroupSnapshot> = cppc::obs::snapshot();
+    let mut out = Vec::new();
+    for g in &groups {
+        for m in &g.metrics {
+            let v = match &m.value {
+                SnapshotValue::Counter(v) => *v,
+                SnapshotValue::Gauge(v) => u64::try_from(*v).expect("gauges stay non-negative"),
+                SnapshotValue::Timer(t) => t.count,
+            };
+            out.push((m.name.to_string(), v));
+        }
+    }
+    out
+}
+
+#[test]
+fn metrics_identical_across_thread_counts() {
+    let single = deterministic_metrics(1);
+    let multi = deterministic_metrics(4);
+    assert_eq!(
+        single, multi,
+        "metrics snapshot must not depend on thread count"
+    );
+    if cfg!(feature = "obs") {
+        assert!(
+            single
+                .iter()
+                .any(|(name, v)| name == "cppc.r1_updates" && *v > 0),
+            "experiment exercised the instrumented paths: {single:?}"
+        );
+        assert!(
+            single
+                .iter()
+                .any(|(name, v)| name == "campaign.trials_executed" && *v == TRIALS),
+            "all trials counted once: {single:?}"
+        );
+    }
+}
