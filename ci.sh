@@ -20,6 +20,14 @@ cargo test -q --workspace
 echo "== cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "== perf smoke (microbench suite, one iteration each)"
+# Bench targets use harness = false; without --bench the in-tree
+# harness runs every benchmark once as a smoke test (compile + run,
+# no timing assertions).
+for bench in codecs hierarchy recovery scheme_ops; do
+    cargo test -q --release -p cppc-bench --bench "$bench" > /dev/null
+done
+
 echo "== docs/METRICS.md freshness"
 cargo run -q -p cppc-cli --bin metrics-md > docs/METRICS.md
 git diff --exit-code -- docs/METRICS.md || {

@@ -7,7 +7,7 @@ use cppc_bench::{criterion_group, criterion_main};
 use cppc_cache_sim::geometry::CacheGeometry;
 use cppc_cache_sim::hierarchy::TwoLevelHierarchy;
 use cppc_cache_sim::replacement::ReplacementPolicy;
-use cppc_workloads::{spec2000_profiles, TraceGenerator};
+use cppc_workloads::{spec2000_profiles, SharedTrace, TraceGenerator};
 
 const OPS: usize = 50_000;
 
@@ -17,19 +17,16 @@ fn bench_hierarchy(c: &mut Criterion) {
     group.throughput(Throughput::Elements(OPS as u64));
     for name in ["gzip", "mcf", "swim"] {
         let profile = *profiles.iter().find(|p| p.name == name).unwrap();
+        // Generated once; every measured iteration replays it.
+        let trace = SharedTrace::generate(&profile, 3, OPS);
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
                     let l1 = CacheGeometry::new(32 * 1024, 2, 32).unwrap();
                     let l2 = CacheGeometry::new(1024 * 1024, 4, 32).unwrap();
-                    (
-                        TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru),
-                        TraceGenerator::new(&profile, 3)
-                            .take(OPS)
-                            .collect::<Vec<_>>(),
-                    )
+                    TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru)
                 },
-                |(mut h, trace)| h.run(trace),
+                |mut h| h.run(trace.replay()),
                 BatchSize::LargeInput,
             )
         });
@@ -42,9 +39,11 @@ fn bench_trace_generation(c: &mut Criterion) {
     let profile = profiles[0];
     let mut group = c.benchmark_group("trace_generation");
     group.throughput(Throughput::Elements(OPS as u64));
-    group.bench_function("gzip", |b| {
+    group.bench_function("gzip_generate", |b| {
         b.iter(|| TraceGenerator::new(&profile, 9).take(OPS).count())
     });
+    let trace = SharedTrace::generate(&profile, 9, OPS);
+    group.bench_function("gzip_shared_replay", |b| b.iter(|| trace.replay().count()));
     group.finish();
 }
 

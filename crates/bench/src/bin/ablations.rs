@@ -21,7 +21,7 @@ use cppc_energy::AreaModel;
 use cppc_reliability::mttf::{aliasing_vulnerable_bits, mttf_aliasing_years, mttf_cppc_years};
 use cppc_reliability::ReliabilityParams;
 use cppc_timing::{L1Scheme, MachineConfig, PortConfig, TimingModel};
-use cppc_workloads::{spec2000_profiles, TraceGenerator};
+use cppc_workloads::{spec2000_profiles, SharedTrace};
 
 fn ports_ablation(ops: usize) {
     println!("1) port organisation (section 7): CPPC CPI overhead\n");
@@ -60,19 +60,15 @@ fn ports_ablation(ops: usize) {
     println!("   -> the separate read port + cycle stealing carry the claim.\n");
 }
 
-fn early_writeback_ablation(ops: usize) {
+fn early_writeback_ablation(trace: &SharedTrace) {
     println!("2) early write-back (related work [2,15]): dirty residency vs traffic\n");
     print_header(&["scrub every", "dirty%", "writebacks"], 14);
     let geo = CacheGeometry::new(32 * 1024, 2, 32).expect("L1");
-    let profile = spec2000_profiles()[2]; // gcc-like
     for interval in [0usize, 4096, 1024, 256, 64] {
         let mut cache = Cache::new(geo, ReplacementPolicy::Lru);
         let mut mem = MainMemory::new();
         let mut dirty_samples = Vec::new();
-        for (i, op) in TraceGenerator::new(&profile, EVAL_SEED)
-            .take(ops)
-            .enumerate()
-        {
+        for (i, op) in trace.replay().enumerate() {
             match op {
                 cppc_cache_sim::hierarchy::MemOp::Load(a) => {
                     cache.load_word(a, &mut mem);
@@ -153,7 +149,7 @@ fn register_pairs_ablation() {
     println!("      eight pairs remove both the shifter and the aliasing window.");
 }
 
-fn write_through_ablation(ops: usize) {
+fn write_through_ablation(trace: &SharedTrace) {
     use cppc_cache_sim::write_through::WriteThroughCache;
     use cppc_energy::scheme::{AccessCounts, ProtectionKind, SchemeEnergy};
     use cppc_energy::tech::TechnologyNode;
@@ -161,7 +157,6 @@ fn write_through_ablation(ops: usize) {
     println!("5) write-through L1 (section 1's framing): parity suffices, traffic doesn't\n");
     let geo = CacheGeometry::new(32 * 1024, 2, 32).expect("L1");
     let node = TechnologyNode::Nm32;
-    let profile = spec2000_profiles()[0];
 
     // Write-back + CPPC.
     let mut wb = Cache::new(geo, ReplacementPolicy::Lru);
@@ -169,7 +164,7 @@ fn write_through_ablation(ops: usize) {
     // Write-through + plain parity.
     let mut wt = WriteThroughCache::new(geo, ReplacementPolicy::Lru);
     let mut mem_wt = MainMemory::new();
-    for op in TraceGenerator::new(&profile, EVAL_SEED).take(ops) {
+    for op in trace.replay() {
         match op {
             cppc_cache_sim::hierarchy::MemOp::Load(a) => {
                 wb.load_word(a, &mut mem_wb);
@@ -239,19 +234,18 @@ fn write_through_ablation(ops: usize) {
     println!("      caches dominate and need correction, not just detection.\n");
 }
 
-fn icr_ablation(ops: usize) {
+fn icr_ablation(trace: &SharedTrace) {
     use cppc_core::icr::IcrCache;
     use cppc_core::{CppcCache, CppcConfig};
 
     println!("6) in-cache replication (related work [24], section 2's critique)\n");
     let geo = CacheGeometry::new(32 * 1024, 2, 32).expect("L1");
-    let profile = spec2000_profiles()[2]; // gcc-like
     let mut icr = IcrCache::new(geo, 8, ReplacementPolicy::Lru);
     let mut mem_icr = MainMemory::new();
     let mut cppc =
         CppcCache::new_l1(geo, CppcConfig::paper(), ReplacementPolicy::Lru).expect("config");
     let mut mem_cppc = MainMemory::new();
-    for op in TraceGenerator::new(&profile, EVAL_SEED).take(ops) {
+    for op in trace.replay() {
         match op {
             cppc_cache_sim::hierarchy::MemOp::Load(a) => {
                 let _ = icr.load_word(a, &mut mem_icr);
@@ -289,11 +283,16 @@ fn icr_ablation(ops: usize) {
 fn main() {
     let ops = memops();
     println!("Design-choice ablations ({ops} memory ops where traces are used)\n");
+    // Each trace is generated once and replayed by every ablation that
+    // needs it (the gcc-like one is consumed twice).
+    let profiles = spec2000_profiles();
+    let gzip_trace = SharedTrace::generate(&profiles[0], EVAL_SEED, ops);
+    let gcc_trace = SharedTrace::generate(&profiles[2], EVAL_SEED, ops);
     ports_ablation(ops);
-    early_writeback_ablation(ops);
+    early_writeback_ablation(&gcc_trace);
     parity_ways_ablation();
     register_pairs_ablation();
     println!();
-    write_through_ablation(ops);
-    icr_ablation(ops);
+    write_through_ablation(&gzip_trace);
+    icr_ablation(&gcc_trace);
 }

@@ -13,69 +13,9 @@
 
 use std::time::Instant;
 
-use cppc_cache_sim::geometry::CacheGeometry;
-use cppc_cache_sim::memory::MainMemory;
-use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_bench::mbe::{experiment, SEED};
 use cppc_campaign::json::Json;
-use cppc_campaign::rng::rngs::StdRng;
-use cppc_campaign::rng::{RngExt, SeedableRng};
-use cppc_core::{CppcCache, CppcConfig};
-use cppc_fault::campaign::{Campaign, Outcome, OutcomeTally};
-use cppc_fault::model::{FaultGenerator, FaultModel};
-
-const SEED: u64 = 0xC0DE;
-
-fn geometry() -> CacheGeometry {
-    CacheGeometry::new(2048, 2, 32).unwrap() // 32 sets, 256 rows
-}
-
-/// Ground truth: addresses of way-0 rows and their stored values
-/// (same construction as `mbe_coverage`).
-fn oracle(seed: u64) -> Vec<(u64, u64)> {
-    let geo = geometry();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let rows = geo.num_sets() * geo.words_per_block();
-    (0..rows)
-        .map(|row| {
-            let set = row / geo.words_per_block();
-            let word = row % geo.words_per_block();
-            let addr = geo.address_of(0, set) + (word * 8) as u64;
-            (addr, rng.random())
-        })
-        .collect()
-}
-
-fn experiment(rng: &mut StdRng, trial: u64) -> Outcome {
-    let model = FaultModel::SpatialSquare {
-        rows: 4,
-        cols: 4,
-        density: 1.0,
-    };
-    let mut mem = MainMemory::new();
-    let mut cache =
-        CppcCache::new_l1(geometry(), CppcConfig::paper(), ReplacementPolicy::Lru).unwrap();
-    let truth = oracle(trial);
-    for &(addr, v) in &truth {
-        cache.store_word(addr, v, &mut mem).unwrap();
-    }
-    let rows = cache.layout().num_rows() / 2;
-    let mut generator = FaultGenerator::new(rows, rng.random());
-    let pattern = generator.sample(model);
-    if cache.inject(&pattern) == 0 {
-        return Outcome::Masked;
-    }
-    match cache.recover_all(&mut mem) {
-        Err(_) => Outcome::DetectedUnrecoverable,
-        Ok(_) => {
-            for &(addr, v) in &truth {
-                if cache.peek_word(addr) != Some(v) {
-                    return Outcome::SilentCorruption;
-                }
-            }
-            Outcome::Corrected
-        }
-    }
-}
+use cppc_fault::campaign::{Campaign, OutcomeTally};
 
 fn timed_run(trials: u64, threads: usize) -> (OutcomeTally, f64) {
     let start = Instant::now();
@@ -83,9 +23,10 @@ fn timed_run(trials: u64, threads: usize) -> (OutcomeTally, f64) {
     (tally, start.elapsed().as_secs_f64())
 }
 
-fn leg_json(threads: usize, trials: u64, secs: f64) -> Json {
+fn leg_json(requested: usize, effective: usize, trials: u64, secs: f64) -> Json {
     Json::Obj(vec![
-        ("threads".into(), Json::UInt(threads as u64)),
+        ("requested_threads".into(), Json::UInt(requested as u64)),
+        ("effective_threads".into(), Json::UInt(effective as u64)),
         ("wall_clock_secs".into(), Json::Num(secs)),
         ("trials_per_sec".into(), Json::Num(trials as f64 / secs)),
     ])
@@ -109,10 +50,17 @@ fn main() {
         }
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let parallel_threads = if threads == 0 { cores } else { threads };
+    // Oversubscribing a deterministic sharded campaign only adds context
+    // switches: clamp the effective worker count to the host's cores but
+    // record what was asked for.
+    let requested_threads = if threads == 0 { cores } else { threads };
+    let parallel_threads = requested_threads.min(cores);
 
     println!("campaign scaling baseline: {trials} trials, CPPC 4x4-square injection");
     println!("host cores: {cores}");
+    if parallel_threads < requested_threads {
+        println!("  ({requested_threads} threads requested, clamped to {parallel_threads})");
+    }
 
     let (seq_tally, seq_secs) = timed_run(trials, 1);
     println!(
@@ -140,10 +88,10 @@ fn main() {
         ("seed".into(), Json::UInt(SEED)),
         ("trials".into(), Json::UInt(trials)),
         ("host_cores".into(), Json::UInt(cores as u64)),
-        ("sequential".into(), leg_json(1, trials, seq_secs)),
+        ("sequential".into(), leg_json(1, 1, trials, seq_secs)),
         (
             "parallel".into(),
-            leg_json(parallel_threads, trials, par_secs),
+            leg_json(requested_threads, parallel_threads, trials, par_secs),
         ),
         ("speedup".into(), Json::Num(speedup)),
         ("tallies_identical".into(), Json::Bool(true)),

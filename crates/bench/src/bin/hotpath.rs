@@ -1,0 +1,92 @@
+//! Hot-path throughput benchmark.
+//!
+//! Measures trials/sec of the sequential `mbe_coverage` campaign (the
+//! same experiment as `campaign_scaling`) and writes the result next to
+//! the pre-optimisation baseline to `BENCH_hotpath.json`. The baseline
+//! figure was measured on this host immediately before the
+//! allocation-free hot-path rework (SoA cache arena, paged main memory,
+//! buffer-reuse `Backing` API, shared traces), with the same trial
+//! count, seed and methodology (median of three runs).
+//!
+//! Run with `cargo run -p cppc-bench --release --bin hotpath`.
+//! `--trials N` sets the campaign size (default 100000); `--out PATH`
+//! redirects the output file.
+
+use std::time::Instant;
+
+use cppc_bench::mbe::{experiment, SEED};
+use cppc_campaign::json::Json;
+use cppc_fault::campaign::Campaign;
+
+/// Sequential trials/sec measured at the pre-rework tree (commit
+/// 9c895c7) with `--trials 100000`, median of three runs.
+const BASELINE_TRIALS_PER_SEC: f64 = 53_365.0;
+const BASELINE_COMMIT: &str = "9c895c7";
+
+fn timed_run(trials: u64) -> f64 {
+    let start = Instant::now();
+    let _tally = Campaign::new(SEED).run_parallel(trials, 1, experiment);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut trials = 100_000u64;
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut next = || {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--trials" => trials = next().parse().expect("--trials needs a number"),
+            "--out" => out = next(),
+            other => panic!("unknown flag {other}; supported: --trials/--out"),
+        }
+    }
+
+    println!("hot-path benchmark: {trials} sequential mbe_coverage trials, 3 runs");
+    let mut secs: Vec<f64> = (0..3)
+        .map(|i| {
+            let s = timed_run(trials);
+            println!(
+                "  run {}: {s:.2}s  ({:.0} trials/sec)",
+                i + 1,
+                trials as f64 / s
+            );
+            s
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = secs[1];
+    let current = trials as f64 / median;
+    let speedup = current / BASELINE_TRIALS_PER_SEC;
+    println!("  median: {current:.0} trials/sec  ({speedup:.2}x vs pre-rework baseline)");
+
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("hotpath".into())),
+        (
+            "campaign".into(),
+            Json::Str("mbe_coverage: CPPC paper config, 4x4 solid square, sequential".into()),
+        ),
+        ("seed".into(), Json::UInt(SEED)),
+        ("trials".into(), Json::UInt(trials)),
+        (
+            "baseline".into(),
+            Json::Obj(vec![
+                ("commit".into(), Json::Str(BASELINE_COMMIT.into())),
+                ("trials_per_sec".into(), Json::Num(BASELINE_TRIALS_PER_SEC)),
+            ]),
+        ),
+        (
+            "current".into(),
+            Json::Obj(vec![
+                ("median_wall_clock_secs".into(), Json::Num(median)),
+                ("trials_per_sec".into(), Json::Num(current)),
+            ]),
+        ),
+        ("speedup".into(), Json::Num(speedup)),
+    ]);
+    std::fs::write(&out, doc.to_string_compact() + "\n").expect("write hotpath result");
+    println!("wrote {out}");
+}

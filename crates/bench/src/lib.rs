@@ -8,13 +8,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mbe;
 pub mod microbench;
 
 use cppc_cache_sim::hierarchy::TwoLevelHierarchy;
 use cppc_cache_sim::replacement::ReplacementPolicy;
 use cppc_cache_sim::stats::CacheStats;
 use cppc_timing::MachineConfig;
-use cppc_workloads::{BenchmarkProfile, TraceGenerator};
+use cppc_workloads::{BenchmarkProfile, SharedTrace};
 
 /// Default trace length (memory operations) per benchmark. Override
 /// with the `CPPC_BENCH_OPS` environment variable.
@@ -62,6 +63,25 @@ pub struct RunResult {
 /// Panics if the Table 1 geometries are invalid (they are not).
 #[must_use]
 pub fn run_profile(profile: &BenchmarkProfile, ops: usize, seed: u64) -> RunResult {
+    let trace = SharedTrace::generate(profile, seed, ops / 2 + ops);
+    run_profile_trace(profile, &trace, ops)
+}
+
+/// Like [`run_profile`], but replaying a pre-generated [`SharedTrace`]
+/// (generated once per campaign and reused by every scheme or thread).
+/// The trace must hold at least `ops / 2 + ops` operations — warmup plus
+/// measurement — so the access stream is bit-identical to
+/// `run_profile(profile, ops, seed)` with the trace's seed.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than `ops / 2 + ops` operations.
+#[must_use]
+pub fn run_profile_trace(profile: &BenchmarkProfile, trace: &SharedTrace, ops: usize) -> RunResult {
+    assert!(
+        trace.len() >= ops / 2 + ops,
+        "trace shorter than warmup+run"
+    );
     let machine = MachineConfig::table1();
     let l1 = machine.l1d.geometry().expect("valid L1");
     let l2 = machine.l2.geometry().expect("valid L2");
@@ -71,10 +91,10 @@ pub fn run_profile(profile: &BenchmarkProfile, ops: usize, seed: u64) -> RunResu
     // Warm the hierarchy for half the trace length, then measure: the
     // paper's 100M-instruction Simpoints amortise compulsory misses
     // that would otherwise dominate a short synthetic trace.
-    let mut generator = TraceGenerator::new(profile, seed);
-    h.run(generator.by_ref().take(ops / 2));
+    let mut replay = trace.replay();
+    h.run(replay.by_ref().take(ops / 2));
     h.reset_stats();
-    h.run(generator.take(ops));
+    h.run(replay.take(ops));
     let (l1_stats, l2_stats) = h.stats();
     RunResult {
         l1: l1_stats,

@@ -1,0 +1,80 @@
+//! The `mbe_coverage`-style fault-injection campaign shared by the
+//! scaling and hot-path benchmark binaries: CPPC paper config, 4x4
+//! solid spatial square strikes on a 2 KiB / 2-way cache.
+
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::memory::MainMemory;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
+use cppc_core::{CppcCache, CppcConfig};
+use cppc_fault::campaign::Outcome;
+use cppc_fault::model::{FaultGenerator, FaultModel};
+
+/// Campaign seed shared by every binary that runs this experiment, so
+/// their tallies are comparable.
+pub const SEED: u64 = 0xC0DE;
+
+/// The campaign's cache geometry (32 sets, 256 data rows).
+///
+/// # Panics
+///
+/// Never — the geometry is valid by construction.
+#[must_use]
+pub fn geometry() -> CacheGeometry {
+    CacheGeometry::new(2048, 2, 32).unwrap()
+}
+
+/// Ground truth: addresses of way-0 rows and their stored values.
+#[must_use]
+pub fn oracle(seed: u64) -> Vec<(u64, u64)> {
+    let geo = geometry();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = geo.num_sets() * geo.words_per_block();
+    (0..rows)
+        .map(|row| {
+            let set = row / geo.words_per_block();
+            let word = row % geo.words_per_block();
+            let addr = geo.address_of(0, set) + (word * 8) as u64;
+            (addr, rng.random())
+        })
+        .collect()
+}
+
+/// One fault-injection trial: fill way 0, strike a 4x4 solid square,
+/// recover, classify.
+///
+/// # Panics
+///
+/// Panics if the paper configuration is rejected (it is not).
+pub fn experiment(rng: &mut StdRng, trial: u64) -> Outcome {
+    let model = FaultModel::SpatialSquare {
+        rows: 4,
+        cols: 4,
+        density: 1.0,
+    };
+    let mut mem = MainMemory::new();
+    let mut cache =
+        CppcCache::new_l1(geometry(), CppcConfig::paper(), ReplacementPolicy::Lru).unwrap();
+    let truth = oracle(trial);
+    for &(addr, v) in &truth {
+        cache.store_word(addr, v, &mut mem).unwrap();
+    }
+    let rows = cache.layout().num_rows() / 2;
+    let mut generator = FaultGenerator::new(rows, rng.random());
+    let pattern = generator.sample(model);
+    if cache.inject(&pattern) == 0 {
+        return Outcome::Masked;
+    }
+    match cache.recover_all(&mut mem) {
+        Err(_) => Outcome::DetectedUnrecoverable,
+        Ok(_) => {
+            for &(addr, v) in &truth {
+                if cache.peek_word(addr) != Some(v) {
+                    return Outcome::SilentCorruption;
+                }
+            }
+            Outcome::Corrected
+        }
+    }
+}

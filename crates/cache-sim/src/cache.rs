@@ -1,17 +1,34 @@
 //! The write-back, write-allocate set-associative cache.
+//!
+//! Storage is a struct-of-arrays arena: one contiguous `tags` / `valid`
+//! / `dirty` vector each, indexed by `set * associativity + way`, plus a
+//! single flat `words` buffer holding every block's data back to back.
+//! Fills fetch straight into the arena slot via
+//! [`Backing::fetch_block_into`] and evictions write back straight out
+//! of it, so the steady-state access path performs no heap allocation.
 
-use crate::block::CacheBlock;
 use crate::geometry::{CacheGeometry, WORD_BYTES};
 use crate::memory::MainMemory;
 use crate::replacement::{ReplacementPolicy, SetReplacementState};
 use crate::stats::CacheStats;
 
 /// Anything that can stand below a cache: the next cache level or main
-/// memory. Fetches return real data; write-backs carry the dirty mask so
-/// only modified words propagate.
+/// memory. Fetches fill caller-provided buffers (the cache passes its
+/// own arena slot, so no transfer allocation happens); write-backs carry
+/// the dirty mask so only modified words propagate.
 pub trait Backing {
-    /// Fetches the block of `words` 64-bit words at block-aligned `base`.
-    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64>;
+    /// Fills `buf` with the block of `buf.len()` 64-bit words at
+    /// block-aligned `base`.
+    fn fetch_block_into(&mut self, base: u64, buf: &mut [u64]);
+
+    /// Allocating convenience wrapper around
+    /// [`Backing::fetch_block_into`] for cold paths (fault-recovery
+    /// re-fetches); the hot path never calls it.
+    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
+        let mut buf = vec![0u64; words];
+        self.fetch_block_into(base, &mut buf);
+        buf
+    }
 
     /// Accepts a write-back of the dirty words of the block at `base`
     /// (`dirty_mask` bit `i` set ⇔ `data[i]` is dirty).
@@ -19,8 +36,8 @@ pub trait Backing {
 }
 
 impl Backing for MainMemory {
-    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
-        self.read_block(base, words)
+    fn fetch_block_into(&mut self, base: u64, buf: &mut [u64]) {
+        self.read_block_into(base, buf);
     }
 
     fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
@@ -29,15 +46,118 @@ impl Backing for MainMemory {
 }
 
 /// A block evicted by a fill, handed back so protected caches can update
-/// their bookkeeping (e.g. CPPC XORs evicted dirty words into R2).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// their bookkeeping. The data words are not carried: protected caches
+/// (e.g. CPPC, which XORs evicted dirty words into R2) process the
+/// outgoing block *before* triggering the fill, while it is still
+/// resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Eviction {
     /// Block base address of the evicted block.
     pub base: u64,
-    /// The evicted data words.
-    pub words: Vec<u64>,
     /// Per-word dirty mask at eviction time.
     pub dirty_mask: u64,
+}
+
+/// A read-only view of one block in the storage arena. Mirrors the
+/// accessor API of [`CacheBlock`](crate::block::CacheBlock).
+#[derive(Debug, Clone, Copy)]
+pub struct BlockRef<'a> {
+    tag: u64,
+    valid: bool,
+    dirty: u64,
+    words: &'a [u64],
+}
+
+impl<'a> BlockRef<'a> {
+    /// `true` if this way holds a valid block.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The tag of the resident block (meaningless when invalid).
+    #[must_use]
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// `true` if any word of the block is dirty.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty != 0
+    }
+
+    /// The per-word dirty bitmap (bit `i` set ⇔ word `i` dirty).
+    #[must_use]
+    pub fn dirty_mask(&self) -> u64 {
+        self.dirty
+    }
+
+    /// `true` if word `w` is dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[must_use]
+    pub fn is_word_dirty(&self, w: usize) -> bool {
+        assert!(w < self.words.len(), "word {w} out of range");
+        self.dirty >> w & 1 == 1
+    }
+
+    /// Number of dirty words.
+    #[must_use]
+    pub fn dirty_word_count(&self) -> u32 {
+        self.dirty.count_ones()
+    }
+
+    /// The data words.
+    #[must_use]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Reads word `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[must_use]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+}
+
+/// A mutable view of one block's data words, for fault injection and
+/// recovery. Deliberately narrow: neither tag, valid nor dirty state can
+/// be changed through it, so the cache's incremental dirty-word counter
+/// stays correct.
+#[derive(Debug)]
+pub struct BlockMut<'a> {
+    words: &'a mut [u64],
+}
+
+impl BlockMut<'_> {
+    /// Overwrites word `w` *without* touching the dirty bit — used by
+    /// recovery to write corrected data back in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn patch_word(&mut self, w: usize, value: u64) {
+        self.words[w] = value;
+    }
+
+    /// Flips bit `bit` of word `w` — fault injection's entry point into
+    /// the data array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `bit` is out of range.
+    pub fn flip_bit(&mut self, w: usize, bit: u32) {
+        assert!(bit < 64, "bit {bit} out of range");
+        assert!(w < self.words.len(), "word {w} out of range");
+        self.words[w] ^= 1u64 << bit;
+    }
 }
 
 /// A write-back, write-allocate set-associative cache holding real data.
@@ -59,11 +179,15 @@ pub struct Eviction {
 #[derive(Debug, Clone)]
 pub struct Cache {
     geo: CacheGeometry,
-    sets: Vec<Vec<CacheBlock>>,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<u64>,
+    words: Vec<u64>,
     repl: Vec<SetReplacementState>,
     stats: CacheStats,
     dirty_words: u64,
     scrub_cursor: usize,
+    scratch_fetches: u64,
 }
 
 impl Cache {
@@ -71,24 +195,21 @@ impl Cache {
     /// Random replacement is seeded deterministically per set.
     #[must_use]
     pub fn new(geo: CacheGeometry, policy: ReplacementPolicy) -> Self {
-        let wpb = geo.words_per_block();
-        let sets = (0..geo.num_sets())
-            .map(|_| {
-                (0..geo.associativity())
-                    .map(|_| CacheBlock::invalid(wpb))
-                    .collect()
-            })
-            .collect();
+        let blocks = geo.num_sets() * geo.associativity();
         let repl = (0..geo.num_sets())
             .map(|s| SetReplacementState::new(policy, geo.associativity(), s as u64 ^ 0x9E37_79B9))
             .collect();
         Cache {
             geo,
-            sets,
+            tags: vec![0; blocks],
+            valid: vec![false; blocks],
+            dirty: vec![0; blocks],
+            words: vec![0; blocks * geo.words_per_block()],
             repl,
             stats: CacheStats::default(),
             dirty_words: 0,
             scrub_cursor: 0,
+            scratch_fetches: 0,
         }
     }
 
@@ -122,15 +243,99 @@ impl Cache {
         self.dirty_words
     }
 
+    /// Number of block fetches served directly into reused storage (the
+    /// arena slot on fills, caller buffers on block reads) — i.e. without
+    /// allocating a transfer buffer. Monotonic; not part of
+    /// [`CacheStats`] and unaffected by [`Cache::reset_stats`].
+    #[must_use]
+    pub fn scratch_reuse(&self) -> u64 {
+        self.scratch_fetches
+    }
+
+    #[inline]
+    fn index(&self, set: usize, way: usize) -> usize {
+        debug_assert!(set < self.geo.num_sets(), "set {set} out of range");
+        debug_assert!(way < self.geo.associativity(), "way {way} out of range");
+        set * self.geo.associativity() + way
+    }
+
+    #[inline]
+    fn block_words(&self, idx: usize) -> &[u64] {
+        let wpb = self.geo.words_per_block();
+        &self.words[idx * wpb..(idx + 1) * wpb]
+    }
+
+    /// Writes `value` into word `w` of the block at `idx`, marks it
+    /// dirty, and returns `(old_value, was_already_dirty)`. Hit/miss and
+    /// dirty statistics are the caller's business.
+    #[inline]
+    fn write_word_raw(&mut self, idx: usize, w: usize, value: u64) -> (u64, bool) {
+        let wpb = self.geo.words_per_block();
+        assert!(w < wpb, "word {w} out of range");
+        let p = idx * wpb + w;
+        let old = self.words[p];
+        let was_dirty = self.dirty[idx] >> w & 1 == 1;
+        self.words[p] = value;
+        self.dirty[idx] |= 1 << w;
+        (old, was_dirty)
+    }
+
+    /// Bumps `stores_to_dirty` / the dirty-word counter for one
+    /// word-store whose prior dirtiness was `was_dirty`.
+    #[inline]
+    fn note_store(&mut self, was_dirty: bool) {
+        if was_dirty {
+            self.stats.stores_to_dirty += 1;
+        } else {
+            self.dirty_words += 1;
+        }
+    }
+
+    /// Reads word `w` of the block at `(set, way)` straight from the
+    /// arena — the protected-cache wrappers' hot-path read, which needs
+    /// no block view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range (indices are debug-checked).
+    #[inline]
+    #[must_use]
+    pub fn word_at(&self, set: usize, way: usize, w: usize) -> u64 {
+        let wpb = self.geo.words_per_block();
+        assert!(w < wpb, "word {w} out of range");
+        self.words[self.index(set, way) * wpb + w]
+    }
+
+    /// The data words of the block at `(set, way)` as one slice.
+    #[inline]
+    #[must_use]
+    pub fn words_at(&self, set: usize, way: usize) -> &[u64] {
+        self.block_words(self.index(set, way))
+    }
+
+    /// The per-word dirty bitmap of the block at `(set, way)`.
+    #[inline]
+    #[must_use]
+    pub fn dirty_mask_at(&self, set: usize, way: usize) -> u64 {
+        self.dirty[self.index(set, way)]
+    }
+
+    /// `true` when `(set, way)` holds a valid block.
+    #[inline]
+    #[must_use]
+    pub fn is_valid_at(&self, set: usize, way: usize) -> bool {
+        self.valid[self.index(set, way)]
+    }
+
     /// Looks up `addr`; returns `(set, way)` on a hit without updating
     /// replacement state or statistics.
     #[must_use]
     pub fn probe(&self, addr: u64) -> Option<(usize, usize)> {
         let set = self.geo.set_index(addr);
         let tag = self.geo.tag(addr);
-        self.sets[set]
-            .iter()
-            .position(|b| b.is_valid() && b.tag() == tag)
+        let base = set * self.geo.associativity();
+        (0..self.geo.associativity())
+            .find(|&way| self.valid[base + way] && self.tags[base + way] == tag)
             .map(|way| (set, way))
     }
 
@@ -138,24 +343,27 @@ impl Cache {
     #[must_use]
     pub fn peek_word(&self, addr: u64) -> Option<u64> {
         let (set, way) = self.probe(addr)?;
-        Some(self.sets[set][way].word(self.geo.word_index(addr)))
+        let idx = self.index(set, way);
+        Some(self.block_words(idx)[self.geo.word_index(addr)])
     }
 
     /// Loads the 64-bit word at `addr`, filling from `backing` on a miss.
     pub fn load_word<B: Backing>(&mut self, addr: u64, backing: &mut B) -> u64 {
         let w = self.geo.word_index(addr);
-        match self.probe(addr) {
+        let (set, way) = match self.probe(addr) {
             Some((set, way)) => {
                 self.stats.load_hits += 1;
                 self.repl[set].touch(way);
-                self.sets[set][way].word(w)
+                (set, way)
             }
             None => {
                 self.stats.load_misses += 1;
                 let (set, way, _) = self.fill(addr, backing);
-                self.sets[set][way].word(w)
+                (set, way)
             }
-        }
+        };
+        let idx = self.index(set, way);
+        self.block_words(idx)[w]
     }
 
     /// Stores the 64-bit word `value` at `addr` (write-allocate).
@@ -179,12 +387,9 @@ impl Cache {
             }
         };
         self.repl[set].touch(way);
-        let (old, was_dirty) = self.sets[set][way].store_word(w, value);
-        if was_dirty {
-            self.stats.stores_to_dirty += 1;
-        } else {
-            self.dirty_words += 1;
-        }
+        let idx = self.index(set, way);
+        let (old, was_dirty) = self.write_word_raw(idx, w, value);
+        self.note_store(was_dirty);
         (old, was_dirty)
     }
 
@@ -205,35 +410,52 @@ impl Cache {
             }
         };
         self.repl[set].touch(way);
-        let (old, was_dirty) = self.sets[set][way].store_byte(w, byte, value);
-        if was_dirty {
-            self.stats.stores_to_dirty += 1;
-        } else {
-            self.dirty_words += 1;
-        }
+        let idx = self.index(set, way);
+        let old = self.block_words(idx)[w];
+        let shift = 8 * byte as u32;
+        let merged = (old & !(0xFFu64 << shift)) | (u64::from(value) << shift);
+        let (old, was_dirty) = self.write_word_raw(idx, w, merged);
+        self.note_store(was_dirty);
         (old, was_dirty)
     }
 
-    /// Reads the whole block containing `addr` (one access), filling on a
-    /// miss. Used when this cache is the backing of a level above.
-    pub fn read_block<B: Backing>(&mut self, addr: u64, backing: &mut B) -> Vec<u64> {
-        match self.probe(addr) {
+    /// Reads the whole block containing `addr` (one access) into the
+    /// caller-provided `buf`, filling on a miss. Used when this cache is
+    /// the backing of a level above: the level above passes its own
+    /// arena slot, so the transfer is a slice copy with no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly one block wide.
+    pub fn read_block_into<B: Backing>(&mut self, addr: u64, backing: &mut B, buf: &mut [u64]) {
+        assert_eq!(buf.len(), self.geo.words_per_block(), "block width");
+        let (set, way) = match self.probe(addr) {
             Some((set, way)) => {
                 self.stats.load_hits += 1;
                 self.repl[set].touch(way);
-                self.sets[set][way].words().to_vec()
+                (set, way)
             }
             None => {
                 self.stats.load_misses += 1;
                 let (set, way, _) = self.fill(addr, backing);
-                self.sets[set][way].words().to_vec()
+                (set, way)
             }
-        }
+        };
+        let idx = self.index(set, way);
+        buf.copy_from_slice(self.block_words(idx));
+        self.scratch_fetches += 1;
+    }
+
+    /// Allocating convenience wrapper around [`Cache::read_block_into`].
+    pub fn read_block<B: Backing>(&mut self, addr: u64, backing: &mut B) -> Vec<u64> {
+        let mut buf = vec![0u64; self.geo.words_per_block()];
+        self.read_block_into(addr, backing, &mut buf);
+        buf
     }
 
     /// Accepts a block-granularity write (e.g. a write-back from the
     /// level above): words selected by `mask` are stored and marked
-    /// dirty. Returns `(old_words, any_target_dirty)` — the latter is the
+    /// dirty. Returns whether any targeted word was already dirty — the
     /// L2 CPPC read-before-write trigger.
     ///
     /// # Panics
@@ -245,7 +467,7 @@ impl Cache {
         data: &[u64],
         mask: u64,
         backing: &mut B,
-    ) -> (Vec<u64>, bool) {
+    ) -> bool {
         assert_eq!(data.len(), self.geo.words_per_block(), "block width");
         let (set, way) = match self.probe(addr) {
             Some(hit) => {
@@ -259,12 +481,11 @@ impl Cache {
             }
         };
         self.repl[set].touch(way);
-        let block = &mut self.sets[set][way];
-        let old = block.words().to_vec();
+        let idx = self.index(set, way);
         let mut any_dirty = false;
         for (w, &value) in data.iter().enumerate() {
             if mask >> w & 1 == 1 {
-                let (_, was_dirty) = block.store_word(w, value);
+                let (_, was_dirty) = self.write_word_raw(idx, w, value);
                 if was_dirty {
                     any_dirty = true;
                 } else {
@@ -275,7 +496,7 @@ impl Cache {
         if any_dirty {
             self.stats.stores_to_dirty += 1;
         }
-        (old, any_dirty)
+        any_dirty
     }
 
     /// Chooses the way a fill for `addr`'s set would land in: the first
@@ -285,9 +506,9 @@ impl Cache {
     /// parity-checks them first).
     pub fn choose_way_for_fill(&mut self, set: usize) -> usize {
         assert!(set < self.geo.num_sets(), "set {set} out of range");
-        self.sets[set]
-            .iter()
-            .position(|b| !b.is_valid())
+        let base = set * self.geo.associativity();
+        (0..self.geo.associativity())
+            .find(|&way| !self.valid[base + way])
             .unwrap_or_else(|| self.repl[set].victim())
     }
 
@@ -305,8 +526,9 @@ impl Cache {
     }
 
     /// Brings the block containing `addr` into way `way` of its set,
-    /// writing back the displaced block if dirty. Returns the eviction,
-    /// if a valid block was displaced.
+    /// writing back the displaced block if dirty. The fetch fills the
+    /// block's arena slot directly — no transfer buffer is allocated.
+    /// Returns the eviction, if a valid block was displaced.
     ///
     /// # Panics
     ///
@@ -323,8 +545,13 @@ impl Cache {
 
         let eviction = self.evict_way(set, way, backing);
         let base = self.geo.block_base(addr);
-        let data = backing.fetch_block(base, self.geo.words_per_block());
-        self.sets[set][way].fill(tag, &data);
+        let idx = self.index(set, way);
+        let wpb = self.geo.words_per_block();
+        backing.fetch_block_into(base, &mut self.words[idx * wpb..(idx + 1) * wpb]);
+        self.tags[idx] = tag;
+        self.valid[idx] = true;
+        self.dirty[idx] = 0;
+        self.scratch_fetches += 1;
         self.stats.fills += 1;
         self.repl[set].filled(way);
         eviction
@@ -336,25 +563,25 @@ impl Cache {
         way: usize,
         backing: &mut B,
     ) -> Option<Eviction> {
-        let block = &mut self.sets[set][way];
-        if !block.is_valid() {
+        let idx = self.index(set, way);
+        if !self.valid[idx] {
             return None;
         }
-        let base = self.geo.address_of(block.tag(), set);
-        let mask = block.dirty_mask();
-        let words = block.words().to_vec();
+        let base = self.geo.address_of(self.tags[idx], set);
+        let mask = self.dirty[idx];
         if mask != 0 {
-            backing.write_back(base, &words, mask);
+            let wpb = self.geo.words_per_block();
+            backing.write_back(base, &self.words[idx * wpb..(idx + 1) * wpb], mask);
             self.stats.writebacks += 1;
             self.stats.writeback_words += u64::from(mask.count_ones());
             self.dirty_words -= u64::from(mask.count_ones());
         } else {
             self.stats.clean_evictions += 1;
         }
-        block.invalidate();
+        self.valid[idx] = false;
+        self.dirty[idx] = 0;
         Some(Eviction {
             base,
-            words,
             dirty_mask: mask,
         })
     }
@@ -375,17 +602,11 @@ impl Cache {
         w: usize,
         value: u64,
     ) -> (u64, bool) {
-        assert!(
-            self.sets[set][way].is_valid(),
-            "block ({set},{way}) invalid"
-        );
+        let idx = self.index(set, way);
+        assert!(self.valid[idx], "block ({set},{way}) invalid");
         self.repl[set].touch(way);
-        let (old, was_dirty) = self.sets[set][way].store_word(w, value);
-        if was_dirty {
-            self.stats.stores_to_dirty += 1;
-        } else {
-            self.dirty_words += 1;
-        }
+        let (old, was_dirty) = self.write_word_raw(idx, w, value);
+        self.note_store(was_dirty);
         (old, was_dirty)
     }
 
@@ -402,17 +623,15 @@ impl Cache {
         byte: usize,
         value: u8,
     ) -> (u64, bool) {
-        assert!(
-            self.sets[set][way].is_valid(),
-            "block ({set},{way}) invalid"
-        );
+        assert!(byte < 8, "byte {byte} out of range");
+        let idx = self.index(set, way);
+        assert!(self.valid[idx], "block ({set},{way}) invalid");
         self.repl[set].touch(way);
-        let (old, was_dirty) = self.sets[set][way].store_byte(w, byte, value);
-        if was_dirty {
-            self.stats.stores_to_dirty += 1;
-        } else {
-            self.dirty_words += 1;
-        }
+        let old = self.block_words(idx)[w];
+        let shift = 8 * byte as u32;
+        let merged = (old & !(0xFFu64 << shift)) | (u64::from(value) << shift);
+        let (old, was_dirty) = self.write_word_raw(idx, w, merged);
+        self.note_store(was_dirty);
         (old, was_dirty)
     }
 
@@ -435,16 +654,18 @@ impl Cache {
     ///
     /// Panics if indices are out of range.
     pub fn writeback_block<B: Backing>(&mut self, set: usize, way: usize, backing: &mut B) {
-        let block = &mut self.sets[set][way];
-        if !block.is_valid() || !block.is_dirty() {
+        let idx = self.index(set, way);
+        if !self.valid[idx] || self.dirty[idx] == 0 {
             return;
         }
-        let base = self.geo.address_of(block.tag(), set);
-        backing.write_back(base, block.words(), block.dirty_mask());
+        let base = self.geo.address_of(self.tags[idx], set);
+        let mask = self.dirty[idx];
+        let wpb = self.geo.words_per_block();
+        backing.write_back(base, &self.words[idx * wpb..(idx + 1) * wpb], mask);
         self.stats.writebacks += 1;
-        self.stats.writeback_words += u64::from(block.dirty_mask().count_ones());
-        self.dirty_words -= u64::from(block.dirty_mask().count_ones());
-        block.clean();
+        self.stats.writeback_words += u64::from(mask.count_ones());
+        self.dirty_words -= u64::from(mask.count_ones());
+        self.dirty[idx] = 0;
     }
 
     /// Invalidates the block at `(set, way)` without writing it back;
@@ -456,13 +677,14 @@ impl Cache {
     ///
     /// Panics if indices are out of range.
     pub fn invalidate_way(&mut self, set: usize, way: usize) -> u32 {
-        let block = &mut self.sets[set][way];
-        if !block.is_valid() {
+        let idx = self.index(set, way);
+        if !self.valid[idx] {
             return 0;
         }
-        let dropped = block.dirty_mask().count_ones();
+        let dropped = self.dirty[idx].count_ones();
         self.dirty_words -= u64::from(dropped);
-        block.invalidate();
+        self.valid[idx] = false;
+        self.dirty[idx] = 0;
         dropped
     }
 
@@ -496,7 +718,7 @@ impl Cache {
             }
             let idx = (self.scrub_cursor + step) % (sets * ways);
             let (set, way) = (idx / ways, idx % ways);
-            if self.sets[set][way].is_valid() && self.sets[set][way].is_dirty() {
+            if self.valid[idx] && self.dirty[idx] != 0 {
                 self.writeback_block(set, way, backing);
                 cleaned += 1;
                 self.scrub_cursor = (idx + 1) % (sets * ways);
@@ -510,27 +732,20 @@ impl Cache {
     pub fn flush<B: Backing>(&mut self, backing: &mut B) {
         for set in 0..self.geo.num_sets() {
             for way in 0..self.geo.associativity() {
-                let block = &mut self.sets[set][way];
-                if block.is_valid() && block.is_dirty() {
-                    let base = self.geo.address_of(block.tag(), set);
-                    backing.write_back(base, block.words(), block.dirty_mask());
-                    self.stats.writebacks += 1;
-                    self.stats.writeback_words += u64::from(block.dirty_mask().count_ones());
-                    self.dirty_words -= u64::from(block.dirty_mask().count_ones());
-                    block.clean();
+                let idx = self.index(set, way);
+                if self.valid[idx] && self.dirty[idx] != 0 {
+                    self.writeback_block(set, way, backing);
                 }
             }
         }
     }
 
     /// Iterates over `(set, way, block)` for every valid block.
-    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, &CacheBlock)> {
-        self.sets.iter().enumerate().flat_map(|(s, ways)| {
-            ways.iter()
-                .enumerate()
-                .filter(|(_, b)| b.is_valid())
-                .map(move |(w, b)| (s, w, b))
-        })
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, BlockRef<'_>)> {
+        let ways = self.geo.associativity();
+        (0..self.tags.len())
+            .filter(|&idx| self.valid[idx])
+            .map(move |idx| (idx / ways, idx % ways, self.block_ref(idx)))
     }
 
     /// Iterates over every dirty word as `(set, way, word_index, value)`.
@@ -542,23 +757,42 @@ impl Cache {
         })
     }
 
+    #[inline]
+    fn block_ref(&self, idx: usize) -> BlockRef<'_> {
+        BlockRef {
+            tag: self.tags[idx],
+            valid: self.valid[idx],
+            dirty: self.dirty[idx],
+            words: self.block_words(idx),
+        }
+    }
+
     /// Direct block access (fault injection / recovery).
     ///
     /// # Panics
     ///
     /// Panics if `set`/`way` are out of range.
     #[must_use]
-    pub fn block(&self, set: usize, way: usize) -> &CacheBlock {
-        &self.sets[set][way]
+    pub fn block(&self, set: usize, way: usize) -> BlockRef<'_> {
+        assert!(set < self.geo.num_sets(), "set {set} out of range");
+        assert!(way < self.geo.associativity(), "way {way} out of range");
+        self.block_ref(self.index(set, way))
     }
 
-    /// Direct mutable block access (fault injection / recovery).
+    /// Direct mutable access to the data words of the block at `(set,
+    /// way)` (fault injection / recovery).
     ///
     /// # Panics
     ///
     /// Panics if `set`/`way` are out of range.
-    pub fn block_mut(&mut self, set: usize, way: usize) -> &mut CacheBlock {
-        &mut self.sets[set][way]
+    pub fn block_mut(&mut self, set: usize, way: usize) -> BlockMut<'_> {
+        assert!(set < self.geo.num_sets(), "set {set} out of range");
+        assert!(way < self.geo.associativity(), "way {way} out of range");
+        let idx = self.index(set, way);
+        let wpb = self.geo.words_per_block();
+        BlockMut {
+            words: &mut self.words[idx * wpb..(idx + 1) * wpb],
+        }
     }
 
     /// Reconstructs the block base address of the block at `(set, way)`.
@@ -568,9 +802,9 @@ impl Cache {
     /// Panics if the block is invalid.
     #[must_use]
     pub fn block_address(&self, set: usize, way: usize) -> u64 {
-        let b = &self.sets[set][way];
-        assert!(b.is_valid(), "block ({set},{way}) is invalid");
-        self.geo.address_of(b.tag(), set)
+        let idx = self.index(set, way);
+        assert!(self.valid[idx], "block ({set},{way}) is invalid");
+        self.geo.address_of(self.tags[idx], set)
     }
 
     /// The address of word `w` of the block at `(set, way)`.
@@ -678,13 +912,13 @@ mod tests {
     #[test]
     fn write_block_marks_masked_words() {
         let (mut c, mut m) = small();
-        let (_, any_dirty) = c.write_block(0x40, &[1, 2, 3, 4], 0b0110, &mut m);
+        let any_dirty = c.write_block(0x40, &[1, 2, 3, 4], 0b0110, &mut m);
         assert!(!any_dirty);
         assert_eq!(c.peek_word(0x48), Some(2));
         assert_eq!(c.peek_word(0x40), Some(0), "unmasked word keeps fill data");
         assert_eq!(c.dirty_word_count(), 2);
         // Second write over the same words reports dirtiness.
-        let (_, any_dirty) = c.write_block(0x40, &[9, 9, 9, 9], 0b0010, &mut m);
+        let any_dirty = c.write_block(0x40, &[9, 9, 9, 9], 0b0010, &mut m);
         assert!(any_dirty);
         assert_eq!(c.stats().stores_to_dirty, 1);
     }
@@ -707,6 +941,30 @@ mod tests {
         let (set, way) = c.probe(0x1248).unwrap();
         let w = c.geometry().word_index(0x1248);
         assert_eq!(c.word_address(set, way, w), 0x1248);
+    }
+
+    #[test]
+    fn read_block_into_copies_resident_data() {
+        let (mut c, mut m) = small();
+        c.store_word(0x40, 7, &mut m);
+        c.store_word(0x48, 8, &mut m);
+        let mut buf = [0u64; 4];
+        c.read_block_into(0x40, &mut m, &mut buf);
+        assert_eq!(buf, [7, 8, 0, 0]);
+        assert_eq!(c.stats().load_hits, 1);
+        assert!(c.scratch_reuse() >= 1);
+    }
+
+    #[test]
+    fn scratch_reuse_counts_fills() {
+        let (mut c, mut m) = small();
+        assert_eq!(c.scratch_reuse(), 0);
+        c.load_word(0x40, &mut m);
+        assert_eq!(c.scratch_reuse(), 1, "miss fetched into the arena");
+        c.load_word(0x40, &mut m);
+        assert_eq!(c.scratch_reuse(), 1, "hit fetches nothing");
+        c.reset_stats();
+        assert_eq!(c.scratch_reuse(), 1, "not part of CacheStats");
     }
 
     /// Functional transparency: a cache + memory must behave exactly like

@@ -124,8 +124,8 @@ struct L2Backing<'a> {
 }
 
 impl Backing for L2Backing<'_> {
-    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
-        debug_assert_eq!(words, self.l2.geometry().words_per_block());
+    fn fetch_block_into(&mut self, base: u64, buf: &mut [u64]) {
+        debug_assert_eq!(buf.len(), self.l2.geometry().words_per_block());
         // An L1 miss that hits a dirty L2 block is an access to dirty L2
         // data for Tavg purposes.
         let dirty_before = self
@@ -136,12 +136,11 @@ impl Backing for L2Backing<'_> {
         if dirty_before {
             self.intervals.touch(base, self.cycle, true);
         }
-        self.l2.read_block(base, self.mem)
+        self.l2.read_block_into(base, self.mem, buf);
     }
 
     fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
-        let (_, was_dirty) = self.l2.write_block(base, data, dirty_mask, self.mem);
-        let _ = was_dirty;
+        let _ = self.l2.write_block(base, data, dirty_mask, self.mem);
         self.intervals.touch(base, self.cycle, true);
     }
 }
@@ -244,12 +243,17 @@ impl TwoLevelHierarchy {
     /// global [`obs`](crate::obs) registry once at the end.
     pub fn run<I: IntoIterator<Item = MemOp>>(&mut self, trace: I) {
         let (l1_before, l2_before) = self.stats();
+        let scratch_before = self.l1.scratch_reuse() + self.l2.scratch_reuse();
         for op in trace {
             self.step(op);
         }
         let (l1_after, l2_after) = self.stats();
         crate::obs::publish_level_delta(1, &l1_before, &l1_after);
         crate::obs::publish_level_delta(2, &l2_before, &l2_after);
+        crate::obs::publish_scratch_delta(
+            scratch_before,
+            self.l1.scratch_reuse() + self.l2.scratch_reuse(),
+        );
     }
 
     /// Zeroes both levels' statistics (cache contents and the clock are

@@ -31,9 +31,9 @@ struct L3Backing<'a> {
 }
 
 impl Backing for L3Backing<'_> {
-    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
-        debug_assert_eq!(words, self.l3.geometry().words_per_block());
-        self.l3.read_block(base, self.mem)
+    fn fetch_block_into(&mut self, base: u64, buf: &mut [u64]) {
+        debug_assert_eq!(buf.len(), self.l3.geometry().words_per_block());
+        self.l3.read_block_into(base, self.mem, buf);
     }
 
     fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
@@ -48,13 +48,13 @@ struct L2Backing<'a> {
 }
 
 impl Backing for L2Backing<'_> {
-    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
-        debug_assert_eq!(words, self.l2.geometry().words_per_block());
+    fn fetch_block_into(&mut self, base: u64, buf: &mut [u64]) {
+        debug_assert_eq!(buf.len(), self.l2.geometry().words_per_block());
         let mut lower = L3Backing {
             l3: self.l3,
             mem: self.mem,
         };
-        self.l2.read_block(base, &mut lower)
+        self.l2.read_block_into(base, &mut lower, buf);
     }
 
     fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
@@ -130,6 +130,8 @@ impl ThreeLevelHierarchy {
     /// global [`obs`](crate::obs) registry once at the end.
     pub fn run<I: IntoIterator<Item = MemOp>>(&mut self, trace: I) {
         let (l1_before, l2_before, l3_before) = self.stats();
+        let scratch_before =
+            self.l1.scratch_reuse() + self.l2.scratch_reuse() + self.l3.scratch_reuse();
         for op in trace {
             self.step(op);
         }
@@ -137,6 +139,10 @@ impl ThreeLevelHierarchy {
         crate::obs::publish_level_delta(1, &l1_before, &l1_after);
         crate::obs::publish_level_delta(2, &l2_before, &l2_after);
         crate::obs::publish_level_delta(3, &l3_before, &l3_after);
+        crate::obs::publish_scratch_delta(
+            scratch_before,
+            self.l1.scratch_reuse() + self.l2.scratch_reuse() + self.l3.scratch_reuse(),
+        );
     }
 
     /// Zeroes all statistics (contents untouched).

@@ -1,12 +1,23 @@
-//! Sparse main-memory backing store.
+//! Paged main-memory backing store.
 //!
 //! Memory is the authoritative copy below the cache hierarchy: faults in
 //! *clean* cache data are recovered by re-fetching from here (paper §3.2),
 //! so the store holds real words, not placeholders.
+//!
+//! Storage is organised as 4 KiB pages: a page table maps page numbers to
+//! slots in one flat word arena, allocated lazily on first non-zero
+//! write. Block transfers inside one page (every power-of-two block up to
+//! the page size, at an aligned base) are a single page lookup plus a
+//! slice copy — no per-word hashing.
 
 use std::collections::HashMap;
 
 use crate::geometry::WORD_BYTES;
+
+/// Bytes per storage page.
+const PAGE_BYTES: u64 = 4096;
+/// 64-bit words per storage page.
+const PAGE_WORDS: usize = (PAGE_BYTES / WORD_BYTES as u64) as usize;
 
 /// A sparse word-addressable main memory. Unwritten locations read as
 /// zero, like freshly initialised DRAM in a functional simulator.
@@ -21,9 +32,14 @@ use crate::geometry::WORD_BYTES;
 /// assert_eq!(mem.read_word(0x40), 7);
 /// assert_eq!(mem.read_word(0x48), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct MainMemory {
-    words: HashMap<u64, u64>,
+    /// Page number (`addr / PAGE_BYTES`) → slot index into `arena`.
+    pages: HashMap<u64, usize>,
+    /// Concatenated page frames, `PAGE_WORDS` words each.
+    arena: Vec<u64>,
+    /// Count of non-zero resident words (the footprint proxy).
+    nonzero: usize,
     reads: u64,
     writes: u64,
 }
@@ -35,8 +51,36 @@ impl MainMemory {
         MainMemory::default()
     }
 
-    fn word_key(addr: u64) -> u64 {
-        addr / WORD_BYTES as u64
+    #[inline]
+    fn page_number(addr: u64) -> u64 {
+        addr / PAGE_BYTES
+    }
+
+    /// Word offset of `addr` within its page.
+    #[inline]
+    fn page_word(addr: u64) -> usize {
+        (addr % PAGE_BYTES) as usize / WORD_BYTES
+    }
+
+    /// The arena slice of the page holding `addr`, if allocated.
+    #[inline]
+    fn page(&self, addr: u64) -> Option<&[u64]> {
+        let slot = *self.pages.get(&Self::page_number(addr))?;
+        Some(&self.arena[slot * PAGE_WORDS..(slot + 1) * PAGE_WORDS])
+    }
+
+    /// The arena slice of the page holding `addr`, allocating a zeroed
+    /// frame on first touch.
+    fn page_mut(&mut self, addr: u64) -> &mut [u64] {
+        let arena = &mut self.arena;
+        let slot = *self
+            .pages
+            .entry(Self::page_number(addr))
+            .or_insert_with(|| {
+                arena.resize(arena.len() + PAGE_WORDS, 0);
+                arena.len() / PAGE_WORDS - 1
+            });
+        &mut self.arena[slot * PAGE_WORDS..(slot + 1) * PAGE_WORDS]
     }
 
     /// Reads the 64-bit word containing `addr`.
@@ -48,32 +92,56 @@ impl MainMemory {
     /// Reads without counting an access (for assertions/oracles).
     #[must_use]
     pub fn peek_word(&self, addr: u64) -> u64 {
-        *self.words.get(&Self::word_key(addr)).unwrap_or(&0)
+        self.page(addr).map_or(0, |p| p[Self::page_word(addr)])
     }
 
     /// Writes the 64-bit word containing `addr`.
     pub fn write_word(&mut self, addr: u64, value: u64) {
         self.writes += 1;
-        if value == 0 {
-            self.words.remove(&Self::word_key(addr));
-        } else {
-            self.words.insert(Self::word_key(addr), value);
+        if value == 0 && self.page(addr).is_none() {
+            return; // zero store to an untouched page: nothing to record
+        }
+        let w = Self::page_word(addr);
+        let page = self.page_mut(addr);
+        let old = page[w];
+        page[w] = value;
+        match (old == 0, value == 0) {
+            (true, false) => self.nonzero += 1,
+            (false, true) => self.nonzero -= 1,
+            _ => {}
         }
     }
 
-    /// Reads a whole block of `words` 64-bit words starting at the
-    /// block-aligned `base`.
+    /// Reads a whole block of `buf.len()` 64-bit words starting at the
+    /// block-aligned `base` into `buf`.
+    pub fn read_block_into(&mut self, base: u64, buf: &mut [u64]) {
+        self.reads += buf.len() as u64;
+        if Self::page_number(base) == Self::page_number(base + (buf.len() * WORD_BYTES - 1) as u64)
+        {
+            // Entirely within one page: one lookup, one slice copy.
+            let w = Self::page_word(base);
+            match self.page(base) {
+                Some(page) => buf.copy_from_slice(&page[w..w + buf.len()]),
+                None => buf.fill(0),
+            }
+        } else {
+            for (i, slot) in buf.iter_mut().enumerate() {
+                *slot = self.peek_word(base + (i * WORD_BYTES) as u64);
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`MainMemory::read_block_into`].
     pub fn read_block(&mut self, base: u64, words: usize) -> Vec<u64> {
-        (0..words)
-            .map(|i| self.read_word(base + (i * WORD_BYTES) as u64))
-            .collect()
+        let mut buf = vec![0u64; words];
+        self.read_block_into(base, &mut buf);
+        buf
     }
 
     /// Writes a whole block starting at the block-aligned `base`.
     pub fn write_block(&mut self, base: u64, data: &[u64]) {
-        for (i, &w) in data.iter().enumerate() {
-            self.write_word(base + (i * WORD_BYTES) as u64, w);
-        }
+        self.write_back_dirty(base, data, u64::MAX);
     }
 
     /// Writes back only the dirty words of a block (`mask` bit `i` set ⇔
@@ -81,9 +149,39 @@ impl MainMemory {
     /// when the cache copy of a clean word has been corrupted: memory
     /// remains authoritative.
     pub fn write_back_dirty(&mut self, base: u64, data: &[u64], mask: u64) {
-        for (i, &w) in data.iter().enumerate() {
-            if mask >> i & 1 == 1 {
-                self.write_word(base + (i * WORD_BYTES) as u64, w);
+        let effective = if data.len() >= 64 {
+            mask
+        } else {
+            mask & ((1 << data.len()) - 1)
+        };
+        if effective == 0 {
+            return;
+        }
+        self.writes += u64::from(effective.count_ones());
+        if Self::page_number(base) == Self::page_number(base + (data.len() * WORD_BYTES - 1) as u64)
+        {
+            let start = Self::page_word(base);
+            let mut delta: isize = 0;
+            let page = self.page_mut(base);
+            for (i, &value) in data.iter().enumerate() {
+                if effective >> i & 1 == 1 {
+                    let old = page[start + i];
+                    page[start + i] = value;
+                    match (old == 0, value == 0) {
+                        (true, false) => delta += 1,
+                        (false, true) => delta -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            self.nonzero = self.nonzero.checked_add_signed(delta).expect("footprint");
+        } else {
+            for (i, &value) in data.iter().enumerate() {
+                if effective >> i & 1 == 1 {
+                    // write_word counts one write itself; compensate.
+                    self.writes -= 1;
+                    self.write_word(base + (i * WORD_BYTES) as u64, value);
+                }
             }
         }
     }
@@ -103,9 +201,33 @@ impl MainMemory {
     /// Number of distinct non-zero words resident (footprint proxy).
     #[must_use]
     pub fn footprint_words(&self) -> usize {
-        self.words.len()
+        self.nonzero
+    }
+
+    /// Iterates over `(address, value)` for every non-zero resident word.
+    fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pages.iter().flat_map(move |(&page_no, &slot)| {
+            self.arena[slot * PAGE_WORDS..(slot + 1) * PAGE_WORDS]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0)
+                .map(move |(w, &v)| (page_no * PAGE_BYTES + (w * WORD_BYTES) as u64, v))
+        })
     }
 }
+
+/// Logical equality: same contents and traffic counters, independent of
+/// page-allocation order.
+impl PartialEq for MainMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.reads == other.reads
+            && self.writes == other.writes
+            && self.nonzero == other.nonzero
+            && self.iter_nonzero().all(|(a, v)| other.peek_word(a) == v)
+    }
+}
+
+impl Eq for MainMemory {}
 
 #[cfg(test)]
 mod tests {
@@ -160,5 +282,49 @@ mod tests {
         let _ = m.read_block(0, 2);
         assert_eq!(m.writes(), 2);
         assert_eq!(m.reads(), 2);
+    }
+
+    #[test]
+    fn transfers_crossing_a_page_boundary_work() {
+        let mut m = MainMemory::new();
+        let base = PAGE_BYTES - 2 * WORD_BYTES as u64; // last 2 words of page 0
+        m.write_back_dirty(base, &[1, 2, 3, 4], 0b1111);
+        assert_eq!(m.read_block(base, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.peek_word(PAGE_BYTES), 3, "page 1 got the overflow");
+        assert_eq!(m.footprint_words(), 4);
+        assert_eq!(m.writes(), 4);
+    }
+
+    #[test]
+    fn reads_of_unallocated_pages_are_zero_filled() {
+        let mut m = MainMemory::new();
+        assert_eq!(m.read_block(0x10_0000, 4), vec![0, 0, 0, 0]);
+        assert_eq!(m.footprint_words(), 0, "reads never allocate");
+    }
+
+    #[test]
+    fn logical_equality_ignores_page_allocation_order() {
+        let mut a = MainMemory::new();
+        let mut b = MainMemory::new();
+        // Touch pages in opposite orders so arena layouts differ.
+        a.write_word(0x0, 1);
+        a.write_word(2 * PAGE_BYTES, 2);
+        b.write_word(2 * PAGE_BYTES, 2);
+        b.write_word(0x0, 1);
+        assert_eq!(a, b);
+        b.write_word(0x8, 9);
+        a.write_word(0x8, 9);
+        assert_eq!(a, b);
+        a.write_word(0x10, 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_store_to_untouched_page_counts_but_allocates_nothing() {
+        let mut m = MainMemory::new();
+        m.write_word(0x5000, 0);
+        assert_eq!(m.writes(), 1);
+        assert_eq!(m.footprint_words(), 0);
+        assert_eq!(m.peek_word(0x5000), 0);
     }
 }

@@ -32,6 +32,11 @@ cppc_obs::metrics! {
 }
 
 cppc_obs::metrics! {
+    group HOTPATH_METRICS: "cache.hotpath", "Allocation-free hot-path events (published per hierarchy run).";
+    counter SCRATCH_REUSE: "cache.scratch_reuse", "events", "Block fetches served into reused buffers (cache arena slots or caller-provided scratch) instead of fresh allocations.";
+}
+
+cppc_obs::metrics! {
     group L3_METRICS: "cache.l3", "L3 cache events (three-level hierarchy runs only).";
     counter L3_LOAD_HITS: "cache.l3.load_hits", "events", "L2 miss fetches served by the L3.";
     counter L3_LOAD_MISSES: "cache.l3.load_misses", "events", "L2 miss fetches that went to main memory.";
@@ -83,6 +88,14 @@ pub fn register_metrics() {
     L1_METRICS.register();
     L2_METRICS.register();
     L3_METRICS.register();
+    HOTPATH_METRICS.register();
+}
+
+/// Publishes the growth of a scratch-reuse counter between two snapshots
+/// (saturating, like [`publish_level_delta`]).
+pub fn publish_scratch_delta(before: u64, after: u64) {
+    register_metrics();
+    SCRATCH_REUSE.add(after.saturating_sub(before));
 }
 
 /// Publishes the difference between two stat snapshots of cache level

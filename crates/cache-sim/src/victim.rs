@@ -27,7 +27,7 @@ struct Entry {
 ///
 /// let mut mem = MainMemory::new();
 /// let mut vb = VictimBuffer::new(4);
-/// vb.push(0x40, vec![1, 2, 3, 4], 0b1111, &mut mem);
+/// vb.push(0x40, &[1, 2, 3, 4], 0b1111, &mut mem);
 /// assert_eq!(vb.lookup(0x40), Some(&[1u64, 2, 3, 4][..]));
 /// vb.drain_all(&mut mem);
 /// assert_eq!(mem.peek_word(0x40), 1);
@@ -35,6 +35,9 @@ struct Entry {
 #[derive(Debug, Clone, Default)]
 pub struct VictimBuffer {
     entries: Vec<Entry>,
+    /// Word buffers recycled from drained entries, so steady-state
+    /// push/drain cycles allocate nothing.
+    pool: Vec<Vec<u64>>,
     capacity: usize,
     hits: u64,
     drains: u64,
@@ -51,6 +54,7 @@ impl VictimBuffer {
         assert!(capacity > 0, "victim buffer needs capacity");
         VictimBuffer {
             entries: Vec::with_capacity(capacity),
+            pool: Vec::with_capacity(capacity),
             capacity,
             hits: 0,
             drains: 0,
@@ -81,30 +85,22 @@ impl VictimBuffer {
         self.drains
     }
 
-    /// Stages an evicted block. If the buffer is full, the oldest entry
-    /// is drained to `backing` first (the foreground stall a deeper
-    /// buffer avoids).
-    pub fn push<B: Backing>(
-        &mut self,
-        base: u64,
-        words: Vec<u64>,
-        dirty_mask: u64,
-        backing: &mut B,
-    ) {
+    /// Stages an evicted block (the data is copied out of `words`, which
+    /// can therefore borrow the evicting cache's storage arena). If the
+    /// buffer is full, the oldest entry is drained to `backing` first
+    /// (the foreground stall a deeper buffer avoids).
+    pub fn push<B: Backing>(&mut self, base: u64, words: &[u64], dirty_mask: u64, backing: &mut B) {
         if let Some(pos) = self.entries.iter().position(|e| e.base == base) {
-            // Same block evicted again before draining: coalesce.
-            let old = self.entries.remove(pos);
-            let mut merged = Entry {
-                base,
-                words,
-                dirty_mask: dirty_mask | old.dirty_mask,
-            };
+            // Same block evicted again before draining: coalesce, and
+            // refresh the entry's FIFO position.
+            let mut merged = self.entries.remove(pos);
             // Words dirty only in the old copy keep the old data.
-            for w in 0..merged.words.len() {
-                if old.dirty_mask >> w & 1 == 1 && dirty_mask >> w & 1 == 0 {
-                    merged.words[w] = old.words[w];
+            for (w, &value) in words.iter().enumerate() {
+                if merged.dirty_mask >> w & 1 == 0 || dirty_mask >> w & 1 == 1 {
+                    merged.words[w] = value;
                 }
             }
+            merged.dirty_mask |= dirty_mask;
             self.entries.push(merged);
             return;
         }
@@ -113,11 +109,15 @@ impl VictimBuffer {
             if oldest.dirty_mask != 0 {
                 backing.write_back(oldest.base, &oldest.words, oldest.dirty_mask);
             }
+            self.pool.push(oldest.words);
             self.drains += 1;
         }
+        let mut staged = self.pool.pop().unwrap_or_default();
+        staged.resize(words.len(), 0);
+        staged.copy_from_slice(words);
         self.entries.push(Entry {
             base,
-            words,
+            words: staged,
             dirty_mask,
         });
     }
@@ -149,6 +149,7 @@ impl VictimBuffer {
         if e.dirty_mask != 0 {
             backing.write_back(e.base, &e.words, e.dirty_mask);
         }
+        self.pool.push(e.words);
         self.drains += 1;
         true
     }
@@ -168,7 +169,7 @@ mod tests {
     fn push_lookup_take() {
         let mut mem = MainMemory::new();
         let mut vb = VictimBuffer::new(2);
-        vb.push(0x40, vec![1, 2, 3, 4], 0b1111, &mut mem);
+        vb.push(0x40, &[1, 2, 3, 4], 0b1111, &mut mem);
         assert_eq!(vb.lookup(0x40), Some(&[1u64, 2, 3, 4][..]));
         assert_eq!(vb.lookup(0x80), None);
         let (words, mask) = vb.take(0x40).unwrap();
@@ -182,9 +183,9 @@ mod tests {
     fn overflow_drains_oldest() {
         let mut mem = MainMemory::new();
         let mut vb = VictimBuffer::new(2);
-        vb.push(0x00, vec![9, 0, 0, 0], 0b0001, &mut mem);
-        vb.push(0x20, vec![8, 0, 0, 0], 0b0001, &mut mem);
-        vb.push(0x40, vec![7, 0, 0, 0], 0b0001, &mut mem);
+        vb.push(0x00, &[9, 0, 0, 0], 0b0001, &mut mem);
+        vb.push(0x20, &[8, 0, 0, 0], 0b0001, &mut mem);
+        vb.push(0x40, &[7, 0, 0, 0], 0b0001, &mut mem);
         assert_eq!(vb.len(), 2);
         assert_eq!(mem.peek_word(0x00), 9, "oldest drained");
         assert_eq!(mem.peek_word(0x20), 0, "newer still staged");
@@ -195,7 +196,7 @@ mod tests {
     fn clean_entries_drain_silently() {
         let mut mem = MainMemory::new();
         let mut vb = VictimBuffer::new(1);
-        vb.push(0x00, vec![5, 5, 5, 5], 0, &mut mem);
+        vb.push(0x00, &[5, 5, 5, 5], 0, &mut mem);
         vb.drain_all(&mut mem);
         assert_eq!(mem.peek_word(0x00), 0, "clean block never written");
         assert_eq!(mem.writes(), 0);
@@ -205,9 +206,9 @@ mod tests {
     fn coalesces_re_eviction() {
         let mut mem = MainMemory::new();
         let mut vb = VictimBuffer::new(4);
-        vb.push(0x40, vec![1, 0, 0, 0], 0b0001, &mut mem);
+        vb.push(0x40, &[1, 0, 0, 0], 0b0001, &mut mem);
         // Same block evicted again with a different dirty word.
-        vb.push(0x40, vec![0, 2, 0, 0], 0b0010, &mut mem);
+        vb.push(0x40, &[0, 2, 0, 0], 0b0010, &mut mem);
         assert_eq!(vb.len(), 1);
         vb.drain_all(&mut mem);
         assert_eq!(mem.peek_word(0x40), 1, "old dirty word kept");
@@ -218,8 +219,8 @@ mod tests {
     fn drain_one_is_fifo() {
         let mut mem = MainMemory::new();
         let mut vb = VictimBuffer::new(3);
-        vb.push(0x00, vec![1, 0, 0, 0], 1, &mut mem);
-        vb.push(0x20, vec![2, 0, 0, 0], 1, &mut mem);
+        vb.push(0x00, &[1, 0, 0, 0], 1, &mut mem);
+        vb.push(0x20, &[2, 0, 0, 0], 1, &mut mem);
         assert!(vb.drain_one(&mut mem));
         assert_eq!(mem.peek_word(0x00), 1);
         assert_eq!(mem.peek_word(0x20), 0);

@@ -33,6 +33,9 @@ use crate::stats::CacheStats;
 pub struct WriteThroughCache {
     inner: Cache,
     store_traffic: u64,
+    /// One-block scratch reused for every write-through transfer, so the
+    /// per-store path allocates nothing.
+    store_scratch: Vec<u64>,
 }
 
 impl WriteThroughCache {
@@ -42,6 +45,7 @@ impl WriteThroughCache {
         WriteThroughCache {
             inner: Cache::new(geo, policy),
             store_traffic: 0,
+            store_scratch: vec![0; geo.words_per_block()],
         }
     }
 
@@ -91,10 +95,8 @@ impl WriteThroughCache {
         self.inner.block_mut(set, way).patch_word(w, value);
         self.inner.touch(set, way);
         let base = self.inner.geometry().block_base(addr);
-        let wpb = self.inner.geometry().words_per_block();
-        let mut words = vec![0u64; wpb];
-        words[w] = value;
-        backing.write_back(base, &words, 1 << w);
+        self.store_scratch[w] = value;
+        backing.write_back(base, &self.store_scratch, 1 << w);
         self.store_traffic += 1;
     }
 
@@ -121,10 +123,8 @@ impl WriteThroughCache {
         self.inner.block_mut(set, way).patch_word(w, merged);
         self.inner.touch(set, way);
         let base = self.inner.geometry().block_base(addr);
-        let wpb = self.inner.geometry().words_per_block();
-        let mut words = vec![0u64; wpb];
-        words[w] = merged;
-        backing.write_back(base, &words, 1 << w);
+        self.store_scratch[w] = merged;
+        backing.write_back(base, &self.store_scratch, 1 << w);
         self.store_traffic += 1;
     }
 

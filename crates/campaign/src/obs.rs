@@ -13,6 +13,7 @@ cppc_obs::metrics! {
     counter SHARDS_FAILED: "campaign.shards_failed", "shards", "Shards abandoned because a trial panicked.";
     counter TRIALS_EXECUTED: "campaign.trials_executed", "trials", "Individual trials run (excludes resumed trials).";
     counter CHECKPOINT_WRITES: "campaign.checkpoint_writes", "events", "Checkpoint files written.";
+    counter TRACE_REPLAYS: "campaign.trace_replays", "replays", "Replays of a shared immutable benchmark trace (each one avoids regenerating the stream).";
     timer SHARD_LATENCY: "campaign.shard.ns", "ns", "Wall time of each shard (its whole trial range).";
     timer CHECKPOINT_WRITE: "campaign.checkpoint.write.ns", "ns", "Wall time of each checkpoint serialisation + write.";
 }

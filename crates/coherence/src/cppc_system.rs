@@ -21,9 +21,9 @@ struct L2Backing<'a> {
 }
 
 impl Backing for L2Backing<'_> {
-    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
-        debug_assert_eq!(words, self.l2.geometry().words_per_block());
-        self.l2.read_block(base, self.mem)
+    fn fetch_block_into(&mut self, base: u64, buf: &mut [u64]) {
+        debug_assert_eq!(buf.len(), self.l2.geometry().words_per_block());
+        self.l2.read_block_into(base, self.mem, buf);
     }
 
     fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {

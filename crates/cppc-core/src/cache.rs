@@ -175,6 +175,15 @@ pub struct CppcCache {
     regs: RegisterFile,
     lane_mode: LaneMode,
     stats: CppcStats,
+    /// One-block scratch reused by recovery re-fetches, so the repair
+    /// path never allocates.
+    fetch_scratch: Vec<u64>,
+    /// Per-rotation-class register pair, precomputed from the config:
+    /// `pair_of_class` divides by a runtime value, which the store path
+    /// cannot afford once per access.
+    pair_of: [usize; ROTATION_CLASSES],
+    /// Per-rotation-class byte rotation, precomputed likewise.
+    rot_of: [u32; ROTATION_CLASSES],
 }
 
 impl CppcCache {
@@ -200,6 +209,9 @@ impl CppcCache {
             regs: RegisterFile::new(config.register_pairs, lanes),
             lane_mode,
             stats: CppcStats::default(),
+            fetch_scratch: vec![0; geo.words_per_block()],
+            pair_of: core::array::from_fn(|class| config.pair_of_class(class)),
+            rot_of: core::array::from_fn(|class| config.rotation_of_class(class)),
         })
     }
 
@@ -306,24 +318,31 @@ impl CppcCache {
 
     /// `(pair, lane, rotation)` of the word at `(set, way, word)`.
     fn domain_of(&self, set: usize, way: usize, word: usize) -> (usize, usize, u32) {
-        let row = self.layout.row_of(set, way, word);
+        self.domain_of_row(self.layout.row_of(set, way, word), word)
+    }
+
+    /// [`CppcCache::domain_of`] for a caller that already knows the
+    /// physical row — the hot paths compute the row once and reuse it
+    /// for the parity array, the domain and the rotation.
+    #[inline]
+    fn domain_of_row(&self, row: usize, word: usize) -> (usize, usize, u32) {
         let class = self.class_of_row(row);
         (
-            self.config.pair_of_class(class),
+            self.pair_of[class],
             self.lane_of_word(word),
-            self.config.rotation_of_class(class),
+            self.rot_of[class],
         )
     }
 
     fn syndrome_at(&self, set: usize, way: usize, word: usize) -> u64 {
         let row = self.layout.row_of(set, way, word);
-        let value = self.inner.block(set, way).word(word);
+        let value = self.inner.word_at(set, way, word);
         self.code.syndrome(value, self.parity[row])
     }
 
     fn refresh_parity(&mut self, set: usize, way: usize, word: usize) {
         let row = self.layout.row_of(set, way, word);
-        let value = self.inner.block(set, way).word(word);
+        let value = self.inner.word_at(set, way, word);
         self.parity[row] = self.code.encode(value);
     }
 
@@ -347,19 +366,27 @@ impl CppcCache {
 
         // Pre-eviction: the outgoing block's dirty words are *read* (to
         // be written back), so their parity is checked; then they leave
-        // the dirty set and must be XORed into R2.
-        if self.inner.block(set, way).is_valid() && self.inner.block(set, way).is_dirty() {
+        // the dirty set and must be XORed into R2. Rows of one block are
+        // contiguous, so `row0 + w` addresses word `w`'s parity.
+        let row0 = self.layout.row_of(set, way, 0);
+        if self.inner.is_valid_at(set, way) && self.inner.dirty_mask_at(set, way) != 0 {
             let wpb = self.inner.geometry().words_per_block();
+            let mask = self.inner.dirty_mask_at(set, way);
             let needs_recovery = (0..wpb).any(|w| {
-                self.inner.block(set, way).is_word_dirty(w) && self.syndrome_at(set, way, w) != 0
+                mask >> w & 1 == 1
+                    && self
+                        .code
+                        .syndrome(self.inner.word_at(set, way, w), self.parity[row0 + w])
+                        != 0
             });
             if needs_recovery {
                 self.recover_all(backing)?;
             }
+            let mask = self.inner.dirty_mask_at(set, way);
             for w in 0..wpb {
-                if self.inner.block(set, way).is_word_dirty(w) {
-                    let (pair, lane, rot) = self.domain_of(set, way, w);
-                    let value = self.inner.block(set, way).word(w);
+                if mask >> w & 1 == 1 {
+                    let (pair, lane, rot) = self.domain_of_row(row0 + w, w);
+                    let value = self.inner.word_at(set, way, w);
                     self.regs.absorb_removal(pair, lane, value, rot);
                 }
             }
@@ -367,7 +394,7 @@ impl CppcCache {
 
         let _evicted = self.inner.fill_into(addr, way, backing);
         for w in 0..self.inner.geometry().words_per_block() {
-            self.refresh_parity(set, way, w);
+            self.parity[row0 + w] = self.code.encode(self.inner.word_at(set, way, w));
         }
         Ok((set, way))
     }
@@ -382,10 +409,13 @@ impl CppcCache {
     pub fn load_word<B: Backing>(&mut self, addr: u64, backing: &mut B) -> Result<u64, Due> {
         let (set, way) = self.ensure_resident(addr, false, backing)?;
         let w = self.inner.geometry().word_index(addr);
-        if self.syndrome_at(set, way, w) != 0 {
+        let row = self.layout.row_of(set, way, w);
+        let value = self.inner.word_at(set, way, w);
+        if self.code.syndrome(value, self.parity[row]) != 0 {
             self.recover_all(backing)?;
+            return Ok(self.inner.word_at(set, way, w));
         }
-        Ok(self.inner.block(set, way).word(w))
+        Ok(value)
     }
 
     /// Stores `value` at `addr` (write-allocate), performing the CPPC
@@ -404,21 +434,23 @@ impl CppcCache {
     ) -> Result<(), Due> {
         let (set, way) = self.ensure_resident(addr, true, backing)?;
         let w = self.inner.geometry().word_index(addr);
-        let (pair, lane, rot) = self.domain_of(set, way, w);
+        let row = self.layout.row_of(set, way, w);
+        let (pair, lane, rot) = self.domain_of_row(row, w);
 
-        if self.inner.block(set, way).is_word_dirty(w) {
+        if self.inner.dirty_mask_at(set, way) >> w & 1 == 1 {
             // Read-before-write: the old data is read, so parity is
             // checked — a corrupted old value must not poison R2.
-            if self.syndrome_at(set, way, w) != 0 {
+            let mut old = self.inner.word_at(set, way, w);
+            if self.code.syndrome(old, self.parity[row]) != 0 {
                 self.recover_all(backing)?;
+                old = self.inner.word_at(set, way, w);
             }
-            let old = self.inner.block(set, way).word(w);
             self.regs.absorb_removal(pair, lane, old, rot);
             self.stats.read_before_writes += 1;
         }
         self.inner.store_word_in_place(set, way, w, value);
         self.regs.absorb_store(pair, lane, value, rot);
-        self.refresh_parity(set, way, w);
+        self.parity[row] = self.code.encode(value);
         Ok(())
     }
 
@@ -442,14 +474,17 @@ impl CppcCache {
         let geo = *self.inner.geometry();
         let w = geo.word_index(addr);
         let byte = geo.byte_in_word(addr);
-        let (pair, lane, rot) = self.domain_of(set, way, w);
+        let row = self.layout.row_of(set, way, w);
+        let (pair, lane, rot) = self.domain_of_row(row, w);
 
-        let was_dirty = self.inner.block(set, way).is_word_dirty(w);
+        let was_dirty = self.inner.dirty_mask_at(set, way) >> w & 1 == 1;
+        // Either path reads the old word first, so parity is checked.
+        let mut old = self.inner.word_at(set, way, w);
+        if self.code.syndrome(old, self.parity[row]) != 0 {
+            self.recover_all(backing)?;
+            old = self.inner.word_at(set, way, w);
+        }
         if was_dirty {
-            if self.syndrome_at(set, way, w) != 0 {
-                self.recover_all(backing)?;
-            }
-            let old = self.inner.block(set, way).word(w);
             let old_byte = (old >> (8 * byte)) & 0xFF;
             self.regs
                 .absorb_removal(pair, lane, old_byte << (8 * byte), rot);
@@ -458,10 +493,6 @@ impl CppcCache {
             self.stats.read_before_writes += 1;
         } else {
             // Clean word: merge-read so the whole resulting word enters R1.
-            if self.syndrome_at(set, way, w) != 0 {
-                self.recover_all(backing)?;
-            }
-            let old = self.inner.block(set, way).word(w);
             let merged = (old & !(0xFFu64 << (8 * byte))) | (u64::from(value) << (8 * byte));
             self.regs.absorb_store(pair, lane, merged, rot);
             self.stats.byte_store_merges += 1;
@@ -532,12 +563,35 @@ impl CppcCache {
     ///
     /// Returns [`Due`] when a detected error cannot be corrected.
     pub fn read_block<B: Backing>(&mut self, addr: u64, backing: &mut B) -> Result<Vec<u64>, Due> {
+        let mut buf = vec![0; self.inner.geometry().words_per_block()];
+        self.read_block_into(addr, backing, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads the whole block containing `addr` into `buf` without
+    /// allocating — the hot-path variant of [`CppcCache::read_block`]
+    /// used by upper levels that reuse a per-cache scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Due`] when a detected error cannot be corrected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly one block wide.
+    pub fn read_block_into<B: Backing>(
+        &mut self,
+        addr: u64,
+        backing: &mut B,
+        buf: &mut [u64],
+    ) -> Result<(), Due> {
         let (set, way) = self.ensure_resident(addr, false, backing)?;
         let wpb = self.inner.geometry().words_per_block();
         if (0..wpb).any(|w| self.syndrome_at(set, way, w) != 0) {
             self.recover_all(backing)?;
         }
-        Ok(self.inner.block(set, way).words().to_vec())
+        buf.copy_from_slice(self.inner.block(set, way).words());
+        Ok(())
     }
 
     /// Writes every dirty block back (parity-checking outgoing data and
@@ -744,16 +798,23 @@ impl CppcCache {
         let mut faulty_clean: Vec<(usize, usize, usize)> = Vec::new();
         // (set, way, word, row, syndrome) grouped later by (pair, lane).
         let mut faulty_dirty: Vec<FaultyWord> = Vec::new();
-        for (set, way, block) in self.inner.iter_blocks() {
-            for w in 0..geo.words_per_block() {
-                let row = self.layout.row_of(set, way, w);
-                let syn = self.code.syndrome(block.word(w), self.parity[row]);
-                if syn != 0 {
-                    self.stats.detections += 1;
-                    if block.is_word_dirty(w) {
-                        faulty_dirty.push((set, way, w, row, syn));
-                    } else {
-                        faulty_clean.push((set, way, w));
+        for set in 0..geo.num_sets() {
+            for way in 0..geo.associativity() {
+                if !self.inner.is_valid_at(set, way) {
+                    continue;
+                }
+                let dirty = self.inner.dirty_mask_at(set, way);
+                let row0 = self.layout.row_of(set, way, 0);
+                let words = self.inner.words_at(set, way);
+                for (w, &value) in words.iter().enumerate() {
+                    let syn = self.code.syndrome(value, self.parity[row0 + w]);
+                    if syn != 0 {
+                        self.stats.detections += 1;
+                        if dirty >> w & 1 == 1 {
+                            faulty_dirty.push((set, way, w, row0 + w, syn));
+                        } else {
+                            faulty_clean.push((set, way, w));
+                        }
                     }
                 }
             }
@@ -775,8 +836,9 @@ impl CppcCache {
         // Clean faults: re-fetch from the next level (§3.2).
         for (set, way, w) in faulty_clean {
             let base = self.inner.block_address(set, way);
-            let data = backing.fetch_block(base, geo.words_per_block());
-            self.inner.block_mut(set, way).patch_word(w, data[w]);
+            backing.fetch_block_into(base, &mut self.fetch_scratch);
+            let value = self.fetch_scratch[w];
+            self.inner.block_mut(set, way).patch_word(w, value);
             self.refresh_parity(set, way, w);
             self.stats.corrected_clean += 1;
             report.corrected_clean += 1;
@@ -785,8 +847,8 @@ impl CppcCache {
         // Dirty faults: group by protection domain (pair, lane).
         let mut domains: Vec<((usize, usize), Vec<FaultyWord>)> = Vec::new();
         for entry in faulty_dirty {
-            let (set, way, w, _, _) = entry;
-            let (pair, lane, _) = self.domain_of(set, way, w);
+            let (_, _, w, row, _) = entry;
+            let (pair, lane, _) = self.domain_of_row(row, w);
             match domains.iter_mut().find(|(k, _)| *k == (pair, lane)) {
                 Some((_, v)) => v.push(entry),
                 None => domains.push(((pair, lane), vec![entry])),
@@ -800,14 +862,20 @@ impl CppcCache {
         }
 
         // Post-condition: every resident word must now pass parity.
-        for (set, way, block) in self.inner.iter_blocks() {
-            for w in 0..geo.words_per_block() {
-                let row = self.layout.row_of(set, way, w);
-                if self.code.syndrome(block.word(w), self.parity[row]) != 0 {
-                    self.stats.dues += 1;
-                    return Err(Due {
-                        reason: DueReason::PostRecoveryMismatch,
-                    });
+        for set in 0..geo.num_sets() {
+            for way in 0..geo.associativity() {
+                if !self.inner.is_valid_at(set, way) {
+                    continue;
+                }
+                let row0 = self.layout.row_of(set, way, 0);
+                let words = self.inner.words_at(set, way);
+                for (w, &value) in words.iter().enumerate() {
+                    if self.code.syndrome(value, self.parity[row0 + w]) != 0 {
+                        self.stats.dues += 1;
+                        return Err(Due {
+                            reason: DueReason::PostRecoveryMismatch,
+                        });
+                    }
                 }
             }
         }
@@ -821,18 +889,29 @@ impl CppcCache {
         pair: usize,
         lane: usize,
     ) -> Vec<(usize, usize, usize, usize, u64)> {
-        self.inner
-            .iter_dirty_words()
-            .filter_map(|(set, way, w, value)| {
-                let (p, l, _) = self.domain_of(set, way, w);
-                if (p, l) == (pair, lane) {
-                    let row = self.layout.row_of(set, way, w);
-                    Some((set, way, w, row, value))
-                } else {
-                    None
+        let geo = self.inner.geometry();
+        let mut out = Vec::new();
+        for set in 0..geo.num_sets() {
+            for way in 0..geo.associativity() {
+                if !self.inner.is_valid_at(set, way) {
+                    continue;
                 }
-            })
-            .collect()
+                let mut mask = self.inner.dirty_mask_at(set, way);
+                if mask == 0 {
+                    continue;
+                }
+                let row0 = self.layout.row_of(set, way, 0);
+                while mask != 0 {
+                    let w = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let (p, l, _) = self.domain_of_row(row0 + w, w);
+                    if (p, l) == (pair, lane) {
+                        out.push((set, way, w, row0 + w, self.inner.word_at(set, way, w)));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Repairs the faulty dirty words of one domain. Returns how many
@@ -845,9 +924,15 @@ impl CppcCache {
     ) -> Result<usize, Due> {
         debug_assert!(!faulty.is_empty());
 
+        // One snapshot of the domain's dirty words serves every
+        // reconstruction below; entries are refreshed as words are
+        // repaired so later reconstructions see corrected values, exactly
+        // as if each one re-walked the cache.
+        let mut domain_words = self.dirty_words_of_domain(pair, lane);
+
         if faulty.len() == 1 {
             let (set, way, w, row, _) = faulty[0];
-            self.reconstruct_word(pair, lane, set, way, w, row);
+            self.reconstruct_word(pair, lane, set, way, w, row, &domain_words);
             self.stats.corrected_dirty += 1;
             return Ok(0);
         }
@@ -860,8 +945,15 @@ impl CppcCache {
             .all(|(i, a)| faulty[i + 1..].iter().all(|b| a.4 & b.4 == 0));
         if disjoint {
             for &(set, way, w, row, syn) in faulty {
-                self.reconstruct_word_masked(pair, lane, set, way, w, row, syn);
+                self.reconstruct_word_masked(pair, lane, set, way, w, row, syn, &domain_words);
                 self.stats.corrected_dirty += 1;
+                let fixed = self.inner.word_at(set, way, w);
+                if let Some(e) = domain_words
+                    .iter_mut()
+                    .find(|e| (e.0, e.1, e.2) == (set, way, w))
+                {
+                    e.4 = fixed;
+                }
             }
             return Ok(0);
         }
@@ -881,7 +973,7 @@ impl CppcCache {
         // current values of all dirty words in the domain = XOR of the
         // rotated error masks.
         let mut r3 = self.regs.dirty_xor(pair, lane);
-        for (_, _, _, row, value) in self.dirty_words_of_domain(pair, lane) {
+        for &(_, _, _, row, value) in &domain_words {
             let rot = self.config.rotation_of_class(self.class_of_row(row));
             r3 ^= rotate_left_bytes(value, rot);
         }
@@ -914,8 +1006,10 @@ impl CppcCache {
     }
 
     /// Single-faulty-word reconstruction (§4.4 steps 1–2): XOR R1, R2
-    /// and every other dirty word of the domain (rotated), then rotate
-    /// the result back and write it over the faulty word.
+    /// and every other dirty word of the domain (rotated, from the
+    /// caller's `domain_words` snapshot), then rotate the result back
+    /// and write it over the faulty word.
+    #[allow(clippy::too_many_arguments)]
     fn reconstruct_word(
         &mut self,
         pair: usize,
@@ -924,9 +1018,10 @@ impl CppcCache {
         way: usize,
         w: usize,
         row: usize,
+        domain_words: &[(usize, usize, usize, usize, u64)],
     ) {
         let mut acc = self.regs.dirty_xor(pair, lane);
-        for (s2, w2, i2, row2, value) in self.dirty_words_of_domain(pair, lane) {
+        for &(s2, w2, i2, row2, value) in domain_words {
             if (s2, w2, i2) == (set, way, w) {
                 continue;
             }
@@ -954,9 +1049,10 @@ impl CppcCache {
         w: usize,
         row: usize,
         syndrome: u64,
+        domain_words: &[(usize, usize, usize, usize, u64)],
     ) {
         let mut acc = self.regs.dirty_xor(pair, lane);
-        for (s2, w2, i2, row2, value) in self.dirty_words_of_domain(pair, lane) {
+        for &(s2, w2, i2, row2, value) in domain_words {
             if (s2, w2, i2) == (set, way, w) {
                 continue;
             }

@@ -48,6 +48,7 @@ impl InterleavedParity {
 
     /// Computes the parity bits for `word`. Bit `i` of the result is the
     /// parity of group `i` (bits `i, i+k, i+2k, …`).
+    #[inline]
     #[must_use]
     pub fn encode(&self, word: u64) -> u64 {
         let mut parity = 0u64;
@@ -84,6 +85,7 @@ impl InterleavedParity {
     /// Recomputes parity over `word` and XORs with the `stored` parity.
     /// A non-zero result means the groups whose bits are set detected a
     /// fault.
+    #[inline]
     #[must_use]
     pub fn syndrome(&self, word: u64, stored: u64) -> u64 {
         self.encode(word) ^ stored

@@ -47,6 +47,7 @@ impl PhysicalLayout {
     }
 
     /// Rows per bank (one bank per way).
+    #[inline]
     #[must_use]
     pub fn rows_per_bank(&self) -> usize {
         self.num_sets * self.words_per_block
@@ -57,6 +58,7 @@ impl PhysicalLayout {
     /// # Panics
     ///
     /// Panics if any coordinate is out of range.
+    #[inline]
     #[must_use]
     pub fn row_of(&self, set: usize, way: usize, word: usize) -> usize {
         assert!(set < self.num_sets, "set {set} out of range");
@@ -86,6 +88,7 @@ impl PhysicalLayout {
     /// # Panics
     ///
     /// Panics if `classes` is zero.
+    #[inline]
     #[must_use]
     pub fn rotation_class(&self, row: usize, classes: usize) -> usize {
         assert!(classes > 0, "classes must be non-zero");

@@ -22,8 +22,10 @@
 pub mod generator;
 pub mod micro;
 pub mod profile;
+pub mod shared;
 pub mod trace_io;
 
 pub use generator::TraceGenerator;
 pub use profile::{spec2000_profiles, BenchmarkProfile};
+pub use shared::{Replay, SharedTrace};
 pub use trace_io::{read_trace, write_trace};

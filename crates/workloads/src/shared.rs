@@ -1,0 +1,177 @@
+//! Shared immutable traces.
+//!
+//! Campaigns and figure binaries replay the *same* deterministic access
+//! stream many times — once per scheme, per thread or per trial batch.
+//! Regenerating it each time costs a full [`TraceGenerator`] walk (RNG
+//! draws, reuse-pool upkeep) per consumer. A [`SharedTrace`] generates
+//! the stream **once** into an immutable `Arc<[MemOp]>` that any number
+//! of consumers (including worker threads — the buffer is `Send + Sync`)
+//! replay by iterating a borrowed slice: no regeneration, no copies,
+//! no per-replay allocation beyond the iterator itself.
+//!
+//! Replays are observable through the `campaign.trace_replays` counter,
+//! so a campaign's trace-amortisation factor shows up in `cppc-cli
+//! stats` next to the shard throughput it buys.
+
+use std::sync::Arc;
+
+use cppc_cache_sim::hierarchy::MemOp;
+
+use crate::generator::TraceGenerator;
+use crate::profile::BenchmarkProfile;
+
+/// A benchmark trace generated once and replayed arbitrarily often.
+///
+/// Cloning is cheap (one `Arc` bump) and the clone replays the identical
+/// operation sequence, so one `SharedTrace` can fan out to every worker
+/// thread of a campaign.
+///
+/// # Example
+///
+/// ```
+/// use cppc_workloads::{spec2000_profiles, SharedTrace, TraceGenerator};
+///
+/// let profile = &spec2000_profiles()[0];
+/// let trace = SharedTrace::generate(profile, 42, 1000);
+/// // Replays are bit-identical to a fresh generator with the same seed.
+/// let fresh: Vec<_> = TraceGenerator::new(profile, 42).take(1000).collect();
+/// assert!(trace.replay().eq(fresh));
+/// assert!(trace.replay().eq(trace.replay()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedTrace {
+    ops: Arc<[MemOp]>,
+}
+
+impl SharedTrace {
+    /// Generates `len` operations of `profile` under `seed`, exactly as
+    /// `TraceGenerator::new(profile, seed).take(len)` would produce them.
+    #[must_use]
+    pub fn generate(profile: &BenchmarkProfile, seed: u64, len: usize) -> Self {
+        Self::from_ops(TraceGenerator::new(profile, seed).take(len).collect())
+    }
+
+    /// Wraps an existing operation sequence (e.g. one read from disk via
+    /// [`read_trace`](crate::read_trace)).
+    #[must_use]
+    pub fn from_ops(ops: Vec<MemOp>) -> Self {
+        SharedTrace { ops: ops.into() }
+    }
+
+    /// Number of operations in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the trace holds no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The underlying operations.
+    #[must_use]
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// Starts one replay of the whole trace. Each call bumps the
+    /// `campaign.trace_replays` counter.
+    #[must_use]
+    pub fn replay(&self) -> Replay {
+        cppc_campaign::obs::register_metrics();
+        cppc_campaign::obs::TRACE_REPLAYS.inc();
+        Replay {
+            ops: Arc::clone(&self.ops),
+            pos: 0,
+        }
+    }
+}
+
+/// An iterator over one replay of a [`SharedTrace`]. Owns an `Arc`
+/// handle, so it outlives the trace it came from and crosses thread
+/// boundaries freely.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    ops: Arc<[MemOp]>,
+    pos: usize,
+}
+
+impl Iterator for Replay {
+    type Item = MemOp;
+
+    fn next(&mut self) -> Option<MemOp> {
+        let op = *self.ops.get(self.pos)?;
+        self.pos += 1;
+        Some(op)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.ops.len() - self.pos;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for Replay {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::spec2000_profiles;
+
+    #[test]
+    fn replay_matches_fresh_generator() {
+        let p = &spec2000_profiles()[3];
+        let shared = SharedTrace::generate(p, 0xBEEF, 2_000);
+        let fresh: Vec<_> = TraceGenerator::new(p, 0xBEEF).take(2_000).collect();
+        assert_eq!(shared.len(), 2_000);
+        assert!(shared.replay().eq(fresh));
+    }
+
+    #[test]
+    fn replays_are_independent_iterators() {
+        let p = &spec2000_profiles()[0];
+        let shared = SharedTrace::generate(p, 7, 100);
+        let mut a = shared.replay();
+        let b = shared.replay();
+        a.by_ref().take(50).count();
+        // `a` advanced; `b` still starts from the beginning.
+        assert_eq!(b.len(), 100);
+        assert!(shared.replay().eq(b));
+    }
+
+    #[test]
+    fn replay_crosses_threads() {
+        let p = &spec2000_profiles()[1];
+        let shared = SharedTrace::generate(p, 3, 500);
+        let expected: Vec<_> = shared.replay().collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = shared.clone();
+                std::thread::spawn(move || t.replay().collect::<Vec<_>>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = SharedTrace::from_ops(Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.replay().count(), 0);
+    }
+
+    #[test]
+    fn replay_counter_increments() {
+        let t = SharedTrace::from_ops(vec![MemOp::Load(0)]);
+        let before = cppc_campaign::obs::TRACE_REPLAYS.get();
+        let _ = t.replay();
+        let _ = t.replay();
+        if cfg!(feature = "obs") {
+            assert_eq!(cppc_campaign::obs::TRACE_REPLAYS.get(), before + 2);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Proof that the hierarchy hot path is allocation-free in steady state.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! generous warmup (which fills the SoA cache arenas, allocates every
+//! backing-memory page the trace can touch and grows the Tavg interval
+//! maps to their final size), replaying the identical trace again must
+//! perform **zero** heap allocations: every fill lands in an arena slot,
+//! every fetch goes through a reused scratch buffer, and the shared
+//! trace is iterated without regeneration.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::hierarchy::{MemOp, TwoLevelHierarchy};
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_workloads::SharedTrace;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every allocation request (alloc, zeroed alloc, realloc);
+/// deallocations are free of charge.
+struct CountingAllocator;
+
+// SAFETY: delegates every operation verbatim to `System`; the counter
+// update is a lock-free atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// A deterministic mixed trace over a 64 KiB working set — twice the L2
+/// below, so steady state keeps evicting, writing back and refilling
+/// across all three levels of storage.
+fn trace(len: usize) -> SharedTrace {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let addr = state % (64 * 1024);
+        ops.push(match state & 0x700 {
+            0x000 | 0x100 | 0x200 => MemOp::Store(addr & !7, state),
+            0x300 => MemOp::StoreByte(addr, state as u8),
+            _ => MemOp::Load(addr & !7),
+        });
+    }
+    SharedTrace::from_ops(ops)
+}
+
+#[test]
+fn steady_state_hierarchy_run_allocates_nothing() {
+    let l1 = CacheGeometry::new(8 * 1024, 2, 32).unwrap();
+    let l2 = CacheGeometry::new(32 * 1024, 4, 32).unwrap();
+    let mut h = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
+    let trace = trace(200_000);
+
+    // Warmup: two full replays allocate everything the trace can ever
+    // need — arena storage, backing-memory pages, interval-map capacity,
+    // the observability registry.
+    h.run(trace.replay());
+    h.run(trace.replay());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    h.run(trace.replay());
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    let accesses = h.l1().stats().accesses();
+    assert!(accesses >= 400_000, "warmup + measured runs recorded");
+    assert_eq!(
+        during, 0,
+        "steady-state replay of 200000 ops performed {during} heap allocations"
+    );
+}

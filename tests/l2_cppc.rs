@@ -17,11 +17,11 @@ struct L2CppcBacking<'a> {
 }
 
 impl Backing for L2CppcBacking<'_> {
-    fn fetch_block(&mut self, base: u64, words: usize) -> Vec<u64> {
-        debug_assert_eq!(words, self.l2.geometry().words_per_block());
+    fn fetch_block_into(&mut self, base: u64, buf: &mut [u64]) {
+        debug_assert_eq!(buf.len(), self.l2.geometry().words_per_block());
         self.l2
-            .read_block(base, self.mem)
-            .expect("L2 DUE during fetch")
+            .read_block_into(base, self.mem, buf)
+            .expect("L2 DUE during fetch");
     }
 
     fn write_back(&mut self, base: u64, data: &[u64], dirty_mask: u64) {
