@@ -28,6 +28,11 @@ for bench in codecs hierarchy recovery scheme_ops; do
     cargo test -q --release -p cppc-bench --bench "$bench" > /dev/null
 done
 
+echo "== hot-path throughput gate (vs BENCH_hotpath.json baseline)"
+# Measures the sequential mbe_coverage campaign against the committed
+# baseline's trials/sec and fails below 0.9x (CI noise allowance).
+cargo run -q -p cppc-bench --release --bin hotpath -- --gate BENCH_hotpath.json
+
 echo "== docs/METRICS.md freshness"
 cargo run -q -p cppc-cli --bin metrics-md > docs/METRICS.md
 git diff --exit-code -- docs/METRICS.md || {

@@ -13,22 +13,55 @@
 
 use std::time::Instant;
 
-use cppc_bench::mbe::{experiment, SEED};
+use cppc_bench::mbe::{experiment, pool, SEED};
 use cppc_campaign::json::Json;
 use cppc_fault::campaign::{Campaign, OutcomeTally};
 
-fn timed_run(trials: u64, threads: usize) -> (OutcomeTally, f64) {
-    let start = Instant::now();
-    let tally = Campaign::new(SEED).run_parallel(trials, threads, experiment);
-    (tally, start.elapsed().as_secs_f64())
+/// Warm-pool activity during one benchmark leg: how many warmup
+/// captures the leg ran and how many trials reused a pooled snapshot.
+struct PoolDelta {
+    captures: u64,
+    restores: u64,
 }
 
-fn leg_json(requested: usize, effective: usize, trials: u64, secs: f64) -> Json {
+fn timed_run(trials: u64, threads: usize) -> (OutcomeTally, f64, PoolDelta) {
+    let (captures0, restores0) = (pool().captures(), pool().restores());
+    let start = Instant::now();
+    let tally = Campaign::new(SEED).run_parallel(trials, threads, experiment);
+    let secs = start.elapsed().as_secs_f64();
+    let delta = PoolDelta {
+        captures: pool().captures() - captures0,
+        restores: pool().restores() - restores0,
+    };
+    (tally, secs, delta)
+}
+
+fn leg_json(requested: usize, effective: usize, trials: u64, secs: f64, delta: &PoolDelta) -> Json {
+    let checkouts = delta.captures + delta.restores;
     Json::Obj(vec![
         ("requested_threads".into(), Json::UInt(requested as u64)),
         ("effective_threads".into(), Json::UInt(effective as u64)),
         ("wall_clock_secs".into(), Json::Num(secs)),
         ("trials_per_sec".into(), Json::Num(trials as f64 / secs)),
+        (
+            "snapshot".into(),
+            Json::Obj(vec![
+                ("captures".into(), Json::UInt(delta.captures)),
+                ("restores".into(), Json::UInt(delta.restores)),
+                (
+                    "restores_per_thread".into(),
+                    Json::Num(delta.restores as f64 / effective.max(1) as f64),
+                ),
+                (
+                    "hit_rate".into(),
+                    Json::Num(if checkouts == 0 {
+                        0.0
+                    } else {
+                        delta.restores as f64 / checkouts as f64
+                    }),
+                ),
+            ]),
+        ),
     ])
 }
 
@@ -62,15 +95,19 @@ fn main() {
         println!("  ({requested_threads} threads requested, clamped to {parallel_threads})");
     }
 
-    let (seq_tally, seq_secs) = timed_run(trials, 1);
+    let (seq_tally, seq_secs, seq_pool) = timed_run(trials, 1);
     println!(
-        "  1 thread:  {seq_secs:.2}s  ({:.0} trials/sec)",
-        trials as f64 / seq_secs
+        "  1 thread:  {seq_secs:.2}s  ({:.0} trials/sec, {} snapshot captures / {} restores)",
+        trials as f64 / seq_secs,
+        seq_pool.captures,
+        seq_pool.restores
     );
-    let (par_tally, par_secs) = timed_run(trials, parallel_threads);
+    let (par_tally, par_secs, par_pool) = timed_run(trials, parallel_threads);
     println!(
-        "  {parallel_threads} threads: {par_secs:.2}s  ({:.0} trials/sec)",
-        trials as f64 / par_secs
+        "  {parallel_threads} threads: {par_secs:.2}s  ({:.0} trials/sec, {} snapshot captures / {} restores)",
+        trials as f64 / par_secs,
+        par_pool.captures,
+        par_pool.restores
     );
     assert_eq!(
         seq_tally, par_tally,
@@ -88,10 +125,19 @@ fn main() {
         ("seed".into(), Json::UInt(SEED)),
         ("trials".into(), Json::UInt(trials)),
         ("host_cores".into(), Json::UInt(cores as u64)),
-        ("sequential".into(), leg_json(1, 1, trials, seq_secs)),
+        (
+            "sequential".into(),
+            leg_json(1, 1, trials, seq_secs, &seq_pool),
+        ),
         (
             "parallel".into(),
-            leg_json(requested_threads, parallel_threads, trials, par_secs),
+            leg_json(
+                requested_threads,
+                parallel_threads,
+                trials,
+                par_secs,
+                &par_pool,
+            ),
         ),
         ("speedup".into(), Json::Num(speedup)),
         ("tallies_identical".into(), Json::Bool(true)),

@@ -1,37 +1,84 @@
-//! Hot-path throughput benchmark.
+//! Hot-path throughput benchmark and regression gate.
 //!
 //! Measures trials/sec of the sequential `mbe_coverage` campaign (the
 //! same experiment as `campaign_scaling`) and writes the result next to
 //! the pre-optimisation baseline to `BENCH_hotpath.json`. The baseline
-//! figure was measured on this host immediately before the
-//! allocation-free hot-path rework (SoA cache arena, paged main memory,
-//! buffer-reuse `Backing` API, shared traces), with the same trial
-//! count, seed and methodology (median of three runs).
+//! figure was measured on this host immediately before the warm-state
+//! snapshot rework (snapshot/restore subsystem, wide-word parity
+//! kernels, allocation-free locator), with the same trial count, seed
+//! and methodology (median of three runs).
 //!
 //! Run with `cargo run -p cppc-bench --release --bin hotpath`.
 //! `--trials N` sets the campaign size (default 100000); `--out PATH`
 //! redirects the output file.
+//!
+//! `--gate PATH` switches to regression-gate mode: instead of writing a
+//! new baseline, it reads the committed `BENCH_hotpath.json` at PATH,
+//! measures the current tree once and exits non-zero if throughput
+//! fell below 0.9x the file's `baseline.trials_per_sec`.
 
 use std::time::Instant;
 
-use cppc_bench::mbe::{experiment, SEED};
+use cppc_bench::mbe::{experiment, pool, SEED};
 use cppc_campaign::json::Json;
-use cppc_fault::campaign::Campaign;
+use cppc_fault::campaign::{Campaign, OutcomeTally};
 
-/// Sequential trials/sec measured at the pre-rework tree (commit
-/// 9c895c7) with `--trials 100000`, median of three runs.
-const BASELINE_TRIALS_PER_SEC: f64 = 53_365.0;
-const BASELINE_COMMIT: &str = "9c895c7";
+/// Sequential trials/sec measured at the pre-snapshot tree (commit
+/// 918b4f9) with `--trials 100000`, median of three runs.
+const BASELINE_TRIALS_PER_SEC: f64 = 84_726.0;
+const BASELINE_COMMIT: &str = "918b4f9";
 
-fn timed_run(trials: u64) -> f64 {
+/// A measured run may regress to this fraction of the recorded baseline
+/// before the gate fails (CI noise allowance).
+const GATE_FLOOR: f64 = 0.9;
+
+fn timed_run(trials: u64) -> (OutcomeTally, f64) {
     let start = Instant::now();
-    let _tally = Campaign::new(SEED).run_parallel(trials, 1, experiment);
-    start.elapsed().as_secs_f64()
+    let tally = Campaign::new(SEED).run_parallel(trials, 1, experiment);
+    (tally, start.elapsed().as_secs_f64())
+}
+
+fn tally_json(tally: &OutcomeTally) -> Json {
+    Json::Obj(vec![
+        ("masked".into(), Json::UInt(tally.masked)),
+        ("corrected".into(), Json::UInt(tally.corrected)),
+        ("due".into(), Json::UInt(tally.due)),
+        ("sdc".into(), Json::UInt(tally.sdc)),
+    ])
+}
+
+/// Regression-gate mode: measure once, compare against the committed
+/// baseline file, exit 1 on a >10% regression.
+fn run_gate(path: &str, trials: u64) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("gate: cannot read {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("gate: {path} is not JSON: {e}"));
+    let recorded = doc
+        .get("baseline")
+        .and_then(|b| b.get("trials_per_sec"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("gate: {path} lacks baseline.trials_per_sec"));
+
+    println!("hot-path gate: {trials} sequential trials vs {recorded:.0} trials/sec baseline");
+    let (_tally, secs) = timed_run(trials);
+    let current = trials as f64 / secs;
+    let ratio = current / recorded;
+    println!("  measured: {current:.0} trials/sec  ({ratio:.2}x of recorded baseline)");
+    if ratio < GATE_FLOOR {
+        eprintln!(
+            "hot-path REGRESSION: {current:.0} trials/sec is below {GATE_FLOOR}x of the \
+             recorded {recorded:.0} trials/sec baseline in {path}"
+        );
+        std::process::exit(1);
+    }
+    println!("  gate passed (floor {GATE_FLOOR}x)");
 }
 
 fn main() {
     let mut trials = 100_000u64;
     let mut out = String::from("BENCH_hotpath.json");
+    let mut gate: Option<String> = None;
+    let mut trials_set = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut next = || {
@@ -39,29 +86,51 @@ fn main() {
                 .unwrap_or_else(|| panic!("{flag} needs a value"))
         };
         match flag.as_str() {
-            "--trials" => trials = next().parse().expect("--trials needs a number"),
+            "--trials" => {
+                trials = next().parse().expect("--trials needs a number");
+                trials_set = true;
+            }
             "--out" => out = next(),
-            other => panic!("unknown flag {other}; supported: --trials/--out"),
+            "--gate" => gate = Some(next()),
+            other => panic!("unknown flag {other}; supported: --trials/--out/--gate"),
         }
     }
 
+    if let Some(path) = gate {
+        // Gate runs default to a smaller campaign: one run, quick enough
+        // for CI, long enough to amortise the per-thread warmup capture.
+        run_gate(&path, if trials_set { trials } else { 20_000 });
+        return;
+    }
+
     println!("hot-path benchmark: {trials} sequential mbe_coverage trials, 3 runs");
-    let mut secs: Vec<f64> = (0..3)
+    let mut runs: Vec<(OutcomeTally, f64)> = (0..3)
         .map(|i| {
-            let s = timed_run(trials);
+            let (tally, s) = timed_run(trials);
             println!(
                 "  run {}: {s:.2}s  ({:.0} trials/sec)",
                 i + 1,
                 trials as f64 / s
             );
-            s
+            (tally, s)
         })
         .collect();
-    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let median = secs[1];
+    let tally = runs[0].0;
+    assert!(
+        runs.iter().all(|(t, _)| *t == tally),
+        "tallies must be identical across runs"
+    );
+    runs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"));
+    let median = runs[1].1;
     let current = trials as f64 / median;
     let speedup = current / BASELINE_TRIALS_PER_SEC;
-    println!("  median: {current:.0} trials/sec  ({speedup:.2}x vs pre-rework baseline)");
+    println!("  median: {current:.0} trials/sec  ({speedup:.2}x vs pre-snapshot baseline)");
+    println!(
+        "  warm pool: {} captures, {} restores ({:.4} hit rate)",
+        pool().captures(),
+        pool().restores(),
+        pool().hit_rate()
+    );
 
     let doc = Json::Obj(vec![
         ("benchmark".into(), Json::Str("hotpath".into())),
@@ -86,6 +155,16 @@ fn main() {
             ]),
         ),
         ("speedup".into(), Json::Num(speedup)),
+        ("tallies".into(), tally_json(&tally)),
+        (
+            "snapshot".into(),
+            Json::Obj(vec![
+                ("captures".into(), Json::UInt(pool().captures())),
+                ("restores".into(), Json::UInt(pool().restores())),
+                ("bytes".into(), Json::UInt(pool().bytes())),
+                ("hit_rate".into(), Json::Num(pool().hit_rate())),
+            ]),
+        ),
     ]);
     std::fs::write(&out, doc.to_string_compact() + "\n").expect("write hotpath result");
     println!("wrote {out}");

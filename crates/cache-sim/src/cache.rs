@@ -10,6 +10,7 @@
 use crate::geometry::{CacheGeometry, WORD_BYTES};
 use crate::memory::MainMemory;
 use crate::replacement::{ReplacementPolicy, SetReplacementState};
+use crate::snapshot::CacheSnapshot;
 use crate::stats::CacheStats;
 
 /// Anything that can stand below a cache: the next cache level or main
@@ -749,12 +750,79 @@ impl Cache {
     }
 
     /// Iterates over every dirty word as `(set, way, word_index, value)`.
+    ///
+    /// Walks each block's 64-bit dirty bitmask with `trailing_zeros`
+    /// (clearing the lowest set bit each step), so clean words cost
+    /// nothing; the order is ascending `(block, word)` exactly as the
+    /// per-word scan produced.
     pub fn iter_dirty_words(&self) -> impl Iterator<Item = (usize, usize, usize, u64)> + '_ {
-        self.iter_blocks().flat_map(|(s, w, b)| {
-            (0..b.words().len())
-                .filter(move |&i| b.is_word_dirty(i))
-                .map(move |i| (s, w, i, b.word(i)))
+        let ways = self.geo.associativity();
+        (0..self.tags.len()).flat_map(move |idx| {
+            let mut mask = if self.valid[idx] { self.dirty[idx] } else { 0 };
+            std::iter::from_fn(move || {
+                if mask == 0 {
+                    return None;
+                }
+                let w = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                Some((idx / ways, idx % ways, w, self.block_words(idx)[w]))
+            })
         })
+    }
+
+    /// Captures the cache's complete mutable state into a fresh
+    /// [`CacheSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut snap = CacheSnapshot::default();
+        self.capture_snapshot(&mut snap);
+        snap
+    }
+
+    /// Captures the cache's complete mutable state into `snap`, reusing
+    /// its buffers.
+    pub fn capture_snapshot(&self, snap: &mut CacheSnapshot) {
+        snap.tags.clone_from(&self.tags);
+        snap.valid.clone_from(&self.valid);
+        snap.dirty.clone_from(&self.dirty);
+        snap.words.clone_from(&self.words);
+        snap.repl.clone_from(&self.repl);
+        snap.stats = self.stats;
+        snap.dirty_words = self.dirty_words;
+        snap.scrub_cursor = self.scrub_cursor;
+        snap.scratch_fetches = self.scratch_fetches;
+    }
+
+    /// Restores the state captured by [`Cache::snapshot`] into the
+    /// existing arenas — pure `copy_from_slice`, no allocation. The
+    /// geometry itself is immutable, so a snapshot taken from this cache
+    /// (or any cache of identical geometry) always fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a different geometry.
+    pub fn restore_snapshot(&mut self, snap: &CacheSnapshot) {
+        assert_eq!(
+            self.tags.len(),
+            snap.tags.len(),
+            "snapshot from a different geometry"
+        );
+        assert_eq!(
+            self.words.len(),
+            snap.words.len(),
+            "snapshot from a different geometry"
+        );
+        self.tags.copy_from_slice(&snap.tags);
+        self.valid.copy_from_slice(&snap.valid);
+        self.dirty.copy_from_slice(&snap.dirty);
+        self.words.copy_from_slice(&snap.words);
+        for (dst, src) in self.repl.iter_mut().zip(&snap.repl) {
+            dst.copy_state_from(src);
+        }
+        self.stats = snap.stats;
+        self.dirty_words = snap.dirty_words;
+        self.scrub_cursor = snap.scrub_cursor;
+        self.scratch_fetches = snap.scratch_fetches;
     }
 
     #[inline]

@@ -16,6 +16,8 @@
 //!   producing the operation counts that drive the paper's energy and
 //!   performance models (read hits, write hits, stores-to-dirty,
 //!   misses, write-backs at both levels).
+//! * [`snapshot`] — warm-state capture/restore, so fault-injection
+//!   campaigns replay the warmup prefix once and restore it per trial.
 //! * [`stats`] — counter bundles shared by all of the above.
 //!
 //! # Example
@@ -45,6 +47,7 @@ pub mod hierarchy3;
 pub mod memory;
 pub mod obs;
 pub mod replacement;
+pub mod snapshot;
 pub mod stats;
 pub mod victim;
 pub mod write_through;
@@ -56,6 +59,7 @@ pub use hierarchy::TwoLevelHierarchy;
 pub use hierarchy3::ThreeLevelHierarchy;
 pub use memory::MainMemory;
 pub use replacement::ReplacementPolicy;
+pub use snapshot::{CacheSnapshot, MemorySnapshot};
 pub use stats::CacheStats;
-pub use victim::VictimBuffer;
+pub use victim::{VictimBuffer, VictimSnapshot};
 pub use write_through::WriteThroughCache;

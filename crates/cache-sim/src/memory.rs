@@ -186,6 +186,47 @@ impl MainMemory {
         }
     }
 
+    /// Captures the memory's complete state into a fresh
+    /// [`crate::snapshot::MemorySnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> crate::snapshot::MemorySnapshot {
+        let mut snap = crate::snapshot::MemorySnapshot::default();
+        self.capture_snapshot(&mut snap);
+        snap
+    }
+
+    /// Captures the memory's complete state into `snap`, reusing its
+    /// buffers.
+    pub fn capture_snapshot(&self, snap: &mut crate::snapshot::MemorySnapshot) {
+        snap.pages.clone_from(&self.pages);
+        snap.arena.clone_from(&self.arena);
+        snap.nonzero = self.nonzero;
+        snap.reads = self.reads;
+        snap.writes = self.writes;
+    }
+
+    /// Restores the state captured by [`MainMemory::snapshot`].
+    ///
+    /// Allocation-free in steady state: when the page table still
+    /// matches the snapshot's (the common case — trials read but rarely
+    /// touch new pages), only the word arena is copied back in place.
+    /// If the trial did allocate pages, the page table and arena are
+    /// rebuilt from the snapshot.
+    pub fn restore_snapshot(&mut self, snap: &crate::snapshot::MemorySnapshot) {
+        if self.pages != snap.pages {
+            self.pages.clone_from(&snap.pages);
+        }
+        if self.arena.len() == snap.arena.len() {
+            self.arena.copy_from_slice(&snap.arena);
+        } else {
+            self.arena.clear();
+            self.arena.extend_from_slice(&snap.arena);
+        }
+        self.nonzero = snap.nonzero;
+        self.reads = snap.reads;
+        self.writes = snap.writes;
+    }
+
     /// Total word reads serviced.
     #[must_use]
     pub fn reads(&self) -> u64 {

@@ -46,6 +46,23 @@ impl SetReplacementState {
         }
     }
 
+    /// Copies `src`'s state into `self` without allocating. Used by
+    /// snapshot restore, where both sides come from the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states have different way counts.
+    pub fn copy_state_from(&mut self, src: &Self) {
+        assert_eq!(
+            self.order.len(),
+            src.order.len(),
+            "replacement state from a different geometry"
+        );
+        self.policy = src.policy;
+        self.order.copy_from_slice(&src.order);
+        self.rng_state = src.rng_state;
+    }
+
     /// Records an access (hit) to `way`.
     pub fn touch(&mut self, way: usize) {
         if self.policy == ReplacementPolicy::Lru {

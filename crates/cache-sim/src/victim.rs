@@ -158,6 +158,75 @@ impl VictimBuffer {
     pub fn drain_all<B: Backing>(&mut self, backing: &mut B) {
         while self.drain_one(backing) {}
     }
+
+    /// Captures the staged entries and counters into a snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> VictimSnapshot {
+        VictimSnapshot {
+            entries: self.entries.clone(),
+            capacity: self.capacity,
+            hits: self.hits,
+            drains: self.drains,
+        }
+    }
+
+    /// Restores the state captured by [`VictimBuffer::snapshot`].
+    /// Word buffers are recycled through the internal pool, so restoring
+    /// a steady-state shape allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a buffer of different capacity.
+    pub fn restore_snapshot(&mut self, snap: &VictimSnapshot) {
+        assert_eq!(
+            self.capacity, snap.capacity,
+            "snapshot from a different victim-buffer capacity"
+        );
+        while self.entries.len() > snap.entries.len() {
+            let e = self.entries.pop().expect("len checked");
+            self.pool.push(e.words);
+        }
+        for (dst, src) in self.entries.iter_mut().zip(&snap.entries) {
+            dst.base = src.base;
+            dst.dirty_mask = src.dirty_mask;
+            dst.words.clear();
+            dst.words.extend_from_slice(&src.words);
+        }
+        while self.entries.len() < snap.entries.len() {
+            let src = &snap.entries[self.entries.len()];
+            let mut words = self.pool.pop().unwrap_or_default();
+            words.clear();
+            words.extend_from_slice(&src.words);
+            self.entries.push(Entry {
+                base: src.base,
+                words,
+                dirty_mask: src.dirty_mask,
+            });
+        }
+        self.hits = snap.hits;
+        self.drains = snap.drains;
+    }
+}
+
+/// Saved state of a [`VictimBuffer`], produced by
+/// [`VictimBuffer::snapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VictimSnapshot {
+    entries: Vec<Entry>,
+    capacity: usize,
+    hits: u64,
+    drains: u64,
+}
+
+impl VictimSnapshot {
+    /// Approximate heap bytes held by this snapshot.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| 24 + e.words.len() as u64 * 8)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +301,32 @@ mod tests {
     #[should_panic(expected = "needs capacity")]
     fn zero_capacity_panics() {
         let _ = VictimBuffer::new(0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut mem = MainMemory::new();
+        let mut vb = VictimBuffer::new(3);
+        vb.push(0x00, &[1, 0, 0, 0], 0b0001, &mut mem);
+        vb.push(0x20, &[2, 9, 0, 0], 0b0011, &mut mem);
+        let snap = vb.snapshot();
+        // Mutate past the snapshot: drain one, push another.
+        vb.drain_one(&mut mem);
+        vb.push(0x40, &[7, 0, 0, 0], 0b0001, &mut mem);
+        vb.restore_snapshot(&snap);
+        assert_eq!(vb.len(), 2);
+        assert_eq!(vb.drains(), 0);
+        assert_eq!(vb.lookup(0x00), Some(&[1u64, 0, 0, 0][..]));
+        assert_eq!(vb.lookup(0x20), Some(&[2u64, 9, 0, 0][..]));
+        assert_eq!(vb.lookup(0x40), None);
+        assert!(snap.bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different victim-buffer capacity")]
+    fn restore_rejects_capacity_mismatch() {
+        let vb = VictimBuffer::new(2);
+        let snap = vb.snapshot();
+        VictimBuffer::new(3).restore_snapshot(&snap);
     }
 }

@@ -11,6 +11,9 @@
 //!   merging, worker-panic containment;
 //! * [`checkpoint`] — periodic JSON checkpoints and resume;
 //! * [`metrics`] — live trials/sec, per-outcome counters and ETA;
+//! * [`snapshot`] — per-process pool of warm trial contexts, so each
+//!   worker simulates the warmup prefix once and every later trial
+//!   restores it in place;
 //! * [`rng`] — the workspace's self-contained deterministic PRNGs
 //!   (SplitMix64, xorshift128+), also used by every other crate so the
 //!   workspace builds fully offline;
@@ -53,6 +56,7 @@ pub mod json;
 pub mod metrics;
 pub mod obs;
 pub mod rng;
+pub mod snapshot;
 
 pub use checkpoint::{CampaignIdentity, CheckpointError, Persist};
 pub use engine::{
@@ -60,3 +64,4 @@ pub use engine::{
     CampaignReport, CheckpointPolicy, FailedShard, DEFAULT_SHARD_SIZE,
 };
 pub use metrics::Progress;
+pub use snapshot::WarmPool;

@@ -1,0 +1,235 @@
+//! Per-process pool of warm trial contexts shared across campaign shards.
+//!
+//! A fault-injection trial spends most of its wall time replaying the
+//! same deterministic warmup prefix before injecting anything. The
+//! [`WarmPool`] lets an experiment simulate that prefix **once per
+//! worker thread** (per campaign identity), capture the resulting warm
+//! state, and serve every subsequent trial by checking a warm context
+//! out of the pool, restoring it in place and checking it back in:
+//!
+//! ```text
+//! trial 0 (per thread):  warmup → capture     (a `snapshot.captures`)
+//! trials 1..n:           checkout → restore   (a `snapshot.restores`)
+//! ```
+//!
+//! The pool is keyed by a caller-supplied `identity` — a hash of
+//! everything the warm state depends on (seed, geometry, configuration).
+//! Presenting a different identity invalidates the pool: stale contexts
+//! are dropped and the warmup is re-simulated, so a config change can
+//! never leak a mismatched snapshot into a campaign.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+cppc_obs::metrics! {
+    group SNAPSHOT_METRICS: "snapshot", "Warm-state snapshot reuse across campaign trials.";
+    counter SNAPSHOT_CAPTURES: "snapshot.captures", "captures", "Warmup prefixes simulated from cold and captured into a pooled context.";
+    counter SNAPSHOT_RESTORES: "snapshot.restores", "restores", "Trials served by restoring a pooled warm context instead of replaying the warmup.";
+    gauge SNAPSHOT_BYTES: "snapshot.bytes", "bytes", "Approximate heap bytes held by pooled warm snapshots (current identity).";
+    gauge SNAPSHOT_HIT_RATE: "snapshot.hit_rate", "percent", "Restores as a percentage of pool checkouts (restores + captures).";
+}
+
+/// Registers the snapshot metric group (idempotent).
+pub fn register_metrics() {
+    SNAPSHOT_METRICS.register();
+}
+
+struct PoolState<T> {
+    identity: u64,
+    entries: Vec<T>,
+}
+
+/// A pool of reusable warm trial contexts, keyed by a campaign identity.
+///
+/// Designed to live in a `static`: [`WarmPool::new`] is `const`, and all
+/// coordination is a single short-lived mutex around the free list plus
+/// relaxed counters. The pool never holds the lock across a capture or a
+/// trial, so worker threads warm up and run concurrently; at steady
+/// state it holds one context per worker thread.
+pub struct WarmPool<T> {
+    state: Mutex<PoolState<T>>,
+    captures: AtomicU64,
+    restores: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl<T> Default for WarmPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WarmPool<T> {
+    /// Creates an empty pool (usable in a `static`).
+    #[must_use]
+    pub const fn new() -> Self {
+        WarmPool {
+            state: Mutex::new(PoolState {
+                identity: 0,
+                entries: Vec::new(),
+            }),
+            captures: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `trial` on a warm context for `identity`.
+    ///
+    /// Checks a pooled context out (counting a restore), or builds one
+    /// with `capture` when the pool is empty or keyed to a different
+    /// identity (counting a capture; `capture` returns the context and
+    /// its approximate heap bytes for the `snapshot.bytes` gauge). The
+    /// context is checked back in afterwards — unless the identity moved
+    /// on in the meantime, in which case the stale context is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool mutex was poisoned by a panicking trial.
+    pub fn with<R>(
+        &self,
+        identity: u64,
+        capture: impl FnOnce() -> (T, u64),
+        trial: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        register_metrics();
+        let pooled = {
+            let mut st = self.state.lock().expect("warm pool poisoned");
+            if st.identity != identity {
+                st.identity = identity;
+                st.entries.clear();
+                self.bytes.store(0, Ordering::Relaxed);
+            }
+            st.entries.pop()
+        };
+        let mut ctx = match pooled {
+            Some(ctx) => {
+                self.restores.fetch_add(1, Ordering::Relaxed);
+                SNAPSHOT_RESTORES.inc();
+                ctx
+            }
+            None => {
+                let (ctx, bytes) = capture();
+                self.captures.fetch_add(1, Ordering::Relaxed);
+                let total = self.bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+                SNAPSHOT_CAPTURES.inc();
+                SNAPSHOT_BYTES.set(i64::try_from(total).unwrap_or(i64::MAX));
+                ctx
+            }
+        };
+        let out = trial(&mut ctx);
+        {
+            let mut st = self.state.lock().expect("warm pool poisoned");
+            if st.identity == identity {
+                st.entries.push(ctx);
+            }
+        }
+        SNAPSHOT_HIT_RATE.set(self.hit_rate_percent());
+        out
+    }
+
+    /// Warmup prefixes simulated from cold over the pool's lifetime.
+    #[must_use]
+    pub fn captures(&self) -> u64 {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// Trials served from a pooled context over the pool's lifetime.
+    #[must_use]
+    pub fn restores(&self) -> u64 {
+        self.restores.load(Ordering::Relaxed)
+    }
+
+    /// Approximate heap bytes held by contexts of the current identity.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of checkouts served from the pool, in `[0, 1]` (0 when
+    /// the pool has never been used).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let restores = self.restores();
+        let total = restores + self.captures();
+        if total == 0 {
+            0.0
+        } else {
+            restores as f64 / total as f64
+        }
+    }
+
+    fn hit_rate_percent(&self) -> i64 {
+        (self.hit_rate() * 100.0).round() as i64
+    }
+}
+
+impl<T> std::fmt::Debug for WarmPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmPool")
+            .field("captures", &self.captures())
+            .field("restores", &self.restores())
+            .field("bytes", &self.bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_use_captures_then_restores() {
+        let pool: WarmPool<Vec<u64>> = WarmPool::new();
+        for i in 0..5u64 {
+            let seen = pool.with(
+                7,
+                || (vec![42], 8),
+                |ctx| {
+                    ctx.push(i);
+                    ctx.len()
+                },
+            );
+            assert_eq!(seen, 2 + i as usize, "context persists across trials");
+        }
+        assert_eq!(pool.captures(), 1);
+        assert_eq!(pool.restores(), 4);
+        assert_eq!(pool.bytes(), 8);
+        assert!((pool.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_change_invalidates_pool() {
+        let pool: WarmPool<Vec<u64>> = WarmPool::new();
+        pool.with(1, || (vec![1], 8), |_| ());
+        pool.with(1, || (vec![1], 8), |_| ());
+        assert_eq!(pool.captures(), 1);
+        // New identity: the pooled context must NOT be reused.
+        let fresh = pool.with(2, || (vec![9], 8), |ctx| ctx[0]);
+        assert_eq!(fresh, 9);
+        assert_eq!(pool.captures(), 2);
+        assert_eq!(pool.bytes(), 8, "stale bytes cleared on invalidation");
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_contexts() {
+        use std::sync::atomic::AtomicUsize;
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let pool: WarmPool<u64> = WarmPool::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        pool.with(
+                            3,
+                            || (LIVE.fetch_add(1, Ordering::Relaxed) as u64, 1),
+                            |_| std::thread::yield_now(),
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.captures() + pool.restores(), 200);
+        assert!(pool.captures() <= 4, "at most one capture per thread");
+    }
+}

@@ -16,5 +16,6 @@ fn main() {
     cppc_core::obs::register_metrics();
     cppc_timing::obs::register_metrics();
     cppc_campaign::obs::register_metrics();
+    cppc_campaign::snapshot::register_metrics();
     print!("{}", cppc_obs::reference_markdown());
 }

@@ -30,13 +30,14 @@
 use cppc_cache_sim::cache::{Backing, Cache};
 use cppc_cache_sim::geometry::CacheGeometry;
 use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_cache_sim::snapshot::CacheSnapshot;
 use cppc_cache_sim::stats::CacheStats;
 use cppc_ecc::interleaved::InterleavedParity;
 use cppc_fault::layout::PhysicalLayout;
 use cppc_fault::model::FaultPattern;
 
 use crate::config::{ConfigError, CppcConfig, ROTATION_CLASSES};
-use crate::locator::{locate_spatial, LocateError, Suspect};
+use crate::locator::{locate_spatial_into, LocateError, Suspect};
 use crate::registers::RegisterFile;
 use crate::rotate::{rotate_left_bytes, rotate_right_bytes};
 
@@ -44,6 +45,57 @@ use std::fmt;
 
 /// A faulty dirty word during recovery: `(set, way, word, row, syndrome)`.
 type FaultyWord = (usize, usize, usize, usize, u64);
+
+/// A dirty word of a protection domain during recovery:
+/// `(set, way, word, row, current value)`.
+type DomainWord = (usize, usize, usize, usize, u64);
+
+/// Reusable working buffers for [`CppcCache::recover_all`], so steady-state
+/// recovery performs no heap allocation. Taken out of the cache with
+/// `mem::take` for the duration of a pass (sidestepping `&mut self`
+/// aliasing) and put back afterwards.
+#[derive(Debug, Clone, Default)]
+struct RecoveryScratch {
+    /// Faulty clean words `(set, way, word)` found by the scan.
+    faulty_clean: Vec<(usize, usize, usize)>,
+    /// Faulty dirty words found by the scan.
+    faulty_dirty: Vec<FaultyWord>,
+    /// The faulty words of the domain currently being recovered.
+    group: Vec<FaultyWord>,
+    /// All dirty words of the domain currently being recovered.
+    domain_words: Vec<DomainWord>,
+    /// Locator inputs for the domain currently being recovered.
+    suspects: Vec<Suspect>,
+    /// Locator outputs (per-suspect error masks).
+    masks: Vec<u64>,
+}
+
+/// Complete warm state of a [`CppcCache`]: the inner cache arenas, the
+/// parity code array, the R1/R2 register file and the CPPC counters.
+///
+/// Produced by [`CppcCache::snapshot`] / [`CppcCache::capture_snapshot`],
+/// consumed by [`CppcCache::restore_snapshot`]. A snapshot is only valid
+/// for a cache of the identical geometry and configuration (enforced by
+/// the restore asserts), which makes every restore a set of in-place
+/// `memcpy`s — no allocation in steady state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    cache: CacheSnapshot,
+    parity: Vec<u64>,
+    regs: RegisterFile,
+    stats: CppcStats,
+}
+
+impl SimSnapshot {
+    /// Approximate heap bytes held by this snapshot (feeds the
+    /// `snapshot.bytes` campaign gauge).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        // Each register lane holds R1 + R2 (8 bytes each) + 2 parity bytes.
+        let reg_bytes = (self.regs.pairs() * self.regs.lanes() * 18) as u64;
+        self.cache.bytes() + (self.parity.len() * 8) as u64 + reg_bytes
+    }
+}
 
 /// Write granularity of a CPPC: words (L1) or whole L1 blocks (L2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +230,8 @@ pub struct CppcCache {
     /// One-block scratch reused by recovery re-fetches, so the repair
     /// path never allocates.
     fetch_scratch: Vec<u64>,
+    /// Working buffers reused across recovery passes.
+    recovery_scratch: RecoveryScratch,
     /// Per-rotation-class register pair, precomputed from the config:
     /// `pair_of_class` divides by a runtime value, which the store path
     /// cannot afford once per access.
@@ -210,6 +264,7 @@ impl CppcCache {
             lane_mode,
             stats: CppcStats::default(),
             fetch_scratch: vec![0; geo.words_per_block()],
+            recovery_scratch: RecoveryScratch::default(),
             pair_of: core::array::from_fn(|class| config.pair_of_class(class)),
             rot_of: core::array::from_fn(|class| config.rotation_of_class(class)),
         })
@@ -587,7 +642,15 @@ impl CppcCache {
     ) -> Result<(), Due> {
         let (set, way) = self.ensure_resident(addr, false, backing)?;
         let wpb = self.inner.geometry().words_per_block();
-        if (0..wpb).any(|w| self.syndrome_at(set, way, w) != 0) {
+        // Rows of a block are contiguous, so the whole block's parity sits
+        // at `row0..row0 + wpb` and the OR-folded block syndrome kernel
+        // answers "any word faulty?" in one pass.
+        let row0 = self.layout.row_of(set, way, 0);
+        if self.code.block_syndrome_or(
+            self.inner.words_at(set, way),
+            &self.parity[row0..row0 + wpb],
+        ) != 0
+        {
             self.recover_all(backing)?;
         }
         buf.copy_from_slice(self.inner.block(set, way).words());
@@ -791,13 +854,28 @@ impl CppcCache {
     }
 
     fn recover_all_inner<B: Backing>(&mut self, backing: &mut B) -> Result<RecoveryReport, Due> {
+        // Detach the scratch buffers for the duration of the pass so the
+        // helpers below can borrow `self` mutably alongside them; put them
+        // back afterwards (also on the error paths) so the next pass
+        // reuses their capacity.
+        let mut scratch = std::mem::take(&mut self.recovery_scratch);
+        let result = self.recover_all_with_scratch(backing, &mut scratch);
+        self.recovery_scratch = scratch;
+        result
+    }
+
+    fn recover_all_with_scratch<B: Backing>(
+        &mut self,
+        backing: &mut B,
+        scratch: &mut RecoveryScratch,
+    ) -> Result<RecoveryReport, Due> {
         self.stats.recoveries += 1;
         let mut report = RecoveryReport::default();
         let geo = *self.inner.geometry();
 
-        let mut faulty_clean: Vec<(usize, usize, usize)> = Vec::new();
+        scratch.faulty_clean.clear();
         // (set, way, word, row, syndrome) grouped later by (pair, lane).
-        let mut faulty_dirty: Vec<FaultyWord> = Vec::new();
+        scratch.faulty_dirty.clear();
         for set in 0..geo.num_sets() {
             for way in 0..geo.associativity() {
                 if !self.inner.is_valid_at(set, way) {
@@ -806,14 +884,24 @@ impl CppcCache {
                 let dirty = self.inner.dirty_mask_at(set, way);
                 let row0 = self.layout.row_of(set, way, 0);
                 let words = self.inner.words_at(set, way);
+                // OR-folded block syndrome: one wide pass answers "any
+                // word faulty?" so fault-free blocks (the overwhelming
+                // majority) skip the per-word classification entirely.
+                if self
+                    .code
+                    .block_syndrome_or(words, &self.parity[row0..row0 + words.len()])
+                    == 0
+                {
+                    continue;
+                }
                 for (w, &value) in words.iter().enumerate() {
                     let syn = self.code.syndrome(value, self.parity[row0 + w]);
                     if syn != 0 {
                         self.stats.detections += 1;
                         if dirty >> w & 1 == 1 {
-                            faulty_dirty.push((set, way, w, row0 + w, syn));
+                            scratch.faulty_dirty.push((set, way, w, row0 + w, syn));
                         } else {
-                            faulty_clean.push((set, way, w));
+                            scratch.faulty_clean.push((set, way, w));
                         }
                     }
                 }
@@ -823,7 +911,7 @@ impl CppcCache {
         // Register-file parity check (§4.9): a corrupted register is
         // rebuilt from the dirty words — but only if they are all sound.
         if !self.regs.check_parity() {
-            if faulty_dirty.is_empty() {
+            if scratch.faulty_dirty.is_empty() {
                 self.repair_registers();
             } else {
                 self.stats.dues += 1;
@@ -834,7 +922,8 @@ impl CppcCache {
         }
 
         // Clean faults: re-fetch from the next level (§3.2).
-        for (set, way, w) in faulty_clean {
+        for i in 0..scratch.faulty_clean.len() {
+            let (set, way, w) = scratch.faulty_clean[i];
             let base = self.inner.block_address(set, way);
             backing.fetch_block_into(base, &mut self.fetch_scratch);
             let value = self.fetch_scratch[w];
@@ -844,20 +933,33 @@ impl CppcCache {
             report.corrected_clean += 1;
         }
 
-        // Dirty faults: group by protection domain (pair, lane).
-        let mut domains: Vec<((usize, usize), Vec<FaultyWord>)> = Vec::new();
-        for entry in faulty_dirty {
-            let (_, _, w, row, _) = entry;
-            let (pair, lane, _) = self.domain_of_row(row, w);
-            match domains.iter_mut().find(|(k, _)| *k == (pair, lane)) {
-                Some((_, v)) => v.push(entry),
-                None => domains.push(((pair, lane), vec![entry])),
+        // Dirty faults: group by protection domain (pair, lane), in
+        // first-encounter order of the keys. With at most a handful of
+        // faulty words per pass the quadratic key scan beats building a
+        // keyed map — and it allocates nothing.
+        for i in 0..scratch.faulty_dirty.len() {
+            let (_, _, wi, rowi, _) = scratch.faulty_dirty[i];
+            let (pair, lane, _) = self.domain_of_row(rowi, wi);
+            let seen = scratch.faulty_dirty[..i]
+                .iter()
+                .any(|&(_, _, w2, row2, _)| {
+                    let (p2, l2, _) = self.domain_of_row(row2, w2);
+                    (p2, l2) == (pair, lane)
+                });
+            if seen {
+                continue;
             }
-        }
-
-        for ((pair, lane), group) in domains {
-            let fixed = self.recover_domain(pair, lane, &group)?;
-            report.corrected_dirty += group.len();
+            scratch.group.clear();
+            for j in i..scratch.faulty_dirty.len() {
+                let entry = scratch.faulty_dirty[j];
+                let (_, _, w2, row2, _) = entry;
+                let (p2, l2, _) = self.domain_of_row(row2, w2);
+                if (p2, l2) == (pair, lane) {
+                    scratch.group.push(entry);
+                }
+            }
+            let fixed = self.recover_domain(pair, lane, scratch)?;
+            report.corrected_dirty += scratch.group.len();
             report.via_locator += fixed;
         }
 
@@ -882,15 +984,11 @@ impl CppcCache {
         Ok(report)
     }
 
-    /// All dirty words of protection domain `(pair, lane)`, as
-    /// `(set, way, word, row, current value)`.
-    fn dirty_words_of_domain(
-        &self,
-        pair: usize,
-        lane: usize,
-    ) -> Vec<(usize, usize, usize, usize, u64)> {
+    /// Collects all dirty words of protection domain `(pair, lane)` into
+    /// `out` (cleared first), as `(set, way, word, row, current value)`.
+    fn collect_dirty_words_of_domain(&self, pair: usize, lane: usize, out: &mut Vec<DomainWord>) {
+        out.clear();
         let geo = self.inner.geometry();
-        let mut out = Vec::new();
         for set in 0..geo.num_sets() {
             for way in 0..geo.associativity() {
                 if !self.inner.is_valid_at(set, way) {
@@ -911,44 +1009,55 @@ impl CppcCache {
                 }
             }
         }
-        out
     }
 
-    /// Repairs the faulty dirty words of one domain. Returns how many
-    /// needed the spatial locator.
+    /// Repairs the faulty dirty words of one domain (`scratch.group`).
+    /// Returns how many needed the spatial locator.
     fn recover_domain(
         &mut self,
         pair: usize,
         lane: usize,
-        faulty: &[FaultyWord],
+        scratch: &mut RecoveryScratch,
     ) -> Result<usize, Due> {
-        debug_assert!(!faulty.is_empty());
+        debug_assert!(!scratch.group.is_empty());
 
         // One snapshot of the domain's dirty words serves every
         // reconstruction below; entries are refreshed as words are
         // repaired so later reconstructions see corrected values, exactly
         // as if each one re-walked the cache.
-        let mut domain_words = self.dirty_words_of_domain(pair, lane);
+        self.collect_dirty_words_of_domain(pair, lane, &mut scratch.domain_words);
 
-        if faulty.len() == 1 {
-            let (set, way, w, row, _) = faulty[0];
-            self.reconstruct_word(pair, lane, set, way, w, row, &domain_words);
+        if scratch.group.len() == 1 {
+            let (set, way, w, row, _) = scratch.group[0];
+            self.reconstruct_word(pair, lane, set, way, w, row, &scratch.domain_words);
             self.stats.corrected_dirty += 1;
             return Ok(0);
         }
 
         // Multiple faulty words: disjoint syndromes → group-masked
         // reconstruction (§4.4 step 4); shared syndromes → locator.
-        let disjoint = faulty
+        let disjoint = scratch
+            .group
             .iter()
             .enumerate()
-            .all(|(i, a)| faulty[i + 1..].iter().all(|b| a.4 & b.4 == 0));
+            .all(|(i, a)| scratch.group[i + 1..].iter().all(|b| a.4 & b.4 == 0));
         if disjoint {
-            for &(set, way, w, row, syn) in faulty {
-                self.reconstruct_word_masked(pair, lane, set, way, w, row, syn, &domain_words);
+            for i in 0..scratch.group.len() {
+                let (set, way, w, row, syn) = scratch.group[i];
+                self.reconstruct_word_masked(
+                    pair,
+                    lane,
+                    set,
+                    way,
+                    w,
+                    row,
+                    syn,
+                    &scratch.domain_words,
+                );
                 self.stats.corrected_dirty += 1;
                 let fixed = self.inner.word_at(set, way, w);
-                if let Some(e) = domain_words
+                if let Some(e) = scratch
+                    .domain_words
                     .iter_mut()
                     .find(|e| (e.0, e.1, e.2) == (set, way, w))
                 {
@@ -973,28 +1082,28 @@ impl CppcCache {
         // current values of all dirty words in the domain = XOR of the
         // rotated error masks.
         let mut r3 = self.regs.dirty_xor(pair, lane);
-        for &(_, _, _, row, value) in &domain_words {
+        for &(_, _, _, row, value) in &scratch.domain_words {
             let rot = self.config.rotation_of_class(self.class_of_row(row));
             r3 ^= rotate_left_bytes(value, rot);
         }
-        let suspects: Vec<Suspect> = faulty
-            .iter()
-            .map(|&(_, _, _, row, syn)| Suspect {
+        scratch.suspects.clear();
+        for &(_, _, _, row, syn) in &scratch.group {
+            scratch.suspects.push(Suspect {
                 row,
                 class: self.class_of_row(row),
                 syndrome: syn as u8,
-            })
-            .collect();
-        match locate_spatial(r3, &suspects) {
-            Ok(masks) => {
-                for (&(set, way, w, _, _), mask) in faulty.iter().zip(masks) {
+            });
+        }
+        match locate_spatial_into(r3, &scratch.suspects, &mut scratch.masks) {
+            Ok(()) => {
+                for (&(set, way, w, _, _), &mask) in scratch.group.iter().zip(&scratch.masks) {
                     let fixed = self.inner.block(set, way).word(w) ^ mask;
                     self.inner.block_mut(set, way).patch_word(w, fixed);
                     self.refresh_parity(set, way, w);
                     self.stats.corrected_dirty += 1;
                     self.stats.corrected_via_locator += 1;
                 }
-                Ok(faulty.len())
+                Ok(scratch.group.len())
             }
             Err(e) => {
                 self.stats.dues += 1;
@@ -1114,6 +1223,62 @@ impl CppcCache {
     /// Direct register-file access for fault injection on R1/R2 (§4.9).
     pub fn registers_mut(&mut self) -> &mut RegisterFile {
         &mut self.regs
+    }
+
+    // ------------------------------------------------------------------
+    // Warm-state snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Captures the complete mutable state — inner cache arenas, parity
+    /// array, register file, CPPC counters — into a fresh [`SimSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            cache: self.inner.snapshot(),
+            parity: self.parity.clone(),
+            regs: self.regs.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Re-captures into an existing snapshot of the same shape without
+    /// reallocating its buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` came from a cache of a different geometry or
+    /// configuration.
+    pub fn capture_snapshot(&self, snap: &mut SimSnapshot) {
+        self.inner.capture_snapshot(&mut snap.cache);
+        assert_eq!(
+            snap.parity.len(),
+            self.parity.len(),
+            "snapshot from a different layout"
+        );
+        snap.parity.copy_from_slice(&self.parity);
+        snap.regs.copy_state_from(&self.regs);
+        snap.stats = self.stats;
+    }
+
+    /// Restores the cache to the snapshotted warm state. Every buffer is
+    /// overwritten in place (`copy_from_slice`), so the steady-state
+    /// restore performs no heap allocation — this is what lets a fault
+    /// campaign replay the warmup prefix once and reuse it per trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` came from a cache of a different geometry or
+    /// configuration.
+    pub fn restore_snapshot(&mut self, snap: &SimSnapshot) {
+        self.inner.restore_snapshot(&snap.cache);
+        assert_eq!(
+            self.parity.len(),
+            snap.parity.len(),
+            "snapshot from a different layout"
+        );
+        self.parity.copy_from_slice(&snap.parity);
+        self.regs.copy_state_from(&snap.regs);
+        self.stats = snap.stats;
     }
 }
 

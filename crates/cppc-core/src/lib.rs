@@ -47,10 +47,10 @@ pub mod registers;
 pub mod rotate;
 pub mod tags;
 
-pub use cache::{CppcCache, CppcStats, Due, DueReason, RecoveryReport};
+pub use cache::{CppcCache, CppcStats, Due, DueReason, RecoveryReport, SimSnapshot};
 pub use config::{ConfigError, CppcConfig, ROTATION_CLASSES};
 pub use full::{FullyProtectedCache, ProtectedFault};
 pub use icr::{IcrCache, IcrStats};
-pub use locator::{locate_spatial, LocateError, Suspect};
+pub use locator::{locate_spatial, locate_spatial_into, LocateError, Suspect};
 pub use registers::RegisterFile;
 pub use tags::{TagCppc, TagDue};

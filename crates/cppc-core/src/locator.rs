@@ -103,6 +103,33 @@ impl std::error::Error for LocateError {}
 /// Panics if `suspects` is empty or any syndrome is zero (callers only
 /// invoke the locator for detected faults).
 pub fn locate_spatial(r3: u64, suspects: &[Suspect]) -> Result<Vec<u64>, LocateError> {
+    let mut out = Vec::with_capacity(suspects.len());
+    locate_spatial_into(r3, suspects, &mut out)?;
+    Ok(out)
+}
+
+/// Buffer-reuse form of [`locate_spatial`]: writes the per-suspect error
+/// masks into `out` (cleared first). The locator's working set lives in
+/// fixed stack arrays — after the distance and class-alias checks at
+/// most 8 suspects remain (one per rotation class) — so a successful
+/// call performs no heap allocation beyond growing `out` once.
+///
+/// # Errors
+///
+/// Returns a [`LocateError`] when the fault is outside the correctable
+/// envelope or cannot be unambiguously located — a DUE in the paper's
+/// taxonomy.
+///
+/// # Panics
+///
+/// Panics if `suspects` is empty or any syndrome is zero (callers only
+/// invoke the locator for detected faults).
+pub fn locate_spatial_into(
+    r3: u64,
+    suspects: &[Suspect],
+    out: &mut Vec<u64>,
+) -> Result<(), LocateError> {
+    out.clear();
     assert!(!suspects.is_empty(), "locator needs at least one suspect");
     assert!(
         suspects.iter().all(|s| s.syndrome != 0),
@@ -121,44 +148,49 @@ pub fn locate_spatial(r3: u64, suspects: &[Suspect]) -> Result<Vec<u64>, LocateE
             }
         }
     }
+    // Distinct classes in 0..8 ⇒ at most 8 suspects from here on.
+    let n = suspects.len();
+    debug_assert!(n <= 8, "class-alias check bounds the suspect count");
 
-    // Step 1-2 (paper §4.5): the non-zero bytes of R3 and, for each, the
-    // set of word bytes that are XORed into it.
-    let faulty_bytes: Vec<u32> = (0..8).filter(|&b| (r3 >> (8 * b)) & 0xFF != 0).collect();
+    // Step 1-2 (paper §4.5): the non-zero bytes of R3 (as a bitmask) —
+    // for each, some word byte must explain the contribution.
+    let faulty_bytes = (0..8).fold(0u8, |m, b| m | (u8::from((r3 >> (8 * b)) & 0xFF != 0) << b));
+
+    let mut scratch = [0u64; 8];
 
     // Step 3, first half: a single common byte `j` such that every R3
-    // faulty byte is explained by byte `j` of some faulty word.
-    if !faulty_bytes.is_empty() {
-        let mut single_solutions: Vec<Vec<u64>> = Vec::new();
+    // faulty byte is explained by byte `j` of some faulty word. Only the
+    // first distinct solution is kept; a second distinct one is already
+    // irreducibly ambiguous (e.g. the §4.6 distance-4 alias), no matter
+    // what later bytes yield.
+    if faulty_bytes != 0 {
+        let mut found: Option<[u64; 8]> = None;
         for j in 0..8u32 {
-            let covers = faulty_bytes.iter().all(|&b| {
+            let covers = (0..8).filter(|&b| faulty_bytes >> b & 1 == 1).all(|b| {
                 suspects
                     .iter()
                     .any(|s| (j as usize + s.class) % 8 == b as usize)
             });
-            if covers {
-                if let Some(masks) = solve_single_byte(r3, suspects, j) {
-                    if !single_solutions.contains(&masks) {
-                        single_solutions.push(masks);
-                    }
+            if covers && solve_single_byte(r3, suspects, j, &mut scratch) {
+                match &found {
+                    Some(first) if first[..n] == scratch[..n] => {}
+                    Some(_) => return Err(LocateError::Ambiguous),
+                    None => found = Some(scratch),
                 }
             }
         }
-        match single_solutions.len() {
-            1 => return Ok(single_solutions.pop().expect("len checked")),
-            0 => {}
-            // Two different single-byte explanations (e.g. the §4.6
-            // distance-4 alias): irreducibly ambiguous.
-            _ => return Err(LocateError::Ambiguous),
+        if let Some(first) = found {
+            out.extend_from_slice(&first[..n]);
+            return Ok(());
         }
     }
 
     // Step 3, second half + step 4: adjacent byte bands with peeling.
-    let mut solutions: Vec<Vec<u64>> = Vec::new();
+    let mut found: Option<[u64; 8]> = None;
     for band in 0..7u32 {
         // The paper's precondition: every R3 faulty byte must be
         // explainable by byte `band` or `band + 1` of some faulty word.
-        let qualifies = faulty_bytes.iter().all(|&b| {
+        let qualifies = (0..8).filter(|&b| faulty_bytes >> b & 1 == 1).all(|b| {
             suspects.iter().any(|s| {
                 (band as usize + s.class) % 8 == b as usize
                     || (band as usize + 1 + s.class) % 8 == b as usize
@@ -167,18 +199,22 @@ pub fn locate_spatial(r3: u64, suspects: &[Suspect]) -> Result<Vec<u64>, LocateE
         if !qualifies {
             continue;
         }
-        if let Some(masks) = solve_band(r3, suspects, band) {
-            // Physical-plausibility filter: a spatial MBE inside an 8x8
-            // square spans at most 8 consecutive bit columns.
-            if column_span(&masks) <= 8 && !solutions.contains(&masks) {
-                solutions.push(masks);
+        // Physical-plausibility filter: a spatial MBE inside an 8x8
+        // square spans at most 8 consecutive bit columns.
+        if solve_band(r3, suspects, band, &mut scratch) && column_span(&scratch[..n]) <= 8 {
+            match &found {
+                Some(first) if first[..n] == scratch[..n] => {}
+                Some(_) => return Err(LocateError::Ambiguous),
+                None => found = Some(scratch),
             }
         }
     }
-    match solutions.len() {
-        0 => Err(LocateError::NoSolution),
-        1 => Ok(solutions.pop().expect("len checked")),
-        _ => Err(LocateError::Ambiguous),
+    match found {
+        Some(first) => {
+            out.extend_from_slice(&first[..n]);
+            Ok(())
+        }
+        None => Err(LocateError::NoSolution),
     }
 }
 
@@ -196,47 +232,53 @@ fn column_span(masks: &[u64]) -> u32 {
 /// word (the paper's single-common-byte case). Each suspect's error byte
 /// is read directly off R3; consistency demands that it equals the
 /// suspect's syndrome (byte-aligned bits are their own parity groups)
-/// and that the contributions reproduce R3 exactly.
-fn solve_single_byte(r3: u64, suspects: &[Suspect], j: u32) -> Option<Vec<u64>> {
-    let mut masks = Vec::with_capacity(suspects.len());
+/// and that the contributions reproduce R3 exactly. On success writes
+/// the per-suspect error masks into `masks[..suspects.len()]`.
+fn solve_single_byte(r3: u64, suspects: &[Suspect], j: u32, masks: &mut [u64; 8]) -> bool {
     let mut reconstructed = 0u64;
-    for s in suspects {
+    for (i, s) in suspects.iter().enumerate() {
         let b = (j as usize + s.class) % 8;
         let e_byte = ((r3 >> (8 * b)) & 0xFF) as u8;
         if e_byte != s.syndrome {
-            return None;
+            return false;
         }
         let mask = u64::from(e_byte) << (8 * j);
         reconstructed ^= rotate_left_bytes(mask, s.class as u32);
-        masks.push(mask);
+        masks[i] = mask;
     }
-    (reconstructed == r3).then_some(masks)
+    reconstructed == r3
 }
 
 /// Attempts to explain the fault entirely within word bytes `band` and
-/// `band + 1`. Returns the per-suspect error masks on success.
-fn solve_band(r3: u64, suspects: &[Suspect], band: u32) -> Option<Vec<u64>> {
+/// `band + 1`. On success writes the per-suspect error masks into
+/// `masks[..suspects.len()]`.
+fn solve_band(r3: u64, suspects: &[Suspect], band: u32, masks: &mut [u64; 8]) -> bool {
     let jj_lo = band;
     let jj_hi = band + 1;
     let n = suspects.len();
 
     // members[b] = candidate (suspect index, word byte) pairs whose
-    // rotated contribution lands in byte b of R3.
-    let mut members: Vec<Vec<(usize, u32)>> = vec![Vec::new(); 8];
+    // rotated contribution lands in byte b of R3. Each of the ≤ 8
+    // suspects lands in two *distinct* bytes (jj_lo and jj_hi differ by
+    // 1 mod 8), so a byte holds at most one entry per suspect.
+    let mut members = [[(0usize, 0u32); 8]; 8];
+    let mut member_len = [0usize; 8];
     for (i, s) in suspects.iter().enumerate() {
         for jj in [jj_lo, jj_hi] {
             let b = (jj as usize + s.class) % 8;
-            members[b].push((i, jj));
+            members[b][member_len[b]] = (i, jj);
+            member_len[b] += 1;
         }
     }
 
     let mut r3 = r3;
-    let mut masks: Vec<Option<u64>> = vec![None; n];
     let mut remaining = n;
 
     while remaining > 0 {
         // Find a forced deduction: an R3 byte with exactly one candidate.
-        let singleton = (0..8).find(|&b| members[b].len() == 1)?;
+        let Some(singleton) = (0..8).find(|&b| member_len[b] == 1) else {
+            return false;
+        };
         let (idx, jj) = members[singleton][0];
         let s = suspects[idx];
 
@@ -248,19 +290,25 @@ fn solve_band(r3: u64, suspects: &[Suspect], band: u32) -> Option<Vec<u64>> {
         let jj_other = if jj == jj_lo { jj_hi } else { jj_lo };
         let mask = (u64::from(e_known) << (8 * jj)) | (u64::from(e_other) << (8 * jj_other));
 
-        masks[idx] = Some(mask);
+        masks[idx] = mask;
         r3 ^= rotate_left_bytes(mask, s.class as u32);
-        for list in &mut members {
-            list.retain(|&(i, _)| i != idx);
+        for b in 0..8 {
+            let mut kept = 0;
+            for t in 0..member_len[b] {
+                if members[b][t].0 != idx {
+                    members[b][kept] = members[b][t];
+                    kept += 1;
+                }
+            }
+            member_len[b] = kept;
         }
         remaining -= 1;
     }
 
-    // Accept only a fully consistent explanation.
-    if r3 != 0 {
-        return None;
-    }
-    Some(masks.into_iter().map(|m| m.expect("all located")).collect())
+    // Accept only a fully consistent explanation. The peel loop located
+    // every suspect exactly once (retain removes a located index from
+    // all candidate lists), so masks[..n] is fully written.
+    r3 == 0
 }
 
 #[cfg(test)]

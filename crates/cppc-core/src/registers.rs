@@ -180,6 +180,25 @@ impl RegisterFile {
             .map(|p| (0..self.lanes).map(|l| self.dirty_xor(p, l)).collect())
             .collect()
     }
+
+    /// Copies `src`'s registers and parities into `self` without
+    /// allocating — the snapshot-restore path. (The derived
+    /// `Clone::clone_from` would reallocate the four vectors.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two files have different dimensions.
+    pub fn copy_state_from(&mut self, src: &Self) {
+        assert_eq!(
+            (self.pairs, self.lanes),
+            (src.pairs, src.lanes),
+            "register file from a different configuration"
+        );
+        self.r1.copy_from_slice(&src.r1);
+        self.r2.copy_from_slice(&src.r2);
+        self.r1_parity.copy_from_slice(&src.r1_parity);
+        self.r2_parity.copy_from_slice(&src.r2_parity);
+    }
 }
 
 #[cfg(test)]

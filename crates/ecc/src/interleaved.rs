@@ -91,6 +91,35 @@ impl InterleavedParity {
         self.encode(word) ^ stored
     }
 
+    /// Encodes every word of a block into the parallel `parity` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn encode_slice(&self, words: &[u64], parity: &mut [u64]) {
+        assert_eq!(words.len(), parity.len(), "parallel slices");
+        for (p, &w) in parity.iter_mut().zip(words) {
+            *p = self.encode(w);
+        }
+    }
+
+    /// OR of the per-word syndromes of a block: non-zero iff *any* word
+    /// disagrees with its stored parity.
+    ///
+    /// The fold must be OR, not XOR — XOR-folding syndromes across words
+    /// would cancel identical error pairs, and this helper exists for
+    /// detect-any checks where that would be a missed detection.
+    #[inline]
+    #[must_use]
+    pub fn block_syndrome_or(&self, words: &[u64], stored: &[u64]) -> u64 {
+        debug_assert_eq!(words.len(), stored.len(), "parallel slices");
+        words
+            .iter()
+            .zip(stored)
+            .fold(0u64, |acc, (&w, &p)| acc | (self.encode(w) ^ p))
+    }
+
     /// Returns `true` iff a *contiguous* horizontal flip of `n` bits
     /// starting anywhere in the word is guaranteed detectable (`n ≤ k`).
     #[must_use]
@@ -226,6 +255,39 @@ mod tests {
             let syn = code.syndrome(word ^ mask, stored);
             assert_eq!(syn.count_ones(), len, "each flipped bit its own group");
         }
+    }
+
+    #[test]
+    fn encode_slice_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(0x117E_0005);
+        let code = InterleavedParity::new(8);
+        let words: Vec<u64> = (0..16).map(|_| rng.random()).collect();
+        let mut parity = vec![0u64; words.len()];
+        code.encode_slice(&words, &mut parity);
+        for (w, p) in words.iter().zip(&parity) {
+            assert_eq!(code.encode(*w), *p);
+        }
+    }
+
+    #[test]
+    fn block_syndrome_or_detects_cancelling_pair() {
+        // The case that rules out an XOR fold: the same error mask in
+        // two words of a block produces identical syndromes, which an
+        // XOR fold would cancel to zero.
+        let code = InterleavedParity::new(8);
+        let words = [0xDEAD_BEEFu64, 0xCAFE_F00D, 0x1234_5678, 0x9ABC_DEF0];
+        let mut stored = [0u64; 4];
+        code.encode_slice(&words, &mut stored);
+        assert_eq!(code.block_syndrome_or(&words, &stored), 0);
+        let mut struck = words;
+        struck[1] ^= 0b101;
+        struck[3] ^= 0b101;
+        assert_ne!(code.block_syndrome_or(&struck, &stored), 0);
+        let xor_fold: u64 = struck
+            .iter()
+            .zip(&stored)
+            .fold(0, |acc, (&w, &p)| acc ^ code.syndrome(w, p));
+        assert_eq!(xor_fold, 0, "the pair cancels under XOR — hence OR");
     }
 
     #[test]

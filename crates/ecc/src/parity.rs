@@ -22,11 +22,20 @@ pub fn parity64(word: u64) -> u8 {
 }
 
 /// Computes even parity over an arbitrary byte slice (block parity).
+///
+/// XOR-folds the slice eight bytes at a time into one `u64` lane —
+/// parity is linear, so folding first and counting once is equivalent
+/// to summing per-byte population counts.
 #[inline]
 #[must_use]
 pub fn parity_bytes(bytes: &[u8]) -> u8 {
-    let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
-    (ones & 1) as u8
+    let mut chunks = bytes.chunks_exact(8);
+    let mut folded = 0u64;
+    for chunk in chunks.by_ref() {
+        folded ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    let tail = chunks.remainder().iter().fold(0u8, |acc, &b| acc ^ b);
+    parity64(folded ^ u64::from(tail))
 }
 
 /// Granularity at which one parity bit is attached.
@@ -76,12 +85,17 @@ impl ParityGranularity {
 #[inline]
 #[must_use]
 pub fn byte_parity64(word: u64) -> u8 {
-    let mut out = 0u8;
-    for i in 0..8 {
-        let byte = ((word >> (8 * i)) & 0xFF) as u8;
-        out |= ((byte.count_ones() & 1) as u8) << i;
-    }
-    out
+    // SWAR: fold each byte's bits onto its own bit 0, then gather the
+    // eight LSBs into one byte. After the three folds, bit 8i is the
+    // XOR of bits 8i..8i+7 (the higher bits of each byte are garbage
+    // and masked off). The multiply moves the LSB of byte i to bit
+    // 56 + i; partial-product bit positions 8i + 56 - 7j are pairwise
+    // distinct for i, j < 8, so no carries interfere.
+    let mut w = word;
+    w ^= w >> 4;
+    w ^= w >> 2;
+    w ^= w >> 1;
+    (((w & 0x0101_0101_0101_0101).wrapping_mul(0x0102_0408_1020_4080)) >> 56) as u8
 }
 
 /// A stored word together with its parity bits, checked on every read.
@@ -295,6 +309,44 @@ mod tests {
             let mut w = ParityWord::encode(data, 8);
             w.flip_data_bit(bit);
             assert_eq!(w.syndrome(), 1u8 << (bit / 8), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn byte_parity_swar_matches_reference() {
+        fn reference(word: u64) -> u8 {
+            let mut out = 0u8;
+            for i in 0..8 {
+                let byte = ((word >> (8 * i)) & 0xFF) as u8;
+                out |= ((byte.count_ones() & 1) as u8) << i;
+            }
+            out
+        }
+        let mut rng = StdRng::seed_from_u64(0x9A81_0005);
+        for w in [
+            0u64,
+            1,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+            0x0101_0101_0101_0101,
+        ] {
+            assert_eq!(byte_parity64(w), reference(w), "word {w:#x}");
+        }
+        for _ in 0..4096 {
+            let w = rng.random::<u64>();
+            assert_eq!(byte_parity64(w), reference(w), "word {w:#x}");
+        }
+    }
+
+    #[test]
+    fn parity_bytes_fold_matches_popcount_sum() {
+        let mut rng = StdRng::seed_from_u64(0x9A81_0006);
+        let mut buf = Vec::new();
+        for len in 0..64usize {
+            buf.clear();
+            buf.extend((0..len).map(|_| rng.random::<u64>() as u8));
+            let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(parity_bytes(&buf), (ones & 1) as u8, "len {len}");
         }
     }
 

@@ -22,9 +22,24 @@ impl FaultPattern {
     /// Builds a pattern from flips, dropping duplicates.
     #[must_use]
     pub fn new(mut flips: Vec<BitFlip>) -> Self {
-        flips.sort();
-        flips.dedup();
+        Self::normalise(&mut flips);
         FaultPattern { flips }
+    }
+
+    /// An empty pattern — the reusable buffer for
+    /// [`FaultGenerator::sample_into`].
+    #[must_use]
+    pub fn empty() -> Self {
+        FaultPattern { flips: Vec::new() }
+    }
+
+    /// Sorts and dedups in place. `sort_unstable` gives the identical
+    /// result to a stable sort here (duplicates are indistinguishable
+    /// under `BitFlip`'s total order) without the stable sort's scratch
+    /// allocation.
+    fn normalise(flips: &mut Vec<BitFlip>) {
+        flips.sort_unstable();
+        flips.dedup();
     }
 
     /// The individual bit flips.
@@ -131,15 +146,32 @@ impl FaultGenerator {
     /// Panics if the model's footprint exceeds the array, if
     /// `density` is outside (0, 1], or a multi-bit count is zero.
     pub fn sample(&mut self, model: FaultModel) -> FaultPattern {
+        let mut out = FaultPattern::empty();
+        self.sample_into(model, &mut out);
+        out
+    }
+
+    /// Samples one fault pattern from `model` into `out`, reusing its
+    /// flip buffer — the allocation-free form campaign hot loops use.
+    /// Draws from the generator's RNG in exactly the same order as
+    /// [`FaultGenerator::sample`], so the two are interchangeable in a
+    /// seeded campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's footprint exceeds the array, if
+    /// `density` is outside (0, 1], or a multi-bit count is zero.
+    pub fn sample_into(&mut self, model: FaultModel, out: &mut FaultPattern) {
+        let flips = &mut out.flips;
+        flips.clear();
         match model {
             FaultModel::TemporalSingleBit => {
                 let row = self.rng.random_range(0..self.num_rows);
                 let col = self.rng.random_range(0..64u32);
-                FaultPattern::new(vec![BitFlip { row, col }])
+                flips.push(BitFlip { row, col });
             }
             FaultModel::TemporalMultiBit { count } => {
                 assert!(count > 0, "multi-bit fault needs count >= 1");
-                let mut flips = Vec::with_capacity(count as usize);
                 while flips.len() < count as usize {
                     let f = BitFlip {
                         row: self.rng.random_range(0..self.num_rows),
@@ -149,7 +181,6 @@ impl FaultGenerator {
                         flips.push(f);
                     }
                 }
-                FaultPattern::new(flips)
             }
             FaultModel::SpatialSquare {
                 rows,
@@ -162,7 +193,6 @@ impl FaultGenerator {
                 let row0 = self.rng.random_range(0..=self.num_rows - rows);
                 let col0 = self.rng.random_range(0..=64 - cols);
                 loop {
-                    let mut flips = Vec::new();
                     for dr in 0..rows {
                         for dc in 0..cols {
                             if density >= 1.0 || self.rng.random_bool(density) {
@@ -174,7 +204,7 @@ impl FaultGenerator {
                         }
                     }
                     if !flips.is_empty() {
-                        return FaultPattern::new(flips);
+                        break;
                     }
                 }
             }
@@ -182,29 +212,22 @@ impl FaultGenerator {
                 assert!((1..=64).contains(&cols), "cols out of range");
                 let row = self.rng.random_range(0..self.num_rows);
                 let col0 = self.rng.random_range(0..=64 - cols);
-                FaultPattern::new(
-                    (0..cols)
-                        .map(|dc| BitFlip {
-                            row,
-                            col: col0 + dc,
-                        })
-                        .collect(),
-                )
+                flips.extend((0..cols).map(|dc| BitFlip {
+                    row,
+                    col: col0 + dc,
+                }));
             }
             FaultModel::VerticalStripe { rows } => {
                 assert!(rows >= 1 && rows <= self.num_rows, "rows out of range");
                 let row0 = self.rng.random_range(0..=self.num_rows - rows);
                 let col = self.rng.random_range(0..64u32);
-                FaultPattern::new(
-                    (0..rows)
-                        .map(|dr| BitFlip {
-                            row: row0 + dr,
-                            col,
-                        })
-                        .collect(),
-                )
+                flips.extend((0..rows).map(|dr| BitFlip {
+                    row: row0 + dr,
+                    col,
+                }));
             }
         }
+        FaultPattern::normalise(flips);
     }
 }
 
@@ -295,6 +318,35 @@ mod tests {
                     density: 0.5
                 })
             );
+        }
+    }
+
+    #[test]
+    fn sample_into_matches_sample_draw_for_draw() {
+        let models = [
+            FaultModel::TemporalSingleBit,
+            FaultModel::TemporalMultiBit { count: 6 },
+            FaultModel::SpatialSquare {
+                rows: 4,
+                cols: 4,
+                density: 1.0,
+            },
+            FaultModel::SpatialSquare {
+                rows: 8,
+                cols: 8,
+                density: 0.4,
+            },
+            FaultModel::HorizontalBurst { cols: 5 },
+            FaultModel::VerticalStripe { rows: 3 },
+        ];
+        let mut a = FaultGenerator::new(128, 0xFA17);
+        let mut b = FaultGenerator::new(128, 0xFA17);
+        let mut buf = FaultPattern::empty();
+        for _ in 0..20 {
+            for model in models {
+                b.sample_into(model, &mut buf);
+                assert_eq!(a.sample(model), buf, "{model:?}");
+            }
         }
     }
 

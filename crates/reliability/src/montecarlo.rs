@@ -158,8 +158,23 @@ pub fn analytic_mttf_hours(cfg: &MonteCarloConfig) -> f64 {
 /// stream. This is the experiment body handed to the campaign engine.
 #[must_use]
 pub fn simulate_trial(cfg: &MonteCarloConfig, rng: &mut StdRng) -> TrialSample {
+    let mut last_fault = Vec::new();
+    simulate_trial_into(cfg, rng, &mut last_fault)
+}
+
+/// Buffer-reuse form of [`simulate_trial`]: `last_fault` is reset and
+/// reused as the per-domain last-arrival table, so a worker thread
+/// running millions of trials allocates it once. Draws from `rng` in
+/// exactly the same order as [`simulate_trial`].
+#[must_use]
+pub fn simulate_trial_into(
+    cfg: &MonteCarloConfig,
+    rng: &mut StdRng,
+    last_fault: &mut Vec<f64>,
+) -> TrialSample {
     let mut t = 0.0f64;
-    let mut last_fault: Vec<f64> = vec![f64::NEG_INFINITY; cfg.domains];
+    last_fault.clear();
+    last_fault.resize(cfg.domains, f64::NEG_INFINITY);
     let mut faults = 0u64;
     loop {
         // Exponential inter-arrival via inverse CDF.
@@ -216,8 +231,14 @@ pub fn simulate_double_fault_mttf_parallel(
 ) -> MonteCarloResult {
     validate(cfg);
     let engine_cfg = campaign_config(cfg, seed).threads(threads);
+    std::thread_local! {
+        /// Per-worker last-arrival table, reused across every trial the
+        /// thread runs (the hot loop is allocation-free in steady state).
+        static LAST_FAULT: std::cell::RefCell<Vec<f64>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
     cppc_campaign::run::<MonteCarloAccumulator, _>(&engine_cfg, |rng, _trial| {
-        simulate_trial(cfg, rng)
+        LAST_FAULT.with(|scratch| simulate_trial_into(cfg, rng, &mut scratch.borrow_mut()))
     })
     .result
     .finish()

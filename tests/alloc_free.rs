@@ -1,4 +1,6 @@
-//! Proof that the hierarchy hot path is allocation-free in steady state.
+//! Proof that the simulator hot paths are allocation-free in steady
+//! state: the hierarchy trace-replay loop, and the snapshot-backed
+//! fault-injection trial cycle (restore + inject + recovery).
 //!
 //! A counting global allocator wraps the system allocator; after a
 //! generous warmup (which fills the SoA cache arenas, allocates every
@@ -10,13 +12,21 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
+use cppc_bench::mbe::{experiment_model, SEED, SOLID_MODEL, SPARSE_MODEL};
 use cppc_cache_sim::geometry::CacheGeometry;
 use cppc_cache_sim::hierarchy::{MemOp, TwoLevelHierarchy};
 use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_campaign::trial_rng;
 use cppc_workloads::SharedTrace;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The two steady-state tests share one process-wide allocation
+/// counter, so their measured windows must not overlap: each takes
+/// this lock for the duration of its measurement.
+static MEASURE: Mutex<()> = Mutex::new(());
 
 /// Counts every allocation request (alloc, zeroed alloc, realloc);
 /// deallocations are free of charge.
@@ -70,6 +80,9 @@ fn trace(len: usize) -> SharedTrace {
 
 #[test]
 fn steady_state_hierarchy_run_allocates_nothing() {
+    let _serial = MEASURE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let l1 = CacheGeometry::new(8 * 1024, 2, 32).unwrap();
     let l2 = CacheGeometry::new(32 * 1024, 4, 32).unwrap();
     let mut h = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
@@ -90,5 +103,41 @@ fn steady_state_hierarchy_run_allocates_nothing() {
     assert_eq!(
         during, 0,
         "steady-state replay of 200000 ops performed {during} heap allocations"
+    );
+}
+
+/// The full snapshot trial cycle — restore warm state, generate and
+/// inject a fault pattern, run recovery (including the locator), and
+/// classify — is allocation-free once the warm pool holds a captured
+/// context and every scratch buffer has grown to its high-water mark.
+#[test]
+fn steady_state_snapshot_trial_cycle_allocates_nothing() {
+    let _serial = MEASURE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Span timers and ring events record through allocating closures;
+    // they are instrumentation, not the hot path under test.
+    cppc_obs::set_enabled(false);
+
+    // Warmup: the first trial captures the snapshot; the rest grow the
+    // fault-pattern buffer and the recovery/locator scratch to their
+    // steady-state capacity on both the solid (all-corrected) and
+    // sparse (locator + DUE) paths.
+    for trial in 0..256 {
+        experiment_model(SOLID_MODEL, &mut trial_rng(SEED, trial));
+        experiment_model(SPARSE_MODEL, &mut trial_rng(SEED, trial));
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for trial in 256..384 {
+        experiment_model(SOLID_MODEL, &mut trial_rng(SEED, trial));
+        experiment_model(SPARSE_MODEL, &mut trial_rng(SEED, trial));
+    }
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    cppc_obs::set_enabled(true);
+    assert_eq!(
+        during, 0,
+        "steady-state restore+inject+recovery cycle performed {during} heap allocations"
     );
 }
