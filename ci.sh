@@ -33,6 +33,23 @@ echo "== hot-path throughput gate (vs BENCH_hotpath.json baseline)"
 # baseline's trials/sec and fails below 0.9x (CI noise allowance).
 cargo run -q -p cppc-bench --release --bin hotpath -- --gate BENCH_hotpath.json
 
+echo "== repro golden gates (fast tier)"
+# Re-runs the fast-tier paper artifacts and fails if any gated metric
+# leaves its tolerance band around the committed goldens in
+# docs/results/ (see docs/RESULTS.md).
+cargo run -q --release -p cppc-cli --bin cppc-cli -- repro --check
+
+echo "== docs/RESULTS.md freshness"
+# The book is a pure function of the committed docs/results/*.json, so
+# re-rendering (no simulation) must be a no-op on a clean tree.
+cargo run -q --release -p cppc-cli --bin cppc-cli -- repro --render > /dev/null
+git diff --exit-code -- docs/RESULTS.md || {
+    echo "docs/RESULTS.md is stale: regenerate with" \
+         "'cargo run --release -p cppc-cli -- repro --render'" \
+         "(or 'repro --all --threads 1' after changing results)" >&2
+    exit 1
+}
+
 echo "== docs/METRICS.md freshness"
 cargo run -q -p cppc-cli --bin metrics-md > docs/METRICS.md
 git diff --exit-code -- docs/METRICS.md || {

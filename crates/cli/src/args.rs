@@ -1,5 +1,5 @@
-//! Tiny dependency-free argument parsing: `--key value` pairs and
-//! positional subcommands.
+//! Tiny dependency-free argument parsing: `--key value` pairs, bare
+//! `--flag` switches and positional subcommands.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -16,8 +16,6 @@ pub struct ParsedArgs {
 pub enum ArgsError {
     /// No subcommand given.
     MissingCommand,
-    /// A `--flag` appeared without a value.
-    MissingValue(String),
     /// A stray positional argument appeared after the subcommand.
     UnexpectedPositional(String),
     /// An option's value failed to parse.
@@ -33,7 +31,6 @@ impl fmt::Display for ArgsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArgsError::MissingCommand => write!(f, "no subcommand given (try `help`)"),
-            ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
             ArgsError::UnexpectedPositional(p) => {
                 write!(f, "unexpected positional argument '{p}'")
             }
@@ -49,18 +46,24 @@ impl std::error::Error for ArgsError {}
 impl ParsedArgs {
     /// Parses `args` (without the program name).
     ///
+    /// A `--key` followed by a non-`--` token takes that token as its
+    /// value; a `--key` followed by another option or the end of the
+    /// line is a bare switch and gets the value `"true"` (see
+    /// [`ParsedArgs::get_flag`]).
+    ///
     /// # Errors
     ///
     /// Returns [`ArgsError`] on malformed input.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgsError> {
-        let mut iter = args.into_iter();
+        let mut iter = args.into_iter().peekable();
         let command = iter.next().ok_or(ArgsError::MissingCommand)?;
         let mut options = HashMap::new();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
                 options.insert(key.to_string(), value);
             } else {
                 return Err(ArgsError::UnexpectedPositional(arg));
@@ -85,6 +88,13 @@ impl ParsedArgs {
     #[must_use]
     pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.get(key).unwrap_or(default)
+    }
+
+    /// Whether a bare switch (`--check`) or explicit `--check true` was
+    /// given.
+    #[must_use]
+    pub fn get_flag(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
     }
 
     /// A parsed numeric option with a default.
@@ -122,12 +132,21 @@ mod tests {
     }
 
     #[test]
+    fn bare_flags() {
+        let a = parse(&["repro", "--check", "--artifact", "table3_mttf", "--all"]).unwrap();
+        assert!(a.get_flag("check"));
+        assert!(a.get_flag("all"));
+        assert!(!a.get_flag("render"));
+        assert_eq!(a.get("artifact"), Some("table3_mttf"));
+
+        // Explicit values still work for switches.
+        let b = parse(&["repro", "--check", "true"]).unwrap();
+        assert!(b.get_flag("check"));
+    }
+
+    #[test]
     fn errors() {
         assert_eq!(parse(&[]), Err(ArgsError::MissingCommand));
-        assert_eq!(
-            parse(&["x", "--flag"]),
-            Err(ArgsError::MissingValue("flag".into()))
-        );
         assert_eq!(
             parse(&["x", "stray"]),
             Err(ArgsError::UnexpectedPositional("stray".into()))
@@ -142,8 +161,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ArgsError::MissingCommand.to_string().contains("help"));
-        assert!(ArgsError::MissingValue("x".into())
+        assert!(ArgsError::UnexpectedPositional("x".into())
             .to_string()
-            .contains("--x"));
+            .contains("'x'"));
     }
 }

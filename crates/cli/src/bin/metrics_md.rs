@@ -17,5 +17,6 @@ fn main() {
     cppc_timing::obs::register_metrics();
     cppc_campaign::obs::register_metrics();
     cppc_campaign::snapshot::register_metrics();
+    cppc_repro::obs::register_metrics();
     print!("{}", cppc_obs::reference_markdown());
 }

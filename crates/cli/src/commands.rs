@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 use std::error::Error;
+use std::path::PathBuf;
 
 use cppc_cache_sim::geometry::CacheGeometry;
 use cppc_cache_sim::memory::MainMemory;
@@ -75,6 +76,19 @@ COMMANDS:
   coherence    multiprocessor CPPC read-before-write sweep
                  --cores <n>      cores (default 4)
                  --ops <n>        total ops (default 100000)
+  repro        reproduce the paper's tables/figures with golden gates
+               (see docs/RESULTS.md)
+                 --artifact <name> one artifact (default: fast tier)
+                 --all            every artifact, incl. the full tier
+                 --check          gate against committed goldens, write
+                                  nothing; non-zero exit on violation
+                 --update-goldens re-bless goldens with fresh values
+                 --render         re-render docs/RESULTS.md from the
+                                  committed JSON, no simulation
+                 --threads <n>    workers, 0 = all CPUs (default 1)
+                 --quick          scaled-down trial counts (tests only;
+                                  never mix with committed goldens)
+                 --root <path>    repo root (default .)
   stats        run a workload + mini campaign, then print the live
                metrics registry (see docs/METRICS.md)
                  --bench <name>   benchmark (default gcc)
@@ -564,6 +578,78 @@ pub fn sweep(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
+/// `repro` — the paper-results reproduction harness (`crates/repro`).
+pub fn repro(args: &ParsedArgs) -> CliResult {
+    use cppc_repro::{Artifact, RunConfig, Tier};
+
+    let root = PathBuf::from(args.get_or("root", "."));
+    let check = args.get_flag("check");
+    let update_goldens = args.get_flag("update-goldens");
+    let render = args.get_flag("render");
+    if check && update_goldens {
+        return Err("--check and --update-goldens are mutually exclusive".into());
+    }
+
+    if render {
+        cppc_repro::write_book(&root)?;
+        println!("rendered {}", cppc_repro::book_path(&root).display());
+        return Ok(());
+    }
+
+    let cfg = RunConfig {
+        threads: args.get_parsed("threads", 1)?,
+        quick: args.get_flag("quick"),
+    };
+    let registry = cppc_repro::registry();
+    let selection: Vec<&Artifact> = match args.get("artifact") {
+        Some(name) => vec![cppc_repro::find(name).ok_or_else(|| {
+            let known: Vec<&str> = registry.iter().map(|a| a.name).collect();
+            format!("unknown artifact '{name}' (known: {})", known.join(", "))
+        })?],
+        None if args.get_flag("all") => registry.iter().collect(),
+        // Default scope is the fast tier: the CI smoke set.
+        None => registry.iter().filter(|a| a.tier == Tier::Fast).collect(),
+    };
+
+    let mut failures = Vec::new();
+    for a in &selection {
+        eprintln!(
+            "repro: running {} ({}, tier {}) ...",
+            a.name, a.title, a.tier
+        );
+        let out = cppc_repro::run_artifact(a, &cfg);
+        if check {
+            let doc = cppc_repro::load_doc(&cppc_repro::json_path(&root, a.name));
+            let mut fails = cppc_repro::check_artifact(a, &out, doc.as_ref());
+            for f in &fails {
+                eprintln!("  FAIL {f}");
+            }
+            if fails.is_empty() {
+                eprintln!("  ok: {} metrics within tolerance", out.metrics.len());
+            }
+            failures.append(&mut fails);
+        } else {
+            cppc_repro::write_artifact(&root, a, &cfg, &out, update_goldens)?;
+            println!("wrote {}", cppc_repro::json_path(&root, a.name).display());
+        }
+    }
+
+    if check {
+        if failures.is_empty() {
+            println!(
+                "repro check: {} artifact(s) within golden tolerances",
+                selection.len()
+            );
+            return Ok(());
+        }
+        return Err(format!("{} golden-gate violation(s)", failures.len()).into());
+    }
+
+    cppc_repro::write_book(&root)?;
+    println!("wrote {}", cppc_repro::book_path(&root).display());
+    Ok(())
+}
+
 /// Registers every instrumented subsystem's metric groups, so describe
 /// mode and snapshots list them even before any activity. Kept in sync
 /// with the `metrics-md` generator binary.
@@ -572,6 +658,7 @@ pub fn register_all_metrics() {
     cppc_core::obs::register_metrics();
     cppc_timing::obs::register_metrics();
     cppc_campaign::obs::register_metrics();
+    cppc_repro::obs::register_metrics();
 }
 
 /// `stats`

@@ -7,6 +7,7 @@
 //! $ cppc-cli mttf --level l1
 //! $ cppc-cli sweep --what pairs
 //! $ cppc-cli benchmarks
+//! $ cppc-cli repro --all --threads 1
 //! ```
 
 mod args;
@@ -38,6 +39,7 @@ fn main() {
         "trace" => commands::trace(&parsed),
         "montecarlo" => commands::montecarlo(&parsed),
         "coherence" => commands::coherence(&parsed),
+        "repro" => commands::repro(&parsed),
         "stats" => commands::stats(&parsed),
         other => {
             eprintln!("error: unknown subcommand '{other}'");

@@ -78,6 +78,26 @@ struct RecoveryScratch {
 /// for a cache of the identical geometry and configuration (enforced by
 /// the restore asserts), which makes every restore a set of in-place
 /// `memcpy`s — no allocation in steady state.
+///
+/// # Why one snapshot serves trials with different data values
+///
+/// Fault campaigns capture the warm state once and reuse it even though
+/// each trial conceptually works on different data. This is sound
+/// because every protection invariant in a CPPC is **XOR-linear**:
+/// a parity bit is the XOR of the bits it covers, and each checkpoint
+/// register holds the running XOR of the words committed to (R1) or
+/// currently dirty in (R2) its domain. XOR forms a group, so the state
+/// after restoring a snapshot and then storing new values through the
+/// normal write path (`r ^= old ^ new`) satisfies exactly the same
+/// invariants as a cold simulation that stored those values directly —
+/// the contribution of the snapshot's fill values cancels term by term.
+/// Likewise a fault flips bits, and its syndrome contribution separates
+/// from the data by the same linearity, so detection and the R1^R2
+/// recovery outcome depend only on fault geometry and on which words
+/// are dirty, never on the particular values captured in the snapshot.
+/// The campaign-facing consequence is spelled out in `cppc-bench`'s
+/// `mbe` module: warm-pool replays are outcome-equivalent to
+/// replay-from-cold, trial by trial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimSnapshot {
     cache: CacheSnapshot,

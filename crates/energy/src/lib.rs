@@ -26,7 +26,7 @@
 //!   counts with per-op energies (drives Figures 11 and 12).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod area;
 pub mod cache_energy;

@@ -11,7 +11,7 @@
 //!   fraction and `Tavg`, Table 2) from the functional hierarchy.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod fit;
 pub mod montecarlo;

@@ -1,0 +1,414 @@
+//! `mbe_coverage` — the §4.6/§4.7 correction-capability matrix: how
+//! each protection scheme disposes of each fault class (Corrected /
+//! DUE / SDC / Masked) under sampled fault-injection campaigns.
+//!
+//! The golden gate pins the paper's headline claims exactly: zero
+//! silent corruption anywhere, the 8x8 solid square unrecoverable with
+//! one register pair but corrected with two, and SECDED+interleaving
+//! correcting everything inside its 8-wide budget.
+
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::memory::MainMemory;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
+use cppc_core::baselines::{OneDimParityCache, SecdedCache, TwoDimParityCache};
+use cppc_core::{CppcCache, CppcConfig};
+use cppc_fault::campaign::{Campaign, Outcome, OutcomeTally};
+use cppc_fault::model::{FaultGenerator, FaultModel};
+
+use crate::artifact::{Artifact, ArtifactOutput, MetricValue, RunConfig, Table, Tier, Tolerance};
+
+/// Campaign seed (shared with the historical `mbe_coverage` binary so
+/// tallies stay comparable).
+const SEED: u64 = 0xC0DE;
+/// Trials per (scheme, fault) cell.
+const TRIALS: u64 = 200;
+const TRIALS_QUICK: u64 = 40;
+
+/// The `mbe_coverage` artifact.
+pub fn artifact() -> Artifact {
+    Artifact {
+        name: "mbe_coverage",
+        title: "§4.6 coverage matrix — MBE correction capability",
+        paper_ref: "§4.6, §4.7, §4.5",
+        tier: Tier::Full,
+        summary: "Fault-injection campaigns measuring the outcome distribution (Corrected / \
+                  DUE / SDC / Masked) of every protection scheme against every fault class, \
+                  on a 2KB 2-way cache with way 0 fully dirty. Expected shape: 1D parity \
+                  detects but never corrects; SECDED+interleaving corrects everything up to \
+                  8-wide strikes; CPPC with one register pair corrects all spatial MBEs in \
+                  an 8x8 square except the irreducible patterns (solid 8x8, distance-4 \
+                  alias), which are DUE — never SDC; two pairs correct the 8x8 too. SDC is \
+                  zero in every cell: when the locator cannot pin a fault down unambiguously \
+                  it refuses rather than guesses.",
+        config: |cfg| {
+            vec![
+                (
+                    "geometry",
+                    "2KB, 2-way, 32B blocks (32 sets, 256 rows)".into(),
+                ),
+                ("warm_state", "way 0 fully dirty, seeded values".into()),
+                ("campaign_seed", format!("{SEED:#x}")),
+                (
+                    "trials_per_cell",
+                    cfg.pick(TRIALS, TRIALS_QUICK).to_string(),
+                ),
+                (
+                    "schemes",
+                    "1D parity, SECDED+interleave, CPPC 1/2/8 pairs, 2D parity 1/8 rows".into(),
+                ),
+                (
+                    "faults",
+                    "single bit, 2-bit vertical, 8-bit horizontal, 4x4 solid, 8x8 sparse(0.4), \
+                     8x8 solid"
+                        .into(),
+                ),
+            ]
+        },
+        run,
+    }
+}
+
+fn geometry() -> CacheGeometry {
+    CacheGeometry::new(2048, 2, 32).unwrap()
+}
+
+/// Ground truth: addresses of way-0 rows and their stored values.
+fn oracle(seed: u64) -> Vec<(u64, u64)> {
+    let geo = geometry();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = geo.num_sets() * geo.words_per_block();
+    (0..rows)
+        .map(|row| {
+            let set = row / geo.words_per_block();
+            let word = row % geo.words_per_block();
+            let addr = geo.address_of(0, set) + (word * 8) as u64;
+            (addr, rng.random())
+        })
+        .collect()
+}
+
+fn fault_models() -> Vec<(&'static str, FaultModel)> {
+    vec![
+        ("single bit", FaultModel::TemporalSingleBit),
+        ("2-bit vertical", FaultModel::VerticalStripe { rows: 2 }),
+        ("8-bit horizontal", FaultModel::HorizontalBurst { cols: 8 }),
+        (
+            "4x4 solid",
+            FaultModel::SpatialSquare {
+                rows: 4,
+                cols: 4,
+                density: 1.0,
+            },
+        ),
+        (
+            "8x8 sparse (40%)",
+            FaultModel::SpatialSquare {
+                rows: 8,
+                cols: 8,
+                density: 0.4,
+            },
+        ),
+        (
+            "8x8 solid",
+            FaultModel::SpatialSquare {
+                rows: 8,
+                cols: 8,
+                density: 1.0,
+            },
+        ),
+    ]
+}
+
+fn run_cppc(config: CppcConfig, model: FaultModel, trials: u64, threads: usize) -> OutcomeTally {
+    Campaign::new(SEED).run_parallel(trials, threads, move |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = CppcCache::new_l1(geometry(), config, ReplacementPolicy::Lru).unwrap();
+        let truth = oracle(trial);
+        for &(addr, v) in &truth {
+            cache.store_word(addr, v, &mut mem).unwrap();
+        }
+        let rows = cache.layout().num_rows() / 2; // way-0 rows only
+        let mut generator = FaultGenerator::new(rows, rng.random());
+        let pattern = generator.sample(model);
+        if cache.inject(&pattern) == 0 {
+            return Outcome::Masked;
+        }
+        match cache.recover_all(&mut mem) {
+            Err(_) => Outcome::DetectedUnrecoverable,
+            Ok(_) => {
+                for &(addr, v) in &truth {
+                    if cache.peek_word(addr) != Some(v) {
+                        return Outcome::SilentCorruption;
+                    }
+                }
+                Outcome::Corrected
+            }
+        }
+    })
+}
+
+fn run_parity(model: FaultModel, trials: u64, threads: usize) -> OutcomeTally {
+    Campaign::new(SEED).run_parallel(trials, threads, move |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = OneDimParityCache::new(geometry(), 8, ReplacementPolicy::Lru);
+        let truth = oracle(trial);
+        for &(addr, v) in &truth {
+            cache.store_word(addr, v, &mut mem);
+        }
+        let rows = cache.layout().num_rows() / 2;
+        let mut generator = FaultGenerator::new(rows, rng.random());
+        let pattern = generator.sample(model);
+        if cache.inject(&pattern) == 0 {
+            return Outcome::Masked;
+        }
+        for &(addr, v) in &truth {
+            match cache.load_word(addr, &mut mem) {
+                Err(_) => return Outcome::DetectedUnrecoverable,
+                Ok(got) if got != v => return Outcome::SilentCorruption,
+                Ok(_) => {}
+            }
+        }
+        // Every flipped bit was hidden by even flips per parity group:
+        // harmless this time — masked by parity blindness.
+        Outcome::Masked
+    })
+}
+
+fn run_secded(model: FaultModel, trials: u64, threads: usize) -> OutcomeTally {
+    Campaign::new(SEED).run_parallel(trials, threads, move |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = SecdedCache::new(geometry(), true, ReplacementPolicy::Lru);
+        let truth = oracle(trial);
+        for &(addr, v) in &truth {
+            cache.store_word(addr, v, &mut mem);
+        }
+        let logical_rows = cache.layout().num_rows() / 2;
+        // Translate the fault model into a physical strike on the
+        // interleaved array (8 logical rows per physical row).
+        let (rows, cols) = match model {
+            FaultModel::TemporalSingleBit | FaultModel::TemporalMultiBit { .. } => (1, 1),
+            FaultModel::VerticalStripe { rows } => (rows, 1),
+            FaultModel::HorizontalBurst { cols } => (1, cols),
+            FaultModel::SpatialSquare { rows, cols, .. } => (rows, cols),
+        };
+        let physical_rows = logical_rows / 8;
+        let prows = rows.div_ceil(8).max(1).min(physical_rows);
+        let row0 = rng.random_range(0..=(physical_rows - prows));
+        let col0 = rng.random_range(0..=(512 - cols));
+        let flips = cache.inject_spatial(row0, col0, prows, cols);
+        if flips.is_empty() {
+            return Outcome::Masked;
+        }
+        for &(addr, v) in &truth {
+            match cache.load_word(addr, &mut mem) {
+                Err(_) => return Outcome::DetectedUnrecoverable,
+                Ok(got) if got != v => return Outcome::SilentCorruption,
+                Ok(_) => {}
+            }
+        }
+        Outcome::Corrected
+    })
+}
+
+fn run_twodim(
+    vertical_rows: usize,
+    model: FaultModel,
+    trials: u64,
+    threads: usize,
+) -> OutcomeTally {
+    Campaign::new(SEED).run_parallel(trials, threads, move |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache = TwoDimParityCache::new(geometry(), vertical_rows, ReplacementPolicy::Lru);
+        let truth = oracle(trial);
+        for &(addr, v) in &truth {
+            cache.store_word(addr, v, &mut mem);
+        }
+        let rows = cache.layout().num_rows() / 2;
+        let mut generator = FaultGenerator::new(rows, rng.random());
+        let pattern = generator.sample(model);
+        if cache.inject(&pattern) == 0 {
+            return Outcome::Masked;
+        }
+        match cache.recover_all() {
+            Err(_) => Outcome::DetectedUnrecoverable,
+            Ok(()) => {
+                for &(addr, v) in &truth {
+                    if cache.peek_word(addr) != Some(v) {
+                        return Outcome::SilentCorruption;
+                    }
+                }
+                Outcome::Corrected
+            }
+        }
+    })
+}
+
+fn pct(n: u64, tally: &OutcomeTally) -> f64 {
+    n as f64 / tally.total() as f64 * 100.0
+}
+
+/// One protection scheme's campaign, ready to run against a fault model.
+type SchemeRunner = Box<dyn Fn(FaultModel) -> OutcomeTally>;
+
+fn run(cfg: &RunConfig) -> ArtifactOutput {
+    let trials = cfg.pick(TRIALS, TRIALS_QUICK);
+    let threads = cfg.threads;
+
+    let schemes: Vec<(&str, SchemeRunner)> = vec![
+        (
+            "1D parity",
+            Box::new(move |m| run_parity(m, trials, threads)),
+        ),
+        (
+            "SECDED+interleave",
+            Box::new(move |m| run_secded(m, trials, threads)),
+        ),
+        (
+            "CPPC 1 pair",
+            Box::new(move |m| run_cppc(CppcConfig::paper(), m, trials, threads)),
+        ),
+        (
+            "CPPC 2 pairs",
+            Box::new(move |m| run_cppc(CppcConfig::two_pairs(), m, trials, threads)),
+        ),
+        (
+            "CPPC 8 pairs",
+            Box::new(move |m| run_cppc(CppcConfig::eight_pairs(), m, trials, threads)),
+        ),
+        (
+            "2D parity (1 row)",
+            Box::new(move |m| run_twodim(1, m, trials, threads)),
+        ),
+        (
+            "2D parity (8 rows)",
+            Box::new(move |m| run_twodim(8, m, trials, threads)),
+        ),
+    ];
+
+    let mut tables = Vec::new();
+    let mut sdc_total = 0u64;
+    // (scheme, fault) -> tally for the gated cells below.
+    let mut cells: Vec<(&str, &str, OutcomeTally)> = Vec::new();
+    for (fault_name, model) in fault_models() {
+        let mut rows = Vec::new();
+        for (scheme_name, runner) in &schemes {
+            let tally = runner(model);
+            sdc_total += tally.sdc;
+            rows.push(vec![
+                (*scheme_name).to_string(),
+                format!("{:.1}", pct(tally.corrected, &tally)),
+                format!("{:.1}", pct(tally.due, &tally)),
+                format!("{:.1}", pct(tally.sdc, &tally)),
+                format!("{:.1}", pct(tally.masked, &tally)),
+            ]);
+            cells.push((scheme_name, fault_name, tally));
+        }
+        tables.push(Table {
+            title: format!("Fault: {fault_name} ({trials} trials per cell)"),
+            columns: vec![
+                "scheme".into(),
+                "corrected %".into(),
+                "DUE %".into(),
+                "SDC %".into(),
+                "masked %".into(),
+            ],
+            rows,
+        });
+    }
+
+    let cell = |scheme: &str, fault: &str| -> &OutcomeTally {
+        cells
+            .iter()
+            .find(|(s, f, _)| *s == scheme && *f == fault)
+            .map(|(_, _, t)| t)
+            .expect("gated cell present in matrix")
+    };
+
+    #[allow(clippy::cast_precision_loss)]
+    let metrics = vec![
+        MetricValue::new(
+            "coverage.sdc_trials_total",
+            "trials",
+            "Silent-data-corruption outcomes summed over the whole scheme x fault matrix. \
+             The paper's §4.5/§4.6 safety property: must be zero.",
+            sdc_total as f64,
+            Some(0.0),
+            Tolerance::Exact,
+        ),
+        MetricValue::new(
+            "coverage.cppc1.solid8x8_due_pct",
+            "pct",
+            "CPPC with one register pair on the solid 8x8 square: the §4.6 irreducible \
+             pattern — detected but unrecoverable, never silently wrong.",
+            pct(
+                cell("CPPC 1 pair", "8x8 solid").due,
+                cell("CPPC 1 pair", "8x8 solid"),
+            ),
+            Some(100.0),
+            Tolerance::Exact,
+        ),
+        MetricValue::new(
+            "coverage.cppc2.solid8x8_corrected_pct",
+            "pct",
+            "CPPC with two register pairs corrects the solid 8x8 square (classes 0-3 and \
+             4-7 split across pairs).",
+            pct(
+                cell("CPPC 2 pairs", "8x8 solid").corrected,
+                cell("CPPC 2 pairs", "8x8 solid"),
+            ),
+            Some(100.0),
+            Tolerance::Exact,
+        ),
+        MetricValue::new(
+            "coverage.cppc8.sparse8x8_corrected_pct",
+            "pct",
+            "CPPC with eight register pairs (no byte shifting needed) corrects everything \
+             in the 8x8 square.",
+            pct(
+                cell("CPPC 8 pairs", "8x8 sparse (40%)").corrected,
+                cell("CPPC 8 pairs", "8x8 sparse (40%)"),
+            ),
+            Some(100.0),
+            Tolerance::Exact,
+        ),
+        MetricValue::new(
+            "coverage.secded.solid8x8_corrected_pct",
+            "pct",
+            "SECDED with 8-way physical interleaving corrects the solid 8x8 square.",
+            pct(
+                cell("SECDED+interleave", "8x8 solid").corrected,
+                cell("SECDED+interleave", "8x8 solid"),
+            ),
+            Some(100.0),
+            Tolerance::Exact,
+        ),
+        MetricValue::new(
+            "coverage.parity.solid4x4_corrected_pct",
+            "pct",
+            "1D parity never corrects a dirty-data fault (detection only).",
+            pct(
+                cell("1D parity", "4x4 solid").corrected,
+                cell("1D parity", "4x4 solid"),
+            ),
+            Some(0.0),
+            Tolerance::Exact,
+        ),
+        MetricValue::new(
+            "coverage.cppc1.sparse8x8_corrected_pct",
+            "pct",
+            "CPPC with one register pair on the sparse 8x8 square: faults spanning all 8 \
+             rows frequently alias across the distance-4 pairs (the published special-case \
+             mechanism), so only a minority of samples correct.",
+            pct(
+                cell("CPPC 1 pair", "8x8 sparse (40%)").corrected,
+                cell("CPPC 1 pair", "8x8 sparse (40%)"),
+            ),
+            None,
+            Tolerance::Abs(5.0),
+        ),
+    ];
+
+    ArtifactOutput { metrics, tables }
+}

@@ -1,0 +1,22 @@
+//! Global observability for the reproduction harness.
+//!
+//! Every artifact execution, golden-gate comparison and book render
+//! reports into the process-wide `cppc-obs` registry under the
+//! `repro.*` group, so `cppc-cli stats` (and `docs/METRICS.md`) cover
+//! the harness itself the same way they cover the layers it drives.
+
+cppc_obs::metrics! {
+    group REPRO_METRICS: "repro", "Paper-results reproduction harness: artifact runs, golden gates and book rendering.";
+    counter ARTIFACTS_RUN: "repro.artifacts_run", "artifacts", "Artifact executions (each one regenerates a paper table/figure).";
+    counter METRICS_CHECKED: "repro.metrics_checked", "metrics", "Gated metrics compared against their golden values.";
+    counter GOLDEN_VIOLATIONS: "repro.golden_violations", "metrics", "Gate comparisons that left their tolerance band (each fails `repro --check`).";
+    counter GOLDENS_UPDATED: "repro.goldens_updated", "metrics", "Golden values re-blessed by `repro --update-goldens`.";
+    counter RESULT_WRITES: "repro.result_writes", "files", "Artifact JSON documents written under docs/results/.";
+    counter BOOK_RENDERS: "repro.book_renders", "renders", "Renders of the docs/RESULTS.md book.";
+    timer ARTIFACT_LATENCY: "repro.artifact.ns", "ns", "Wall time of each artifact execution (the run function only, excluding I/O).";
+}
+
+/// Registers the repro metric group (idempotent).
+pub fn register_metrics() {
+    REPRO_METRICS.register();
+}

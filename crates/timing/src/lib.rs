@@ -20,7 +20,7 @@
 //! average) are the reproduction target.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod accounting;
 pub mod config;
