@@ -58,4 +58,48 @@ git diff --exit-code -- docs/METRICS.md || {
     exit 1
 }
 
+echo "== serve smoke (daemon round-trip + kill-and-restart resume)"
+# Exercises the job service across a real process boundary: submit an
+# mbe campaign, watch it to completion, and require the result document
+# to be byte-identical to a direct `campaign --json` run of the same
+# spec. Then interrupt a second job with a graceful shutdown, restart
+# the daemon on the same data dir, and require the resumed job to merge
+# to the same bytes as its own direct run.
+CLI=target/release/cppc-cli
+SERVE_TMP="$(mktemp -d)"
+SOCK="$SERVE_TMP/d.sock"
+trap 'rm -rf "$SERVE_TMP"' EXIT
+"$CLI" serve --data-dir "$SERVE_TMP/data" --socket "$SOCK" --max-threads 2 \
+    > "$SERVE_TMP/serve1.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "serve daemon never bound $SOCK" >&2; exit 1; }
+JOB=$("$CLI" submit --socket "$SOCK" --kind mbe \
+    --trials 400 --seed 49374 --shard-size 32 2> /dev/null)
+"$CLI" watch --socket "$SOCK" --id "$JOB" > "$SERVE_TMP/served.json" 2> /dev/null
+"$CLI" campaign --kind mbe --trials 400 --seed 49374 --shard-size 32 --json \
+    > "$SERVE_TMP/direct.json" 2> /dev/null
+cmp "$SERVE_TMP/served.json" "$SERVE_TMP/direct.json" || {
+    echo "service result diverged from direct campaign run" >&2; exit 1
+}
+# Kill-and-restart: a slow job suspended by a graceful shutdown must
+# resume on restart and still match its direct run bit for bit.
+JOB2=$("$CLI" submit --socket "$SOCK" --kind sleep --sleep-ms 20 \
+    --trials 100 --seed 777 --shard-size 4 2> /dev/null)
+sleep 1
+"$CLI" shutdown --socket "$SOCK" 2> /dev/null
+wait "$SERVE_PID"
+"$CLI" serve --data-dir "$SERVE_TMP/data" --socket "$SOCK" --max-threads 2 \
+    > "$SERVE_TMP/serve2.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+"$CLI" watch --socket "$SOCK" --id "$JOB2" > "$SERVE_TMP/resumed.json" 2> /dev/null
+"$CLI" campaign --kind sleep --sleep-ms 20 --trials 100 --seed 777 \
+    --shard-size 4 --json > "$SERVE_TMP/direct2.json" 2> /dev/null
+cmp "$SERVE_TMP/resumed.json" "$SERVE_TMP/direct2.json" || {
+    echo "resumed job diverged from direct campaign run" >&2; exit 1
+}
+"$CLI" shutdown --socket "$SOCK" 2> /dev/null
+wait "$SERVE_PID"
+
 echo "CI OK"

@@ -141,6 +141,13 @@ fn main() {
         ),
         ("speedup".into(), Json::Num(speedup)),
         ("tallies_identical".into(), Json::Bool(true)),
+        // True when the run asked for more workers than the host could
+        // give (the clamp above) — readers of the baseline must not
+        // interpret such a parallel leg as the requested concurrency.
+        (
+            "thread_limited".into(),
+            Json::Bool(parallel_threads < requested_threads),
+        ),
     ]);
     std::fs::write(&out, doc.to_string_compact() + "\n").expect("write baseline");
     println!("wrote {out}");

@@ -1,0 +1,191 @@
+//! Campaign experiment bodies shared by the CLI and the job server.
+//!
+//! `cppc-cli campaign` and `cppc-cli serve` must produce **bit-identical
+//! tallies** for the same campaign parameters — that is the service's
+//! end-to-end determinism guarantee — so the experiment closures live
+//! here, in one place, and both drivers call them. Each experiment is a
+//! pure function of `(trial RNG stream, trial index)`; the campaign
+//! engine derives the stream from `(campaign seed, trial)` alone, which
+//! is what makes results independent of thread count, scheduling and
+//! process boundaries.
+
+use std::time::Duration;
+
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::memory::MainMemory;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_campaign::rng::rngs::StdRng;
+use cppc_campaign::rng::{RngExt, SeedableRng};
+use cppc_core::{CppcCache, CppcConfig};
+use cppc_fault::campaign::Outcome;
+use cppc_fault::model::{FaultGenerator, FaultModel};
+
+/// Parses a CPPC configuration name (`basic`, `paper`, `two-pairs`,
+/// `eight-pairs`).
+///
+/// # Errors
+///
+/// Returns a message naming the unknown configuration.
+pub fn parse_config(name: &str) -> Result<CppcConfig, String> {
+    match name {
+        "basic" => Ok(CppcConfig::basic()),
+        "paper" => Ok(CppcConfig::paper()),
+        "two-pairs" => Ok(CppcConfig::two_pairs()),
+        "eight-pairs" => Ok(CppcConfig::eight_pairs()),
+        other => Err(format!("unknown config '{other}'")),
+    }
+}
+
+/// Parses a fault-model name (`single`, `2xvert`, `8xhoriz`, `4x4`,
+/// `8x8`).
+///
+/// # Errors
+///
+/// Returns a message naming the unknown fault model.
+pub fn parse_fault(name: &str) -> Result<FaultModel, String> {
+    match name {
+        "single" => Ok(FaultModel::TemporalSingleBit),
+        "2xvert" => Ok(FaultModel::VerticalStripe { rows: 2 }),
+        "8xhoriz" => Ok(FaultModel::HorizontalBurst { cols: 8 }),
+        "4x4" => Ok(FaultModel::SpatialSquare {
+            rows: 4,
+            cols: 4,
+            density: 1.0,
+        }),
+        "8x8" => Ok(FaultModel::SpatialSquare {
+            rows: 8,
+            cols: 8,
+            density: 1.0,
+        }),
+        other => Err(format!("unknown fault model '{other}'")),
+    }
+}
+
+/// The campaign geometry used by the `inject` experiment (32 sets,
+/// 2 ways).
+///
+/// # Panics
+///
+/// Never — the geometry is valid by construction.
+#[must_use]
+pub fn inject_geometry() -> CacheGeometry {
+    CacheGeometry::new(2048, 2, 32).expect("valid geometry")
+}
+
+/// The fault-injection experiment shared by `cppc-cli inject`,
+/// `cppc-cli campaign --kind inject` and `inject` service jobs: fill
+/// way 0 of a small L1 CPPC with known values, strike it with one
+/// sampled fault pattern, run recovery and classify the outcome.
+pub fn inject_experiment(
+    geo: CacheGeometry,
+    config: CppcConfig,
+    fault: FaultModel,
+) -> impl Fn(&mut StdRng, u64) -> Outcome + Sync {
+    move |rng, trial| {
+        let mut mem = MainMemory::new();
+        let mut cache =
+            CppcCache::new_l1(geo, config, ReplacementPolicy::Lru).expect("validated config");
+        let mut fill = StdRng::seed_from_u64(trial);
+        let mut truth = Vec::new();
+        for set in 0..geo.num_sets() {
+            for word in 0..geo.words_per_block() {
+                let addr = geo.address_of(0, set) + (word * 8) as u64;
+                let v: u64 = fill.random();
+                cache.store_word(addr, v, &mut mem).expect("no faults yet");
+                truth.push((addr, v));
+            }
+        }
+        let mut generator = FaultGenerator::new(cache.layout().num_rows() / 2, rng.random());
+        if cache.inject(&generator.sample(fault)) == 0 {
+            return Outcome::Masked;
+        }
+        match cache.recover_all(&mut mem) {
+            Err(_) => Outcome::DetectedUnrecoverable,
+            Ok(_) => {
+                if truth.iter().all(|&(a, v)| cache.peek_word(a) == Some(v)) {
+                    Outcome::Corrected
+                } else {
+                    Outcome::SilentCorruption
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic outcome that depends on both the trial's RNG stream
+/// and its index, so any divergence in stream derivation, shard layout
+/// or merge order changes the tally. Used by the `sleep` experiment and
+/// by tests that need an order-sensitive campaign without simulator
+/// cost.
+#[must_use]
+pub fn synthetic_outcome(rng: &mut StdRng, trial: u64) -> Outcome {
+    // Odd-multiplier mix so the trial index reaches the low bits the
+    // `% 4` below actually samples (a plain rotate leaves them zero
+    // for small indices).
+    let draw = rng.random::<u64>() ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    match draw % 4 {
+        0 => Outcome::Masked,
+        1 => Outcome::Corrected,
+        2 => Outcome::DetectedUnrecoverable,
+        _ => Outcome::SilentCorruption,
+    }
+}
+
+/// A duration-controllable synthetic experiment: each trial sleeps
+/// `millis` and classifies via [`synthetic_outcome`]. Wall time scales
+/// with the trial count while the tally stays deterministic, which is
+/// what service tests need to exercise backpressure, cancellation and
+/// interrupt-resume at precise moments.
+pub fn sleep_experiment(millis: u64) -> impl Fn(&mut StdRng, u64) -> Outcome + Sync {
+    move |rng, trial| {
+        if millis > 0 {
+            std::thread::sleep(Duration::from_millis(millis));
+        }
+        synthetic_outcome(rng, trial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cppc_fault::campaign::OutcomeTally;
+
+    #[test]
+    fn config_parsing() {
+        assert_eq!(parse_config("paper"), Ok(CppcConfig::paper()));
+        assert_eq!(parse_config("basic"), Ok(CppcConfig::basic()));
+        assert_eq!(parse_config("two-pairs"), Ok(CppcConfig::two_pairs()));
+        assert_eq!(parse_config("eight-pairs"), Ok(CppcConfig::eight_pairs()));
+        assert!(parse_config("bogus").is_err());
+    }
+
+    #[test]
+    fn fault_parsing() {
+        for name in ["single", "2xvert", "8xhoriz", "4x4", "8x8"] {
+            assert!(parse_fault(name).is_ok(), "{name}");
+        }
+        assert!(parse_fault("9x9").is_err());
+    }
+
+    #[test]
+    fn synthetic_outcome_is_deterministic_and_stream_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(synthetic_outcome(&mut a, 3), synthetic_outcome(&mut b, 3));
+        // The trial index matters even for identical streams.
+        let mut c = StdRng::seed_from_u64(7);
+        let mut d = StdRng::seed_from_u64(7);
+        let outcomes: Vec<Outcome> = (0..16).map(|t| synthetic_outcome(&mut c, t)).collect();
+        let shifted: Vec<Outcome> = (1..17).map(|t| synthetic_outcome(&mut d, t)).collect();
+        assert_ne!(outcomes, shifted);
+    }
+
+    #[test]
+    fn sleep_experiment_tallies_match_engine_reruns() {
+        let cfg = cppc_campaign::CampaignConfig::new(0x51EE, 64).shard_size(8);
+        let a: OutcomeTally = cppc_campaign::run(&cfg, sleep_experiment(0)).result;
+        let b: OutcomeTally = cppc_campaign::run(&cfg, sleep_experiment(0)).result;
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 64);
+    }
+}

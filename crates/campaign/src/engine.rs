@@ -22,7 +22,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 
@@ -319,7 +319,7 @@ where
     F: Fn(&mut StdRng, u64) -> A::Item + Sync,
     P: FnMut(&Progress),
 {
-    run_impl(cfg, &experiment, Vec::new(), None, &mut on_progress)
+    run_impl(cfg, &experiment, Vec::new(), None, None, &mut on_progress)
 }
 
 /// Runs a campaign with checkpoint/resume.
@@ -335,6 +335,34 @@ where
 pub fn run_resumable<A, F, P>(
     cfg: &CampaignConfig,
     policy: &CheckpointPolicy,
+    experiment: F,
+    on_progress: P,
+) -> Result<CampaignReport<A>, CheckpointError>
+where
+    A: Accumulator + Persist,
+    F: Fn(&mut StdRng, u64) -> A::Item + Sync,
+    P: FnMut(&Progress),
+{
+    run_resumable_interruptible(cfg, policy, None, experiment, on_progress)
+}
+
+/// [`run_resumable`] with a cooperative interrupt flag.
+///
+/// When `interrupt` is set (by another thread — a service's shutdown or
+/// cancel path), workers stop taking new shards, already-running shards
+/// finish, and a final checkpoint is written covering everything
+/// completed so far. The returned report has
+/// [`CampaignReport::is_complete`] `false`; a later resumed run merges
+/// to the bit-identical final result an uninterrupted run produces.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] when the checkpoint file exists but is
+/// malformed, belongs to a different campaign, or cannot be written.
+pub fn run_resumable_interruptible<A, F, P>(
+    cfg: &CampaignConfig,
+    policy: &CheckpointPolicy,
+    interrupt: Option<&AtomicBool>,
     experiment: F,
     mut on_progress: P,
 ) -> Result<CampaignReport<A>, CheckpointError>
@@ -368,6 +396,7 @@ where
             &experiment,
             preloaded,
             Some(&mut save),
+            interrupt,
             &mut on_progress,
         )
     };
@@ -383,6 +412,7 @@ fn run_impl<A, F, P>(
     experiment: &F,
     preloaded: Vec<(u64, A)>,
     mut save: Option<&mut dyn FnMut(&[Option<A>], bool)>,
+    interrupt: Option<&AtomicBool>,
     on_progress: &mut P,
 ) -> CampaignReport<A>
 where
@@ -425,7 +455,10 @@ where
             let tx = tx.clone();
             let experiment = &experiment;
             scope.spawn(move || {
-                while let Some(shard) = queue.next(worker) {
+                while !interrupt.is_some_and(|f| f.load(Ordering::Acquire)) {
+                    let Some(shard) = queue.next(worker) else {
+                        break;
+                    };
                     let (lo, hi) = cfg.shard_bounds(shard);
                     let _shard_span = crate::obs::SHARD_LATENCY.start();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {

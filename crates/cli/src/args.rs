@@ -25,6 +25,14 @@ pub enum ArgsError {
         /// The offending value.
         value: String,
     },
+    /// An option the subcommand does not define (typo protection: a
+    /// misspelled `--trails` must not silently fall back to defaults).
+    UnknownOption {
+        /// The rejected option name (without the `--`).
+        option: String,
+        /// The subcommand it was given to.
+        command: String,
+    },
 }
 
 impl fmt::Display for ArgsError {
@@ -36,6 +44,12 @@ impl fmt::Display for ArgsError {
             }
             ArgsError::BadValue { option, value } => {
                 write!(f, "cannot parse '{value}' for --{option}")
+            }
+            ArgsError::UnknownOption { option, command } => {
+                write!(
+                    f,
+                    "unknown option '--{option}' for '{command}' (see `help`)"
+                )
             }
         }
     }
@@ -97,6 +111,32 @@ impl ParsedArgs {
         self.get(key) == Some("true")
     }
 
+    /// Rejects any option outside `allowed`, naming the first offender
+    /// (alphabetically, so the error is deterministic). Every
+    /// subcommand calls this with its declared option list before
+    /// doing work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::UnknownOption`] for the first option not in
+    /// `allowed`.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgsError> {
+        let mut unknown: Vec<&str> = self
+            .options
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        match unknown.first() {
+            None => Ok(()),
+            Some(option) => Err(ArgsError::UnknownOption {
+                option: (*option).to_string(),
+                command: self.command.clone(),
+            }),
+        }
+    }
+
     /// A parsed numeric option with a default.
     ///
     /// # Errors
@@ -155,6 +195,68 @@ mod tests {
         assert!(matches!(
             a.get_parsed("n", 1usize),
             Err(ArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn reject_unknown_accepts_declared_options() {
+        // Bare switches and value options mixed in one line.
+        let a = parse(&["repro", "--check", "--threads", "2", "--quick"]).unwrap();
+        assert_eq!(
+            a.reject_unknown(&["check", "threads", "quick", "all"]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn reject_unknown_names_the_flag_and_command() {
+        let a = parse(&["campaign", "--trails", "100"]).unwrap();
+        let err = a.reject_unknown(&["trials", "seed"]).unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::UnknownOption {
+                option: "trails".into(),
+                command: "campaign".into(),
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("--trails"), "{msg}");
+        assert!(msg.contains("campaign"), "{msg}");
+    }
+
+    #[test]
+    fn reject_unknown_bare_flag_mixes() {
+        // A typo'd bare switch between valid value options.
+        let a = parse(&[
+            "serve",
+            "--socket",
+            "/tmp/s.sock",
+            "--verbos",
+            "--queue-cap",
+            "4",
+        ])
+        .unwrap();
+        let err = a.reject_unknown(&["socket", "queue-cap"]).unwrap_err();
+        assert!(matches!(
+            &err,
+            ArgsError::UnknownOption { option, .. } if option == "verbos"
+        ));
+        // A bare switch swallowing nothing: the next --option stays an
+        // option, so it is validated too.
+        let b = parse(&["watch", "--json", "--id", "3"]).unwrap();
+        assert_eq!(b.get("id"), Some("3"));
+        assert!(b.get_flag("json"));
+        assert!(b.reject_unknown(&["id"]).is_err());
+        assert_eq!(b.reject_unknown(&["id", "json"]), Ok(()));
+    }
+
+    #[test]
+    fn reject_unknown_reports_first_alphabetically() {
+        let a = parse(&["x", "--zeta", "--alpha", "1"]).unwrap();
+        let err = a.reject_unknown(&[]).unwrap_err();
+        assert!(matches!(
+            &err,
+            ArgsError::UnknownOption { option, .. } if option == "alpha"
         ));
     }
 

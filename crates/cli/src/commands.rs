@@ -3,20 +3,21 @@
 use std::error::Error;
 use std::path::PathBuf;
 
+use cppc_bench::experiments::{
+    inject_experiment, inject_geometry, parse_config, parse_fault, sleep_experiment,
+};
 use cppc_cache_sim::geometry::CacheGeometry;
-use cppc_cache_sim::memory::MainMemory;
 use cppc_cache_sim::replacement::ReplacementPolicy;
 use cppc_campaign::rng::rngs::StdRng;
-use cppc_campaign::rng::{RngExt, SeedableRng};
 use cppc_campaign::{
     Accumulator, CampaignConfig, CampaignReport, CheckpointPolicy, Persist, Progress,
 };
-use cppc_core::{CppcCache, CppcConfig};
+use cppc_core::CppcConfig;
 use cppc_energy::scheme::{AccessCounts, ProtectionKind, SchemeEnergy};
 use cppc_energy::tech::TechnologyNode;
 use cppc_energy::AreaModel;
-use cppc_fault::campaign::{Campaign, Outcome, OutcomeTally};
-use cppc_fault::model::{FaultGenerator, FaultModel};
+use cppc_fault::campaign::{Campaign, OutcomeTally};
+use cppc_fault::model::FaultModel;
 use cppc_reliability::mttf::{
     aliasing_vulnerable_bits, mttf_aliasing_years, mttf_cppc_years, mttf_one_dim_parity_years,
     mttf_secded_years,
@@ -49,14 +50,17 @@ COMMANDS:
   campaign     run a campaign through the parallel deterministic engine
                (bit-identical results at any thread count; live metrics
                on stderr)
-                 --kind inject|montecarlo (default inject)
+                 --kind inject|montecarlo|mbe|sleep (default inject)
                  --trials <n>     campaign size (default 2000)
                  --seed <n>       master seed (default 0xC11)
                  --threads <n>    workers, 0 = all CPUs (default 0)
+                 --shard-size <n> trials per shard (campaign identity)
                  --checkpoint <path>  periodic checkpoint file
                  --resume true|false  resume from checkpoint (default true)
+                 --json           print only the result document on
+                                  stdout (matches a serve job's result)
                  inject kinds also take --config/--fault; montecarlo
-                 also takes --rate/--domains/--tavg
+                 --rate/--domains/--tavg; sleep --sleep-ms
   mttf         print the analytical MTTF table
                  --level l1|l2    evaluation point (default l1)
                  --fit <f>        SEU rate, FIT/bit (default 0.001)
@@ -99,6 +103,32 @@ COMMANDS:
                  --all true|false include zero metrics (default false)
                  --events <n>     ring events to tail (default 10)
                  --describe true  print the metrics reference, no run
+  serve        run the campaign job daemon (see docs/ARCHITECTURE.md)
+                 --data-dir <dir> journal + checkpoints (default
+                                  cppc-serve-data)
+                 --socket <path>  unix socket (default /tmp/cppc-serve.sock)
+                 --tcp <addr>     extra loopback listener, e.g.
+                                  127.0.0.1:7070
+                 --queue-cap <n>  admission bound (default 64)
+                 --max-threads <n> worker-thread governor (default: CPUs)
+                 --checkpoint-every <n> shards between checkpoints
+                                  (default 4)
+  submit       submit a job to a daemon; prints the job id
+                 --kind/--trials/--seed/--threads/--shard-size and the
+                 kind-specific flags, exactly as `campaign`
+                 --tenant <name>  fair-share key (default 'default')
+                 --priority high|normal (default normal)
+                 --watch          stream progress until the job ends
+  status       one job's status document    --id <job>
+  result       a finished job's result JSON --id <job>
+  cancel       cancel a queued/running job  --id <job>
+  list         job summaries                [--tenant <name>]
+  watch        stream progress; prints the result JSON when done
+                 --id <job>
+  metrics      the daemon's live metrics snapshot (JSON)
+  shutdown     graceful daemon shutdown (running jobs are checkpointed
+               and resume on restart)
+               every client command takes --socket <path> or --tcp <addr>
   help         this text"
     );
 }
@@ -194,44 +224,14 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
-fn parse_config(name: &str) -> Result<CppcConfig, String> {
-    match name {
-        "basic" => Ok(CppcConfig::basic()),
-        "paper" => Ok(CppcConfig::paper()),
-        "two-pairs" => Ok(CppcConfig::two_pairs()),
-        "eight-pairs" => Ok(CppcConfig::eight_pairs()),
-        other => Err(format!("unknown config '{other}'")),
-    }
-}
-
-fn parse_fault(name: &str) -> Result<FaultModel, String> {
-    match name {
-        "single" => Ok(FaultModel::TemporalSingleBit),
-        "2xvert" => Ok(FaultModel::VerticalStripe { rows: 2 }),
-        "8xhoriz" => Ok(FaultModel::HorizontalBurst { cols: 8 }),
-        "4x4" => Ok(FaultModel::SpatialSquare {
-            rows: 4,
-            cols: 4,
-            density: 1.0,
-        }),
-        "8x8" => Ok(FaultModel::SpatialSquare {
-            rows: 8,
-            cols: 8,
-            density: 1.0,
-        }),
-        other => Err(format!("unknown fault model '{other}'")),
-    }
-}
-
 /// `inject`
 pub fn inject(args: &ParsedArgs) -> CliResult {
     let config = parse_config(args.get_or("config", "paper"))?;
     let fault = parse_fault(args.get_or("fault", "4x4"))?;
     let trials: u64 = args.get_parsed("trials", 400)?;
 
-    let geo = CacheGeometry::new(2048, 2, 32)?;
     let tally: OutcomeTally =
-        Campaign::new(0xC11).run(trials, inject_experiment(geo, config, fault));
+        Campaign::new(0xC11).run(trials, inject_experiment(inject_geometry(), config, fault));
 
     println!("campaign: {trials} trials");
     println!(
@@ -259,45 +259,6 @@ pub fn inject(args: &ParsedArgs) -> CliResult {
 
 fn pct(n: u64, t: &OutcomeTally) -> f64 {
     n as f64 / t.total() as f64 * 100.0
-}
-
-/// The fault-injection experiment shared by `inject` and `campaign`:
-/// fill way 0 of a small L1 CPPC with known values, strike it with one
-/// sampled fault pattern, run recovery and classify the outcome.
-fn inject_experiment(
-    geo: CacheGeometry,
-    config: CppcConfig,
-    fault: FaultModel,
-) -> impl Fn(&mut StdRng, u64) -> Outcome + Sync {
-    move |rng, trial| {
-        let mut mem = MainMemory::new();
-        let mut cache =
-            CppcCache::new_l1(geo, config, ReplacementPolicy::Lru).expect("validated config");
-        let mut fill = StdRng::seed_from_u64(trial);
-        let mut truth = Vec::new();
-        for set in 0..geo.num_sets() {
-            for word in 0..geo.words_per_block() {
-                let addr = geo.address_of(0, set) + (word * 8) as u64;
-                let v: u64 = fill.random();
-                cache.store_word(addr, v, &mut mem).expect("no faults yet");
-                truth.push((addr, v));
-            }
-        }
-        let mut generator = FaultGenerator::new(cache.layout().num_rows() / 2, rng.random());
-        if cache.inject(&generator.sample(fault)) == 0 {
-            return Outcome::Masked;
-        }
-        match cache.recover_all(&mut mem) {
-            Err(_) => Outcome::DetectedUnrecoverable,
-            Ok(_) => {
-                if truth.iter().all(|&(a, v)| cache.peek_word(a) == Some(v)) {
-                    Outcome::Corrected
-                } else {
-                    Outcome::SilentCorruption
-                }
-            }
-        }
-    }
 }
 
 /// Runs one engine campaign, printing throttled live metrics to stderr
@@ -338,65 +299,108 @@ where
     Ok(report)
 }
 
+/// Prints the post-run shard summary (stderr in `--json` mode, where
+/// stdout carries only the result document).
+fn shard_summary<A: Accumulator>(report: &CampaignReport<A>, json: bool) {
+    let line = format!(
+        "{} shards ({} resumed, {} failed) in {:.2}s",
+        report.completed_shards,
+        report.resumed_shards,
+        report.failed.len(),
+        report.elapsed_secs
+    );
+    if json {
+        eprintln!("{line}");
+    } else {
+        println!("{line}");
+    }
+}
+
+fn print_tally(report: &CampaignReport<OutcomeTally>, json: bool) {
+    shard_summary(report, json);
+    let tally = &report.result;
+    if json {
+        // Exactly the service's result document for the same spec —
+        // the CI smoke gate diffs the two byte for byte.
+        println!(
+            "{}",
+            cppc_serve::runner::tally_result_json(tally).to_string_compact()
+        );
+        return;
+    }
+    println!(
+        "corrected: {:>6}  ({:.1}%)",
+        tally.corrected,
+        pct(tally.corrected, tally)
+    );
+    println!(
+        "DUE:       {:>6}  ({:.1}%)",
+        tally.due,
+        pct(tally.due, tally)
+    );
+    println!(
+        "SDC:       {:>6}  ({:.1}%)",
+        tally.sdc,
+        pct(tally.sdc, tally)
+    );
+    println!(
+        "masked:    {:>6}  ({:.1}%)",
+        tally.masked,
+        pct(tally.masked, tally)
+    );
+}
+
 /// `campaign`
 pub fn campaign(args: &ParsedArgs) -> CliResult {
     let kind = args.get_or("kind", "inject");
     let threads: usize = args.get_parsed("threads", 0)?; // 0 = all CPUs
     let trials: u64 = args.get_parsed("trials", 2000)?;
     let seed: u64 = args.get_parsed("seed", 0xC11)?;
+    let shard_size: u64 = args.get_parsed("shard-size", cppc_campaign::DEFAULT_SHARD_SIZE)?;
     let resume: bool = args.get_parsed("resume", true)?;
+    let json = args.get_flag("json");
     let checkpoint = args.get("checkpoint");
 
-    let cfg = CampaignConfig::new(seed, trials).threads(threads);
-    println!(
+    let cfg = CampaignConfig::new(seed, trials)
+        .threads(threads)
+        .shard_size(shard_size);
+    let banner = format!(
         "campaign: kind={kind}  trials={trials}  seed={seed:#x}  threads={}  checkpoint={}",
         cfg.resolved_threads(),
         checkpoint.unwrap_or("none"),
     );
+    if json {
+        eprintln!("{banner}");
+    } else {
+        println!("{banner}");
+    }
 
     match kind {
         "inject" => {
             let config = parse_config(args.get_or("config", "paper"))?;
             let fault = parse_fault(args.get_or("fault", "4x4"))?;
-            let geo = CacheGeometry::new(2048, 2, 32)?;
             let report: CampaignReport<OutcomeTally> = run_engine_campaign(
                 &cfg,
                 checkpoint,
                 resume,
-                inject_experiment(geo, config, fault),
+                inject_experiment(inject_geometry(), config, fault),
             )?;
-            let tally = report.result;
-            println!(
-                "{} shards ({} resumed, {} failed) in {:.2}s",
-                report.completed_shards,
-                report.resumed_shards,
-                report.failed.len(),
-                report.elapsed_secs
-            );
-            println!(
-                "corrected: {:>6}  ({:.1}%)",
-                tally.corrected,
-                pct(tally.corrected, &tally)
-            );
-            println!(
-                "DUE:       {:>6}  ({:.1}%)",
-                tally.due,
-                pct(tally.due, &tally)
-            );
-            println!(
-                "SDC:       {:>6}  ({:.1}%)",
-                tally.sdc,
-                pct(tally.sdc, &tally)
-            );
-            println!(
-                "masked:    {:>6}  ({:.1}%)",
-                tally.masked,
-                pct(tally.masked, &tally)
-            );
+            print_tally(&report, json);
+        }
+        "mbe" => {
+            let report: CampaignReport<OutcomeTally> =
+                run_engine_campaign(&cfg, checkpoint, resume, cppc_bench::mbe::experiment)?;
+            print_tally(&report, json);
+        }
+        "sleep" => {
+            let millis: u64 = args.get_parsed("sleep-ms", 0)?;
+            let report: CampaignReport<OutcomeTally> =
+                run_engine_campaign(&cfg, checkpoint, resume, sleep_experiment(millis))?;
+            print_tally(&report, json);
         }
         "montecarlo" => {
             use cppc_reliability::montecarlo::{
-                analytic_mttf_hours, simulate_trial, MonteCarloAccumulator, MonteCarloConfig,
+                analytic_mttf_hours, simulate_trial_into, MonteCarloAccumulator, MonteCarloConfig,
             };
             let mc_cfg = MonteCarloConfig {
                 faults_per_hour: args.get_parsed("rate", 40.0)?,
@@ -404,25 +408,34 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
                 tavg_hours: args.get_parsed("tavg", 0.0004)?,
                 trials: u32::try_from(trials).map_err(|_| "too many trials for montecarlo")?,
             };
+            // Same closure shape as the service runner (scratch reuse),
+            // so a job's exact result document matches `--json` here.
+            std::thread_local! {
+                static LAST_FAULT: std::cell::RefCell<Vec<f64>> =
+                    const { std::cell::RefCell::new(Vec::new()) };
+            }
             let report: CampaignReport<MonteCarloAccumulator> =
-                run_engine_campaign(&cfg, checkpoint, resume, |rng, _trial| {
-                    simulate_trial(&mc_cfg, rng)
+                run_engine_campaign(&cfg, checkpoint, resume, |rng: &mut StdRng, _trial| {
+                    LAST_FAULT.with(|s| simulate_trial_into(&mc_cfg, rng, &mut s.borrow_mut()))
                 })?;
-            let mc = report.result.finish();
-            println!(
-                "{} shards ({} resumed, {} failed) in {:.2}s",
-                report.completed_shards,
-                report.resumed_shards,
-                report.failed.len(),
-                report.elapsed_secs
-            );
-            println!(
-                "  simulated: {:.2} h  (+/- {:.2})",
-                mc.mttf_hours, mc.std_error_hours
-            );
-            println!("  analytic:  {:.2} h", analytic_mttf_hours(&mc_cfg));
+            shard_summary(&report, json);
+            if json {
+                println!(
+                    "{}",
+                    cppc_serve::runner::montecarlo_result_json(&report.result).to_string_compact()
+                );
+            } else {
+                let mc = report.result.finish();
+                println!(
+                    "  simulated: {:.2} h  (+/- {:.2})",
+                    mc.mttf_hours, mc.std_error_hours
+                );
+                println!("  analytic:  {:.2} h", analytic_mttf_hours(&mc_cfg));
+            }
         }
-        other => return Err(format!("unknown kind '{other}' (use inject|montecarlo)").into()),
+        other => {
+            return Err(format!("unknown kind '{other}' (use inject|montecarlo|mbe|sleep)").into())
+        }
     }
     Ok(())
 }
@@ -659,6 +672,7 @@ pub fn register_all_metrics() {
     cppc_timing::obs::register_metrics();
     cppc_campaign::obs::register_metrics();
     cppc_repro::obs::register_metrics();
+    cppc_serve::obs::register_metrics();
 }
 
 /// `stats`
@@ -696,7 +710,7 @@ pub fn stats(args: &ParsedArgs) -> CliResult {
     // A small fault-injection campaign so the recovery engine, register
     // file, campaign scheduler and event ring have something to show.
     eprintln!("running {trials}-trial fault-injection campaign ...");
-    let geo = CacheGeometry::new(2048, 2, 32)?;
+    let geo = inject_geometry();
     let cfg = CampaignConfig::new(seed, trials);
     let fault = FaultModel::SpatialSquare {
         rows: 4,
@@ -733,25 +747,6 @@ pub fn stats(args: &ParsedArgs) -> CliResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn config_parsing() {
-        assert_eq!(parse_config("paper"), Ok(CppcConfig::paper()));
-        assert_eq!(parse_config("basic"), Ok(CppcConfig::basic()));
-        assert_eq!(parse_config("two-pairs"), Ok(CppcConfig::two_pairs()));
-        assert_eq!(parse_config("eight-pairs"), Ok(CppcConfig::eight_pairs()));
-        assert!(parse_config("bogus").is_err());
-    }
-
-    #[test]
-    fn fault_parsing() {
-        assert!(parse_fault("single").is_ok());
-        assert!(parse_fault("2xvert").is_ok());
-        assert!(parse_fault("8xhoriz").is_ok());
-        assert!(parse_fault("4x4").is_ok());
-        assert!(parse_fault("8x8").is_ok());
-        assert!(parse_fault("9x9").is_err());
-    }
 
     #[test]
     fn benchmarks_command_runs() {

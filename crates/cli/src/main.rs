@@ -8,12 +8,106 @@
 //! $ cppc-cli sweep --what pairs
 //! $ cppc-cli benchmarks
 //! $ cppc-cli repro --all --threads 1
+//! $ cppc-cli serve --data-dir /var/lib/cppc --socket /tmp/cppc.sock
+//! $ cppc-cli submit --kind mbe --trials 2000 --watch
 //! ```
 
 mod args;
 mod commands;
+mod serve_cmd;
 
 use args::ParsedArgs;
+
+/// The options each subcommand accepts. Anything else is rejected up
+/// front with an error naming the flag, so a typo'd `--trails` cannot
+/// silently run a default campaign.
+const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
+    ("benchmarks", &[]),
+    ("simulate", &["bench", "ops", "seed"]),
+    ("inject", &["config", "fault", "trials"]),
+    (
+        "campaign",
+        &[
+            "kind",
+            "trials",
+            "seed",
+            "threads",
+            "shard-size",
+            "checkpoint",
+            "resume",
+            "json",
+            "config",
+            "fault",
+            "rate",
+            "domains",
+            "tavg",
+            "sleep-ms",
+        ],
+    ),
+    ("mttf", &["level", "fit", "avf"]),
+    ("sweep", &["what"]),
+    ("trace", &["bench", "ops", "out", "seed"]),
+    ("montecarlo", &["rate", "domains", "tavg", "trials"]),
+    ("coherence", &["cores", "ops"]),
+    (
+        "repro",
+        &[
+            "artifact",
+            "all",
+            "check",
+            "update-goldens",
+            "render",
+            "threads",
+            "quick",
+            "root",
+        ],
+    ),
+    (
+        "stats",
+        &[
+            "bench", "ops", "seed", "trials", "format", "all", "events", "describe",
+        ],
+    ),
+    (
+        "serve",
+        &[
+            "data-dir",
+            "socket",
+            "tcp",
+            "queue-cap",
+            "max-threads",
+            "checkpoint-every",
+        ],
+    ),
+    (
+        "submit",
+        &[
+            "socket",
+            "tcp",
+            "tenant",
+            "priority",
+            "watch",
+            "kind",
+            "trials",
+            "seed",
+            "threads",
+            "shard-size",
+            "config",
+            "fault",
+            "rate",
+            "domains",
+            "tavg",
+            "sleep-ms",
+        ],
+    ),
+    ("status", &["socket", "tcp", "id"]),
+    ("result", &["socket", "tcp", "id"]),
+    ("cancel", &["socket", "tcp", "id"]),
+    ("list", &["socket", "tcp", "tenant"]),
+    ("watch", &["socket", "tcp", "id"]),
+    ("metrics", &["socket", "tcp"]),
+    ("shutdown", &["socket", "tcp"]),
+];
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +119,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some((_, allowed)) = COMMAND_OPTIONS
+        .iter()
+        .find(|(name, _)| *name == parsed.command())
+    {
+        if let Err(e) = parsed.reject_unknown(allowed) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let result = match parsed.command() {
         "help" | "-h" | "--help" => {
             commands::print_help();
@@ -41,6 +144,15 @@ fn main() {
         "coherence" => commands::coherence(&parsed),
         "repro" => commands::repro(&parsed),
         "stats" => commands::stats(&parsed),
+        "serve" => serve_cmd::serve_daemon(&parsed),
+        "submit" => serve_cmd::submit(&parsed),
+        "status" => serve_cmd::status(&parsed),
+        "result" => serve_cmd::result(&parsed),
+        "cancel" => serve_cmd::cancel(&parsed),
+        "list" => serve_cmd::list(&parsed),
+        "watch" => serve_cmd::watch(&parsed),
+        "metrics" => serve_cmd::metrics(&parsed),
+        "shutdown" => serve_cmd::shutdown(&parsed),
         other => {
             eprintln!("error: unknown subcommand '{other}'");
             commands::print_help();

@@ -1,0 +1,294 @@
+//! Client side of the wire protocol: connect, send one-line requests,
+//! read one-line responses (or a `watch` event stream).
+//!
+//! Used by `cppc-cli submit/status/result/cancel/list/watch/metrics/
+//! shutdown` and by the integration tests; anything that speaks
+//! newline-delimited JSON (`nc -U`, a script) interoperates.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use cppc_campaign::json::Json;
+
+use crate::job::{JobId, JobSpec, Priority};
+use crate::protocol::{is_ok, Request};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport problem (daemon not running, connection dropped).
+    Io(io::Error),
+    /// The daemon sent something unparseable.
+    Protocol(String),
+    /// The daemon answered `ok: false`.
+    Remote {
+        /// The daemon's error message.
+        message: String,
+        /// Backpressure hint when the submission queue was full.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote {
+                message,
+                retry_after_ms: Some(ms),
+            } => write!(f, "{message} (retry after {ms} ms)"),
+            ClientError::Remote { message, .. } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a daemon.
+pub struct Client {
+    reader: BufReader<Stream>,
+}
+
+impl Client {
+    /// Connects over the daemon's unix socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error (typically "no such file" or
+    /// "connection refused" when the daemon is not running).
+    pub fn connect_unix(path: &Path) -> io::Result<Self> {
+        Ok(Client {
+            reader: BufReader::new(Stream::Unix(UnixStream::connect(path)?)),
+        })
+    }
+
+    /// Connects over loopback TCP (`127.0.0.1:port`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect_tcp(addr: &str) -> io::Result<Self> {
+        Ok(Client {
+            reader: BufReader::new(Stream::Tcp(TcpStream::connect(addr)?)),
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<()> {
+        let out = self.reader.get_mut();
+        out.write_all(request.to_json().to_string_compact().as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()
+    }
+
+    fn read_doc(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            )));
+        }
+        Json::parse(line.trim()).map_err(ClientError::Protocol)
+    }
+
+    fn check(doc: Json) -> Result<Json, ClientError> {
+        if is_ok(&doc) {
+            Ok(doc)
+        } else {
+            Err(ClientError::Remote {
+                message: doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified daemon error")
+                    .to_string(),
+                retry_after_ms: doc.get("retry_after_ms").and_then(Json::as_u64),
+            })
+        }
+    }
+
+    /// One request, one response; `Remote` on `ok: false`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, parse or daemon-side failure.
+    pub fn request(&mut self, request: &Request) -> Result<Json, ClientError> {
+        self.send(request)?;
+        Self::check(self.read_doc()?)
+    }
+
+    /// Submits a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Notably [`ClientError::Remote`] with a `retry_after_ms` hint
+    /// when the daemon's queue is full.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        priority: Priority,
+        spec: JobSpec,
+    ) -> Result<JobId, ClientError> {
+        let doc = self.request(&Request::Submit {
+            tenant: tenant.to_string(),
+            priority,
+            spec,
+        })?;
+        doc.get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submit response missing 'id'".into()))
+    }
+
+    /// The job's status document.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or daemon-side failure.
+    pub fn status(&mut self, id: JobId) -> Result<Json, ClientError> {
+        self.request(&Request::Status(id))
+    }
+
+    /// The final result document of a `done` job.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the job is not finished (or failed
+    /// — the message is the job's diagnostic).
+    pub fn result(&mut self, id: JobId) -> Result<Json, ClientError> {
+        let doc = self.request(&Request::Result(id))?;
+        doc.get("result")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("result response missing 'result'".into()))
+    }
+
+    /// Cancels a queued or running job; returns the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or daemon-side failure.
+    pub fn cancel(&mut self, id: JobId) -> Result<Json, ClientError> {
+        self.request(&Request::Cancel(id))
+    }
+
+    /// Job summaries, optionally one tenant's.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or daemon-side failure.
+    pub fn list(&mut self, tenant: Option<&str>) -> Result<Vec<Json>, ClientError> {
+        let doc = self.request(&Request::List {
+            tenant: tenant.map(ToString::to_string),
+        })?;
+        match doc.get("jobs").and_then(Json::as_arr) {
+            Some(rows) => Ok(rows.to_vec()),
+            None => Err(ClientError::Protocol("list response missing 'jobs'".into())),
+        }
+    }
+
+    /// The daemon's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or daemon-side failure.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let doc = self.request(&Request::Metrics)?;
+        doc.get("metrics")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("metrics response missing 'metrics'".into()))
+    }
+
+    /// Asks the daemon to shut down gracefully (checkpointing running
+    /// jobs).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or daemon-side failure.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+
+    /// Streams a job's progress: `on_event` sees every
+    /// `{"event":"progress",...}` line; returns the final
+    /// `{"event":"end",...}` document.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or when the daemon rejects
+    /// the watch (unknown job).
+    pub fn watch(
+        &mut self,
+        id: JobId,
+        mut on_event: impl FnMut(&Json),
+    ) -> Result<Json, ClientError> {
+        self.send(&Request::Watch(id))?;
+        loop {
+            let doc = self.read_doc()?;
+            match doc.get("event").and_then(Json::as_str) {
+                Some("progress") => on_event(&doc),
+                Some("end") => return Ok(doc),
+                _ => {
+                    Self::check(doc)?;
+                    return Err(ClientError::Protocol(
+                        "watch stream sent a non-event line".into(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_for_humans() {
+        let e = ClientError::Remote {
+            message: "queue full".into(),
+            retry_after_ms: Some(250),
+        };
+        assert_eq!(e.to_string(), "queue full (retry after 250 ms)");
+        let io = ClientError::from(io::Error::new(io::ErrorKind::NotFound, "no socket"));
+        assert!(io.to_string().contains("no socket"));
+        assert!(ClientError::Protocol("junk".into())
+            .to_string()
+            .contains("junk"));
+    }
+}

@@ -1,0 +1,24 @@
+//! The `serve.*` metric group: job lifecycle counts, queue and thread
+//! levels, request traffic and per-job wall time.
+
+cppc_obs::metrics! {
+    group SERVE_METRICS: "serve", "Campaign job server: submissions, scheduling levels and request traffic.";
+    counter JOBS_SUBMITTED: "serve.jobs_submitted", "jobs", "Jobs admitted to the queue (journal entry written).";
+    counter JOBS_REJECTED_BACKPRESSURE: "serve.jobs_rejected_backpressure", "jobs", "Submissions rejected because the bounded queue was full (client told to retry).";
+    counter JOBS_DONE: "serve.jobs_done", "jobs", "Jobs that ran to completion with a final tally.";
+    counter JOBS_FAILED: "serve.jobs_failed", "jobs", "Jobs that ended with a diagnostic error.";
+    counter JOBS_CANCELLED: "serve.jobs_cancelled", "jobs", "Jobs cancelled by a client (queued or mid-run).";
+    counter JOBS_REQUEUED: "serve.jobs_requeued", "jobs", "Journalled jobs requeued by a restarted daemon (checkpointed work resumes, not reruns).";
+    counter JOURNAL_SKIPPED: "serve.journal_skipped", "entries", "Unreadable journal entries skipped while loading the data dir.";
+    counter REQUESTS: "serve.requests", "requests", "Wire requests handled (all operations).";
+    counter CONNECTIONS: "serve.connections", "connections", "Client connections accepted on the unix socket or TCP listener.";
+    counter WATCH_STREAMS: "serve.watch_streams", "streams", "Watch subscriptions served (each streams live progress until the job ends).";
+    gauge QUEUE_DEPTH: "serve.queue_depth", "jobs", "Jobs currently queued across both priority lanes.";
+    gauge RUNNING_THREADS: "serve.running_threads", "threads", "Worker threads currently granted to running jobs by the governor.";
+    timer JOB_LATENCY: "serve.job.ns", "ns", "Wall time of each job execution (dispatch to terminal state, excluding queue wait).";
+}
+
+/// Registers the serve metric group (idempotent).
+pub fn register_metrics() {
+    SERVE_METRICS.register();
+}

@@ -1,0 +1,230 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line with an `"op"` field;
+//! every response is one line with `"ok": true|false`. The one
+//! exception is `watch`, whose single request is answered by a stream
+//! of `{"event": "progress", ...}` lines ending with one
+//! `{"event": "end", ...}` line. Both sides use the workspace's
+//! hand-rolled JSON, so the protocol needs no external dependencies
+//! and round-trips 64-bit integers exactly.
+
+use cppc_campaign::json::Json;
+
+use crate::job::{JobId, JobSpec, Priority};
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit a job; answers with its assigned id or backpressure.
+    Submit {
+        /// Submitting tenant (fair-share key).
+        tenant: String,
+        /// Scheduling lane.
+        priority: Priority,
+        /// What to run.
+        spec: JobSpec,
+    },
+    /// One-shot state report for a job.
+    Status(JobId),
+    /// Final result document of a `done` job.
+    Result(JobId),
+    /// Cancel a queued or running job.
+    Cancel(JobId),
+    /// Summaries of all jobs, optionally one tenant's.
+    List {
+        /// Restrict to this tenant when set.
+        tenant: Option<String>,
+    },
+    /// Snapshot of the daemon's metric registry.
+    Metrics,
+    /// Stream live progress until the job reaches a terminal state.
+    Watch(JobId),
+    /// Graceful daemon shutdown (checkpoint and suspend running jobs).
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as one wire object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let op = |name: &str| ("op".to_string(), Json::Str(name.into()));
+        let id_obj =
+            |name: &str, id: JobId| Json::Obj(vec![op(name), ("id".into(), Json::UInt(id))]);
+        match self {
+            Request::Submit {
+                tenant,
+                priority,
+                spec,
+            } => Json::Obj(vec![
+                op("submit"),
+                ("tenant".into(), Json::Str(tenant.clone())),
+                ("priority".into(), Json::Str(priority.as_str().into())),
+                ("spec".into(), spec.to_json()),
+            ]),
+            Request::Status(id) => id_obj("status", *id),
+            Request::Result(id) => id_obj("result", *id),
+            Request::Cancel(id) => id_obj("cancel", *id),
+            Request::List { tenant } => {
+                let mut pairs = vec![op("list")];
+                if let Some(t) = tenant {
+                    pairs.push(("tenant".into(), Json::Str(t.clone())));
+                }
+                Json::Obj(pairs)
+            }
+            Request::Metrics => Json::Obj(vec![op("metrics")]),
+            Request::Watch(id) => id_obj("watch", *id),
+            Request::Shutdown => Json::Obj(vec![op("shutdown")]),
+        }
+    }
+
+    /// Decodes one wire object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field — the
+    /// server sends it back verbatim as the error response.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request missing 'op'")?;
+        let id = || {
+            v.get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("'{op}' needs a numeric 'id'"))
+        };
+        match op {
+            "submit" => {
+                let tenant = v
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .ok_or("'submit' needs a 'tenant'")?
+                    .to_string();
+                if tenant.is_empty() {
+                    return Err("'tenant' must be non-empty".into());
+                }
+                let priority = match v.get("priority").and_then(Json::as_str) {
+                    None => Priority::Normal,
+                    Some(p) => Priority::parse(p)?,
+                };
+                let spec = JobSpec::from_json(v.get("spec").ok_or("'submit' needs a 'spec'")?)?;
+                Ok(Request::Submit {
+                    tenant,
+                    priority,
+                    spec,
+                })
+            }
+            "status" => Ok(Request::Status(id()?)),
+            "result" => Ok(Request::Result(id()?)),
+            "cancel" => Ok(Request::Cancel(id()?)),
+            "list" => Ok(Request::List {
+                tenant: v
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .map(ToString::to_string),
+            }),
+            "metrics" => Ok(Request::Metrics),
+            "watch" => Ok(Request::Watch(id()?)),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+}
+
+/// A successful response: `{"ok": true, ...fields}`.
+#[must_use]
+pub fn ok_response(fields: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    pairs.extend(fields);
+    Json::Obj(pairs)
+}
+
+/// A failure response: `{"ok": false, "error": ..}` plus an optional
+/// `retry_after_ms` backpressure hint.
+#[must_use]
+pub fn error_response(message: &str, retry_after_ms: Option<u64>) -> Json {
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(message.into())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        pairs.push(("retry_after_ms".into(), Json::UInt(ms)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Whether a response line reports success.
+#[must_use]
+pub fn is_ok(response: &Json) -> bool {
+    matches!(response.get("ok"), Some(Json::Bool(true)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            Request::Submit {
+                tenant: "alice".into(),
+                priority: Priority::High,
+                spec: JobSpec::new(JobKind::Mbe, 1000, 0xC0DE),
+            },
+            Request::Status(3),
+            Request::Result(4),
+            Request::Cancel(5),
+            Request::List { tenant: None },
+            Request::List {
+                tenant: Some("bob".into()),
+            },
+            Request::Metrics,
+            Request::Watch(6),
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_json().to_string_compact();
+            let back = Request::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, req, "{line}");
+        }
+    }
+
+    #[test]
+    fn submit_defaults_to_normal_priority() {
+        let line = r#"{"op":"submit","tenant":"t","spec":{"kind":"mbe","trials":10,"seed":1}}"#;
+        let req = Request::from_json(&Json::parse(line).unwrap()).unwrap();
+        assert!(matches!(
+            req,
+            Request::Submit {
+                priority: Priority::Normal,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_name_the_defect() {
+        let cases = [
+            (r#"{"id":1}"#, "op"),
+            (r#"{"op":"status"}"#, "id"),
+            (r#"{"op":"fly"}"#, "fly"),
+            (r#"{"op":"submit","tenant":""}"#, "tenant"),
+        ];
+        for (line, needle) in cases {
+            let err = Request::from_json(&Json::parse(line).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn response_builders() {
+        let ok = ok_response(vec![("id".into(), Json::UInt(9))]);
+        assert!(is_ok(&ok));
+        assert_eq!(ok.get("id").and_then(Json::as_u64), Some(9));
+        let err = error_response("queue full", Some(250));
+        assert!(!is_ok(&err));
+        assert_eq!(err.get("retry_after_ms").and_then(Json::as_u64), Some(250));
+        assert!(!is_ok(&Json::parse("{}").unwrap()));
+    }
+}

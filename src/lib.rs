@@ -16,5 +16,6 @@ pub use cppc_fault as fault;
 pub use cppc_obs as obs;
 pub use cppc_reliability as reliability;
 pub use cppc_repro as repro;
+pub use cppc_serve as serve;
 pub use cppc_timing as timing;
 pub use cppc_workloads as workloads;

@@ -127,6 +127,68 @@ fn checkpoint_rejects_mismatched_campaign() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Writes a valid one-shard checkpoint and returns (path, its bytes).
+fn valid_checkpoint(name: &str) -> (std::path::PathBuf, Vec<u8>) {
+    let tmp = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let path = tmp.join(name);
+    let _ = std::fs::remove_file(&path);
+    let experiment = |rng: &mut StdRng, trial: u64| stream_sensitive(rng, trial);
+    let policy = CheckpointPolicy::new(&path);
+    let cfg = CampaignConfig::new(0xBAD_F00D, 200)
+        .threads(1)
+        .stop_after_shards(1);
+    run_resumable::<OutcomeTally, _, _>(&cfg, &policy, experiment, |_| {}).expect("seed run");
+    let bytes = std::fs::read(&path).expect("checkpoint on disk");
+    (path, bytes)
+}
+
+fn resume_with(path: &std::path::Path) -> Result<(), String> {
+    let experiment = |rng: &mut StdRng, trial: u64| stream_sensitive(rng, trial);
+    let policy = CheckpointPolicy::new(path);
+    let cfg = CampaignConfig::new(0xBAD_F00D, 200).threads(1);
+    run_resumable::<OutcomeTally, _, _>(&cfg, &policy, experiment, |_| {})
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn truncated_checkpoint_is_a_clean_diagnostic_not_a_panic() {
+    let (path, bytes) = valid_checkpoint("campaign_engine_truncated.ckpt");
+    // Every truncation point must fail cleanly — a partial write (torn
+    // shutdown) can stop anywhere.
+    for keep in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let err = resume_with(&path).expect_err("truncated checkpoint must be rejected");
+        assert!(
+            err.contains("malformed checkpoint"),
+            "truncation at {keep} bytes: {err}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bit_flipped_checkpoint_is_a_clean_diagnostic_not_a_panic() {
+    let (path, bytes) = valid_checkpoint("campaign_engine_bitflip.ckpt");
+    // Corrupt a structural byte: the opening brace becomes garbage.
+    let mut flipped = bytes.clone();
+    flipped[0] ^= 0x40;
+    std::fs::write(&path, &flipped).unwrap();
+    let err = resume_with(&path).expect_err("corrupt JSON must be rejected");
+    assert!(err.contains("malformed checkpoint"), "{err}");
+
+    // Corrupt the recorded seed instead: the document still parses but
+    // now names a different campaign — identity mismatch, not a merge.
+    let text = String::from_utf8(bytes).unwrap();
+    let field = format!("\"seed\":{}", 0xBAD_F00Du64);
+    assert!(text.contains(&field), "checkpoint must record the seed");
+    let other = text.replace(&field, &format!("\"seed\":{}", 0xBAD_F00Eu64));
+    std::fs::write(&path, other).unwrap();
+    let err = resume_with(&path).expect_err("foreign checkpoint must be rejected");
+    assert!(err.contains("different campaign"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
 /// The `Persist` JSON used above must round-trip exactly, otherwise the
 /// byte-comparisons compare lossy serializations.
 #[test]
