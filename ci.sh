@@ -50,6 +50,17 @@ git diff --exit-code -- docs/RESULTS.md || {
     exit 1
 }
 
+echo "== docs/SCHEMES.md freshness"
+# The scheme catalog is a pure function of the SchemeDescriptors in
+# code plus the committed scheme_comparison document, so regenerating
+# (no simulation) must be a no-op on a clean tree.
+cargo run -q -p cppc-cli --bin schemes-md > docs/SCHEMES.md
+git diff --exit-code -- docs/SCHEMES.md || {
+    echo "docs/SCHEMES.md is stale: regenerate with" \
+         "'cargo run -p cppc-cli --bin schemes-md > docs/SCHEMES.md'" >&2
+    exit 1
+}
+
 echo "== docs/METRICS.md freshness"
 cargo run -q -p cppc-cli --bin metrics-md > docs/METRICS.md
 git diff --exit-code -- docs/METRICS.md || {

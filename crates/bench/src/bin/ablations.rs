@@ -202,6 +202,7 @@ fn write_through_ablation(trace: &SharedTrace) {
         stores_to_dirty: wb.stats().stores_to_dirty,
         miss_fills: wb.stats().fills,
         words_per_line: 4,
+        silent_writes: 0,
     };
     // WB: L1 CPPC energy + write-back traffic into L2.
     let wb_energy = l1_cppc.total_pj(&wb_counts)
@@ -213,6 +214,7 @@ fn write_through_ablation(trace: &SharedTrace) {
         stores_to_dirty: 0,
         miss_fills: wt.stats().fills,
         words_per_line: 4,
+        silent_writes: 0,
     };
     let wt_energy =
         l1_par.total_pj(&wt_counts) + wt.store_traffic() as f64 * l2_par.model().write_energy_pj();

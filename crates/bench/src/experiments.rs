@@ -16,7 +16,7 @@ use cppc_cache_sim::memory::MainMemory;
 use cppc_cache_sim::replacement::ReplacementPolicy;
 use cppc_campaign::rng::rngs::StdRng;
 use cppc_campaign::rng::{RngExt, SeedableRng};
-use cppc_core::{CppcCache, CppcConfig};
+use cppc_core::{CppcCache, CppcConfig, SchemeKind};
 use cppc_fault::campaign::Outcome;
 use cppc_fault::model::{FaultGenerator, FaultModel};
 
@@ -59,6 +59,17 @@ pub fn parse_fault(name: &str) -> Result<FaultModel, String> {
         }),
         other => Err(format!("unknown fault model '{other}'")),
     }
+}
+
+/// Parses a protection-scheme selector name (`cppc`, `parity1d`,
+/// `secded-interleaved`, `parity2d`, `silent-write-ecc`, `harp-odecc`).
+///
+/// # Errors
+///
+/// Returns a message naming the unknown scheme and listing the known
+/// ones.
+pub fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
+    SchemeKind::parse(name)
 }
 
 /// The campaign geometry used by the `inject` experiment (32 sets,
@@ -109,6 +120,46 @@ pub fn inject_experiment(
                 }
             }
         }
+    }
+}
+
+/// The scheme-parameterized fault-injection experiment behind
+/// `cppc-cli campaign --scheme <name>` and `scheme` service jobs: the
+/// same warm-up, strike and classify protocol as [`inject_experiment`],
+/// but running any member of the protection-scheme zoo behind the
+/// `ProtectionScheme` trait.
+///
+/// For the ported schemes this is **bit-identical** to the historical
+/// baked-in closures: the fill order, the RNG draws (one `u64` for the
+/// strike seed — or the two-range draws of interleaved SECDED's
+/// physical-strike translation) and the classification rules are
+/// exactly theirs, so tallies and checkpoint bytes match the
+/// pre-refactor paths (pinned by the `scheme_equivalence` suite).
+/// `config` parameterizes CPPC only; the other schemes use their paper
+/// configurations.
+pub fn scheme_experiment(
+    kind: SchemeKind,
+    config: CppcConfig,
+    fault: FaultModel,
+) -> impl Fn(&mut StdRng, u64) -> Outcome + Sync {
+    move |rng, trial| {
+        let geo = inject_geometry();
+        let mut mem = MainMemory::new();
+        let mut scheme = kind.build(geo, config).expect("validated config");
+        let mut fill = StdRng::seed_from_u64(trial);
+        let mut truth = Vec::new();
+        for set in 0..geo.num_sets() {
+            for word in 0..geo.words_per_block() {
+                let addr = geo.address_of(0, set) + (word * 8) as u64;
+                let v: u64 = fill.random();
+                scheme.write_word(addr, v, &mut mem).expect("no faults yet");
+                truth.push((addr, v));
+            }
+        }
+        if scheme.inject_model(fault, rng) == 0 {
+            return Outcome::Masked;
+        }
+        scheme.classify(&truth, &mut mem)
     }
 }
 
@@ -165,6 +216,55 @@ mod tests {
             assert!(parse_fault(name).is_ok(), "{name}");
         }
         assert!(parse_fault("9x9").is_err());
+    }
+
+    #[test]
+    fn scheme_parsing() {
+        for name in [
+            "cppc",
+            "parity1d",
+            "secded-interleaved",
+            "parity2d",
+            "silent-write-ecc",
+            "harp-odecc",
+        ] {
+            assert!(parse_scheme(name).is_ok(), "{name}");
+        }
+        assert!(parse_scheme("hamming").is_err());
+    }
+
+    #[test]
+    fn cppc_scheme_experiment_matches_inject_experiment() {
+        // The trait-routed CPPC campaign must be tally-identical to the
+        // historical baked-in `inject` path (same fills, same draws,
+        // same classification).
+        let cfg = cppc_campaign::CampaignConfig::new(0xC0DE, 48).shard_size(16);
+        let fault = parse_fault("4x4").unwrap();
+        let baked: OutcomeTally = cppc_campaign::run(
+            &cfg,
+            inject_experiment(inject_geometry(), CppcConfig::paper(), fault),
+        )
+        .result;
+        let routed: OutcomeTally = cppc_campaign::run(
+            &cfg,
+            scheme_experiment(SchemeKind::Cppc, CppcConfig::paper(), fault),
+        )
+        .result;
+        assert_eq!(baked, routed);
+    }
+
+    #[test]
+    fn every_scheme_runs_a_campaign_without_sdc_on_single_bit() {
+        let cfg = cppc_campaign::CampaignConfig::new(0x5EED, 24).shard_size(8);
+        for kind in SchemeKind::ALL {
+            let tally: OutcomeTally = cppc_campaign::run(
+                &cfg,
+                scheme_experiment(kind, CppcConfig::paper(), FaultModel::TemporalSingleBit),
+            )
+            .result;
+            assert_eq!(tally.total(), 24, "{kind}");
+            assert_eq!(tally.sdc, 0, "{kind}: single-bit must never go silent");
+        }
     }
 
     #[test]

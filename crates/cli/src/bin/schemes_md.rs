@@ -1,0 +1,25 @@
+//! Generates `docs/SCHEMES.md` from the protection-scheme descriptors.
+//!
+//! Prints the catalog to stdout; the checked-in file is produced with
+//!
+//! ```console
+//! $ cargo run -p cppc-cli --bin schemes-md > docs/SCHEMES.md
+//! ```
+//!
+//! and `ci.sh` regenerates it and fails on drift, so the catalog can
+//! never fall out of sync with the `SchemeDescriptor`s declared in code
+//! or with the committed `scheme_comparison` artifact document.
+//!
+//! An optional first argument overrides the repository root (default
+//! `.`) used to locate `docs/results/scheme_comparison.json`.
+
+use std::path::Path;
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let doc = cppc_repro::load_doc(&cppc_repro::json_path(
+        Path::new(&root),
+        "scheme_comparison",
+    ));
+    print!("{}", cppc_repro::schemes_md::render(doc.as_ref()));
+}

@@ -4,7 +4,8 @@ use std::error::Error;
 use std::path::PathBuf;
 
 use cppc_bench::experiments::{
-    inject_experiment, inject_geometry, parse_config, parse_fault, sleep_experiment,
+    inject_experiment, inject_geometry, parse_config, parse_fault, parse_scheme, scheme_experiment,
+    sleep_experiment,
 };
 use cppc_cache_sim::geometry::CacheGeometry;
 use cppc_cache_sim::replacement::ReplacementPolicy;
@@ -50,7 +51,11 @@ COMMANDS:
   campaign     run a campaign through the parallel deterministic engine
                (bit-identical results at any thread count; live metrics
                on stderr)
-                 --kind inject|montecarlo|mbe|sleep (default inject)
+                 --kind inject|scheme|montecarlo|mbe|sleep (default inject)
+                 --scheme cppc|parity1d|secded-interleaved|parity2d|
+                          silent-write-ecc|harp-odecc
+                                  protection scheme to campaign (implies
+                                  --kind scheme; see docs/SCHEMES.md)
                  --trials <n>     campaign size (default 2000)
                  --seed <n>       master seed (default 0xC11)
                  --threads <n>    workers, 0 = all CPUs (default 0)
@@ -59,8 +64,8 @@ COMMANDS:
                  --resume true|false  resume from checkpoint (default true)
                  --json           print only the result document on
                                   stdout (matches a serve job's result)
-                 inject kinds also take --config/--fault; montecarlo
-                 --rate/--domains/--tavg; sleep --sleep-ms
+                 inject and scheme kinds also take --config/--fault;
+                 montecarlo --rate/--domains/--tavg; sleep --sleep-ms
   mttf         print the analytical MTTF table
                  --level l1|l2    evaluation point (default l1)
                  --fit <f>        SEU rate, FIT/bit (default 0.001)
@@ -201,6 +206,7 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
         stores_to_dirty: base.l1_stats.stores_to_dirty,
         miss_fills: base.l1_stats.fills,
         words_per_line: 4,
+        silent_writes: 0,
     };
     let parity = SchemeEnergy::new(
         32 * 1024,
@@ -352,7 +358,13 @@ fn print_tally(report: &CampaignReport<OutcomeTally>, json: bool) {
 
 /// `campaign`
 pub fn campaign(args: &ParsedArgs) -> CliResult {
-    let kind = args.get_or("kind", "inject");
+    // `--scheme <name>` alone selects the scheme-zoo campaign.
+    let default_kind = if args.get("scheme").is_some() {
+        "scheme"
+    } else {
+        "inject"
+    };
+    let kind = args.get_or("kind", default_kind);
     let threads: usize = args.get_parsed("threads", 0)?; // 0 = all CPUs
     let trials: u64 = args.get_parsed("trials", 2000)?;
     let seed: u64 = args.get_parsed("seed", 0xC11)?;
@@ -384,6 +396,18 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
                 checkpoint,
                 resume,
                 inject_experiment(inject_geometry(), config, fault),
+            )?;
+            print_tally(&report, json);
+        }
+        "scheme" => {
+            let scheme = parse_scheme(args.get_or("scheme", "cppc"))?;
+            let config = parse_config(args.get_or("config", "paper"))?;
+            let fault = parse_fault(args.get_or("fault", "4x4"))?;
+            let report: CampaignReport<OutcomeTally> = run_engine_campaign(
+                &cfg,
+                checkpoint,
+                resume,
+                scheme_experiment(scheme, config, fault),
             )?;
             print_tally(&report, json);
         }
@@ -434,7 +458,9 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
             }
         }
         other => {
-            return Err(format!("unknown kind '{other}' (use inject|montecarlo|mbe|sleep)").into())
+            return Err(
+                format!("unknown kind '{other}' (use inject|scheme|montecarlo|mbe|sleep)").into(),
+            )
         }
     }
     Ok(())

@@ -29,6 +29,7 @@ const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
         "campaign",
         &[
             "kind",
+            "scheme",
             "trials",
             "seed",
             "threads",
@@ -88,6 +89,7 @@ const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
             "priority",
             "watch",
             "kind",
+            "scheme",
             "trials",
             "seed",
             "threads",

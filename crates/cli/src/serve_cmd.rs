@@ -76,8 +76,20 @@ fn job_id(args: &ParsedArgs) -> Result<JobId, Box<dyn Error>> {
 /// Builds a [`JobSpec`] from the same `--kind`-keyed flags that
 /// `cppc-cli campaign` takes, validating before anything hits the wire.
 fn spec_from_args(args: &ParsedArgs) -> Result<JobSpec, Box<dyn Error>> {
-    let kind = match args.get_or("kind", "inject") {
+    // `--scheme <name>` alone selects the scheme-zoo campaign, exactly
+    // as `cppc-cli campaign` does.
+    let default_kind = if args.get("scheme").is_some() {
+        "scheme"
+    } else {
+        "inject"
+    };
+    let kind = match args.get_or("kind", default_kind) {
         "inject" => JobKind::Inject {
+            config: args.get_or("config", "paper").to_string(),
+            fault: args.get_or("fault", "4x4").to_string(),
+        },
+        "scheme" => JobKind::Scheme {
+            scheme: args.get_or("scheme", "cppc").to_string(),
             config: args.get_or("config", "paper").to_string(),
             fault: args.get_or("fault", "4x4").to_string(),
         },
@@ -91,7 +103,9 @@ fn spec_from_args(args: &ParsedArgs) -> Result<JobSpec, Box<dyn Error>> {
             millis: args.get_parsed("sleep-ms", 0)?,
         },
         other => {
-            return Err(format!("unknown kind '{other}' (use inject|montecarlo|mbe|sleep)").into())
+            return Err(
+                format!("unknown kind '{other}' (use inject|scheme|montecarlo|mbe|sleep)").into(),
+            )
         }
     };
     let mut spec = JobSpec::new(

@@ -213,6 +213,12 @@ impl OneDimParityCache {
     pub fn peek_word(&self, addr: u64) -> Option<u64> {
         self.inner.peek_word(addr)
     }
+
+    /// Writes every dirty block back to `backing` (the data is written
+    /// back as stored, so the parity over it stays valid).
+    pub fn flush<B: Backing>(&mut self, backing: &mut B) {
+        self.inner.flush(backing);
+    }
 }
 
 // ======================================================================
@@ -475,6 +481,12 @@ impl SecdedCache {
     #[must_use]
     pub fn peek_word(&self, addr: u64) -> Option<u64> {
         self.inner.peek_word(addr)
+    }
+
+    /// Writes every dirty block back to `backing` (data written back as
+    /// stored; the per-word check bits stay consistent with it).
+    pub fn flush<B: Backing>(&mut self, backing: &mut B) {
+        self.inner.flush(backing);
     }
 }
 
@@ -962,6 +974,12 @@ impl TwoDimParityCache {
     #[must_use]
     pub fn peek_word(&self, addr: u64) -> Option<u64> {
         self.inner.peek_word(addr)
+    }
+
+    /// Writes every dirty block back to `backing` (data written back as
+    /// stored; horizontal and vertical parity stay consistent with it).
+    pub fn flush<B: Backing>(&mut self, backing: &mut B) {
+        self.inner.flush(backing);
     }
 }
 

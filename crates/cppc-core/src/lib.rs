@@ -16,6 +16,11 @@
 //! * [`baselines`] — the three comparison caches of §6: one-dimensional
 //!   parity, SECDED with physical bit interleaving, and two-dimensional
 //!   parity.
+//! * [`scheme`] — the pluggable [`scheme::ProtectionScheme`] trait and
+//!   [`scheme::SchemeKind`] selector the campaign drivers parameterize
+//!   over, with CPPC and the baselines ported onto it.
+//! * [`silent`], [`harp`] — the related-work zoo: silent-write-aware
+//!   low-power ECC and HARP-style on-die ECC with error profiling.
 //!
 //! # Quick start
 //!
@@ -40,17 +45,23 @@ pub mod baselines;
 pub mod cache;
 pub mod config;
 pub mod full;
+pub mod harp;
 pub mod icr;
 pub mod locator;
 pub mod obs;
 pub mod registers;
 pub mod rotate;
+pub mod scheme;
+pub mod silent;
 pub mod tags;
 
 pub use cache::{CppcCache, CppcStats, Due, DueReason, RecoveryReport, SimSnapshot};
 pub use config::{ConfigError, CppcConfig, ROTATION_CLASSES};
 pub use full::{FullyProtectedCache, ProtectedFault};
+pub use harp::HarpOdeccScheme;
 pub use icr::{IcrCache, IcrStats};
 pub use locator::{locate_spatial, locate_spatial_into, LocateError, Suspect};
 pub use registers::RegisterFile;
+pub use scheme::{ProtectionScheme, SchemeDescriptor, SchemeFault, SchemeKind, SchemeOps};
+pub use silent::SilentWriteEccScheme;
 pub use tags::{TagCppc, TagDue};

@@ -20,7 +20,9 @@ cppc_obs::metrics! {
     timer RECOVERY_WALK: "cppc.recovery.walk.ns", "ns", "Wall time of each whole-cache recovery scan.";
 }
 
-/// Registers the CPPC metric group (idempotent).
+/// Registers the CPPC metric group and the protection-scheme zoo
+/// group (idempotent).
 pub fn register_metrics() {
     CPPC_METRICS.register();
+    crate::scheme::register_metrics();
 }

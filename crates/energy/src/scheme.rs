@@ -35,6 +35,10 @@ pub struct AccessCounts {
     /// Words per line (kept for reporting; a line read is a single
     /// full-width array access, so it does not scale the energy).
     pub words_per_line: u32,
+    /// Stores elided as silent (silent-write-aware ECC: the incoming
+    /// value matched the stored word, so no data or code write
+    /// happened). A subset of `writes`; ignored by the other schemes.
+    pub silent_writes: u64,
 }
 
 /// Which protection scheme is being priced.
@@ -60,6 +64,15 @@ pub enum ProtectionKind {
         /// Horizontal parity bits per 64-bit word.
         ways: u32,
     },
+    /// Silent-write-aware SECDED (non-interleaved): elided silent
+    /// stores pay no write energy. The silent-store comparison shares
+    /// the read-modify-write array access the store was already making,
+    /// so only the saved write is priced.
+    SilentWriteEcc,
+    /// HARP-style on-die SECDED (non-interleaved, write-through). The
+    /// in-array cost matches plain SECDED; write-through and profiling
+    /// traffic is next-level traffic, outside this cache's energy.
+    OnDieEcc,
 }
 
 impl ProtectionKind {
@@ -70,7 +83,9 @@ impl ProtectionKind {
             ProtectionKind::OneDimParity { ways }
             | ProtectionKind::Cppc { ways }
             | ProtectionKind::TwoDimParity { ways } => ways,
-            ProtectionKind::Secded { .. } => 8,
+            ProtectionKind::Secded { .. }
+            | ProtectionKind::SilentWriteEcc
+            | ProtectionKind::OnDieEcc => 8,
         }
     }
 
@@ -80,6 +95,22 @@ impl ProtectionKind {
         match *self {
             ProtectionKind::Secded { interleaved: true } => 8,
             _ => 1,
+        }
+    }
+
+    /// The pricing model for a `ProtectionScheme` selector name, as
+    /// accepted by `cppc-cli campaign --scheme` (paper configurations:
+    /// 8-way parity, interleaved SECDED).
+    #[must_use]
+    pub fn for_scheme(name: &str) -> Option<ProtectionKind> {
+        match name {
+            "cppc" => Some(ProtectionKind::Cppc { ways: 8 }),
+            "parity1d" => Some(ProtectionKind::OneDimParity { ways: 8 }),
+            "secded-interleaved" => Some(ProtectionKind::Secded { interleaved: true }),
+            "parity2d" => Some(ProtectionKind::TwoDimParity { ways: 8 }),
+            "silent-write-ecc" => Some(ProtectionKind::SilentWriteEcc),
+            "harp-odecc" => Some(ProtectionKind::OnDieEcc),
+            _ => None,
         }
     }
 }
@@ -95,7 +126,7 @@ impl ProtectionKind {
 /// let cppc = SchemeEnergy::new(
 ///     32 * 1024, 2, 32, ProtectionKind::Cppc { ways: 8 }, TechnologyNode::Nm32);
 /// let counts = AccessCounts { reads: 1000, writes: 500, stores_to_dirty: 150,
-///                             miss_fills: 30, words_per_line: 4 };
+///                             miss_fills: 30, words_per_line: 4, silent_writes: 0 };
 /// assert!(cppc.total_pj(&counts) > 0.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,7 +179,14 @@ impl SchemeEnergy {
         let w = self.model.write_energy_pj();
         let base = counts.reads as f64 * r + counts.writes as f64 * w;
         match self.kind {
-            ProtectionKind::OneDimParity { .. } | ProtectionKind::Secded { .. } => base,
+            ProtectionKind::OneDimParity { .. }
+            | ProtectionKind::Secded { .. }
+            | ProtectionKind::OnDieEcc => base,
+            ProtectionKind::SilentWriteEcc => {
+                // Elided silent stores pay no array write; everything
+                // else is plain (non-interleaved) SECDED.
+                base - counts.silent_writes.min(counts.writes) as f64 * w
+            }
             ProtectionKind::Cppc { .. } => {
                 // Read-before-write on stores to dirty words; shifter +
                 // register XOR on every write and every RBW read.
@@ -198,6 +236,7 @@ mod tests {
             stores_to_dirty: 1_500,
             miss_fills: 450,
             words_per_line: 4,
+            silent_writes: 0,
         }
     }
 
@@ -252,6 +291,7 @@ mod tests {
             stores_to_dirty: 60,
             miss_fills: 80,
             words_per_line: 4,
+            silent_writes: 0,
         };
         let parity = scheme(L2, ProtectionKind::OneDimParity { ways: 8 });
         let cppc = scheme(L2, ProtectionKind::Cppc { ways: 8 });
@@ -269,6 +309,7 @@ mod tests {
             stores_to_dirty: 50,
             miss_fills: 1_000,
             words_per_line: 4,
+            silent_writes: 0,
         };
         let cppc = scheme(L2, ProtectionKind::Cppc { ways: 8 });
         let twodim = scheme(L2, ProtectionKind::TwoDimParity { ways: 8 });
@@ -301,5 +342,61 @@ mod tests {
     fn zero_counts_zero_energy() {
         let cppc = scheme(L1, ProtectionKind::Cppc { ways: 8 });
         assert_eq!(cppc.total_pj(&AccessCounts::default()), 0.0);
+    }
+
+    #[test]
+    fn silent_write_elision_saves_exactly_the_elided_writes() {
+        let plain = scheme(L1, ProtectionKind::Secded { interleaved: false });
+        let silent = scheme(L1, ProtectionKind::SilentWriteEcc);
+        let mut counts = counts_l1();
+        // No elisions: identical to non-interleaved SECDED.
+        assert_eq!(silent.total_pj(&counts), plain.total_pj(&counts));
+        // 40% silent stores: exactly those writes drop out.
+        counts.silent_writes = 2_000;
+        let saved = plain.total_pj(&counts) - silent.total_pj(&counts);
+        let expected = 2_000.0 * silent.model().write_energy_pj();
+        assert!((saved - expected).abs() < 1e-9, "{saved} vs {expected}");
+        // And the result beats the interleaved baseline by construction.
+        let interleaved = scheme(L1, ProtectionKind::Secded { interleaved: true });
+        assert!(silent.total_pj(&counts) < interleaved.total_pj(&counts));
+    }
+
+    #[test]
+    fn on_die_ecc_prices_like_plain_secded() {
+        let counts = counts_l1();
+        let plain = scheme(L1, ProtectionKind::Secded { interleaved: false });
+        let odecc = scheme(L1, ProtectionKind::OnDieEcc);
+        assert_eq!(odecc.total_pj(&counts), plain.total_pj(&counts));
+        assert_eq!(ProtectionKind::OnDieEcc.interleave_degree(), 1);
+        assert_eq!(ProtectionKind::OnDieEcc.code_bits_per_word(), 8);
+    }
+
+    #[test]
+    fn for_scheme_maps_every_selector() {
+        assert_eq!(
+            ProtectionKind::for_scheme("cppc"),
+            Some(ProtectionKind::Cppc { ways: 8 })
+        );
+        assert_eq!(
+            ProtectionKind::for_scheme("parity1d"),
+            Some(ProtectionKind::OneDimParity { ways: 8 })
+        );
+        assert_eq!(
+            ProtectionKind::for_scheme("secded-interleaved"),
+            Some(ProtectionKind::Secded { interleaved: true })
+        );
+        assert_eq!(
+            ProtectionKind::for_scheme("parity2d"),
+            Some(ProtectionKind::TwoDimParity { ways: 8 })
+        );
+        assert_eq!(
+            ProtectionKind::for_scheme("silent-write-ecc"),
+            Some(ProtectionKind::SilentWriteEcc)
+        );
+        assert_eq!(
+            ProtectionKind::for_scheme("harp-odecc"),
+            Some(ProtectionKind::OnDieEcc)
+        );
+        assert_eq!(ProtectionKind::for_scheme("hamming"), None);
     }
 }

@@ -9,6 +9,7 @@
 mod energy;
 mod fig10;
 mod mbe;
+mod schemes;
 mod table3;
 
 use crate::artifact::Artifact;
@@ -22,6 +23,7 @@ pub fn registry() -> &'static [Artifact] {
             table3::artifact(),
             fig10::artifact(),
             energy::artifact(),
+            schemes::artifact(),
             mbe::artifact(),
         ]
     })

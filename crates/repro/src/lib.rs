@@ -3,6 +3,7 @@
 //! This crate turns the repository's headline numbers into **artifacts**:
 //! named, registered reproductions of the paper's tables and figures
 //! (Table 3 MTTF, Figure 10 CPI overhead, Figures 11–12 energy, the
+//! cross-scheme `scheme_comparison` behind `docs/SCHEMES.md`, the
 //! Table 2/4 MBE-coverage grid). Each artifact declares its campaign
 //! configuration, a runtime tier, and a set of gated metrics with
 //! per-metric tolerance bands. Running one produces:
@@ -40,6 +41,7 @@ pub mod book;
 pub mod jsonio;
 pub mod obs;
 pub mod runner;
+pub mod schemes_md;
 
 pub use artifact::{Artifact, ArtifactOutput, MetricValue, RunConfig, Table, Tier, Tolerance};
 pub use artifacts::{find, registry};

@@ -7,7 +7,7 @@
 //! through the workspace's hand-rolled JSON so the journal and the wire
 //! protocol share one serialization with exact 64-bit integers.
 
-use cppc_bench::experiments::{parse_config, parse_fault};
+use cppc_bench::experiments::{parse_config, parse_fault, parse_scheme};
 use cppc_campaign::json::Json;
 use cppc_campaign::{CampaignConfig, DEFAULT_SHARD_SIZE};
 
@@ -22,6 +22,20 @@ pub enum JobKind {
     Inject {
         /// CPPC configuration name (`basic`, `paper`, `two-pairs`,
         /// `eight-pairs`).
+        config: String,
+        /// Fault model name (`single`, `2xvert`, `8xhoriz`, `4x4`,
+        /// `8x8`).
+        fault: String,
+    },
+    /// Scheme-zoo fault-injection campaign behind the
+    /// `ProtectionScheme` trait
+    /// ([`cppc_bench::experiments::scheme_experiment`]).
+    Scheme {
+        /// Protection-scheme selector (`cppc`, `parity1d`,
+        /// `secded-interleaved`, `parity2d`, `silent-write-ecc`,
+        /// `harp-odecc`).
+        scheme: String,
+        /// CPPC configuration name (used by the `cppc` scheme only).
         config: String,
         /// Fault model name (`single`, `2xvert`, `8xhoriz`, `4x4`,
         /// `8x8`).
@@ -55,6 +69,7 @@ impl JobKind {
     pub fn name(&self) -> &'static str {
         match self {
             JobKind::Inject { .. } => "inject",
+            JobKind::Scheme { .. } => "scheme",
             JobKind::MonteCarlo { .. } => "montecarlo",
             JobKind::Mbe => "mbe",
             JobKind::Sleep { .. } => "sleep",
@@ -114,6 +129,15 @@ impl JobSpec {
                 parse_config(config)?;
                 parse_fault(fault)?;
             }
+            JobKind::Scheme {
+                scheme,
+                config,
+                fault,
+            } => {
+                parse_scheme(scheme)?;
+                parse_config(config)?;
+                parse_fault(fault)?;
+            }
             JobKind::MonteCarlo { rate, tavg, .. } => {
                 if !(rate.is_finite() && *rate > 0.0) {
                     return Err("montecarlo rate must be positive".into());
@@ -147,6 +171,15 @@ impl JobSpec {
         let mut pairs = vec![("kind".to_string(), Json::Str(self.kind.name().into()))];
         match &self.kind {
             JobKind::Inject { config, fault } => {
+                pairs.push(("config".into(), Json::Str(config.clone())));
+                pairs.push(("fault".into(), Json::Str(fault.clone())));
+            }
+            JobKind::Scheme {
+                scheme,
+                config,
+                fault,
+            } => {
+                pairs.push(("scheme".into(), Json::Str(scheme.clone())));
                 pairs.push(("config".into(), Json::Str(config.clone())));
                 pairs.push(("fault".into(), Json::Str(fault.clone())));
             }
@@ -199,6 +232,11 @@ impl JobSpec {
         };
         let kind = match kind_name {
             "inject" => JobKind::Inject {
+                config: str_field("config")?,
+                fault: str_field("fault")?,
+            },
+            "scheme" => JobKind::Scheme {
+                scheme: str_field("scheme")?,
                 config: str_field("config")?,
                 fault: str_field("fault")?,
             },
@@ -479,6 +517,15 @@ mod tests {
             },
             JobSpec::new(JobKind::Mbe, 2000, 0xC0DE),
             JobSpec::new(JobKind::Sleep { millis: 3 }, 100, 7),
+            JobSpec::new(
+                JobKind::Scheme {
+                    scheme: "secded-interleaved".into(),
+                    config: "paper".into(),
+                    fault: "8x8".into(),
+                },
+                400,
+                0xC11,
+            ),
         ]
     }
 
@@ -508,6 +555,16 @@ mod tests {
             1,
         );
         assert!(bad_fault.validate().unwrap_err().contains("9x9"));
+        let bad_scheme = JobSpec::new(
+            JobKind::Scheme {
+                scheme: "hamming".into(),
+                config: "paper".into(),
+                fault: "4x4".into(),
+            },
+            10,
+            1,
+        );
+        assert!(bad_scheme.validate().unwrap_err().contains("hamming"));
         let bad_rate = JobSpec::new(
             JobKind::MonteCarlo {
                 rate: -1.0,

@@ -15,7 +15,8 @@ use std::path::Path;
 use std::sync::atomic::AtomicBool;
 
 use cppc_bench::experiments::{
-    inject_experiment, inject_geometry, parse_config, parse_fault, sleep_experiment,
+    inject_experiment, inject_geometry, parse_config, parse_fault, parse_scheme, scheme_experiment,
+    sleep_experiment,
 };
 use cppc_campaign::json::Json;
 use cppc_campaign::metrics::Progress;
@@ -82,6 +83,31 @@ pub fn execute(
                     &policy,
                     interrupt,
                     inject_experiment(inject_geometry(), config, fault),
+                    on_progress,
+                ),
+                tally_result_json,
+            )
+        }
+        JobKind::Scheme {
+            scheme,
+            config,
+            fault,
+        } => {
+            let (Ok(scheme), Ok(config), Ok(fault)) = (
+                parse_scheme(scheme),
+                parse_config(config),
+                parse_fault(fault),
+            ) else {
+                return RunEnd::Failed {
+                    error: "spec no longer parses (scheme/config/fault)".into(),
+                };
+            };
+            finish::<OutcomeTally>(
+                run_resumable_interruptible(
+                    &cfg,
+                    &policy,
+                    interrupt,
+                    scheme_experiment(scheme, config, fault),
                     on_progress,
                 ),
                 tally_result_json,

@@ -18,6 +18,7 @@ pub fn counts_from_stats(stats: &CacheStats, words_per_line: u32) -> AccessCount
         stores_to_dirty: stats.stores_to_dirty,
         miss_fills: stats.fills,
         words_per_line,
+        silent_writes: 0,
     }
 }
 

@@ -193,6 +193,7 @@ fn secded_bitline_rule() {
         stores_to_dirty: 100,
         miss_fills: 50,
         words_per_line: 4,
+        silent_writes: 0,
     };
     let ratio = inter.total_pj(&counts) / plain.total_pj(&counts);
     assert!(ratio > 1.2 && ratio < 1.7, "interleave ratio {ratio}");
