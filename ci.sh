@@ -17,6 +17,19 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== cargo test without SIMD (scalar/SWAR kernels pinned)"
+# The simd feature is default-on; the scalar universe must stay green
+# too. The differential tests inside pin SIMD == SWAR == naive scalar
+# and batched == sequential, so both universes prove the same results.
+cargo test -q -p cppc-ecc --no-default-features
+cargo test -q -p cppc-bench --no-default-features --features obs
+
+echo "== kernel + batch differential tests (release codegen)"
+# Production campaigns run optimized code; re-pin the kernel and batch
+# equivalences under the release profile.
+cargo test -q --release -p cppc-ecc kernels
+cargo test -q --release -p cppc-bench --test batch_differential
+
 echo "== cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -28,9 +41,30 @@ for bench in codecs hierarchy recovery scheme_ops; do
     cargo test -q --release -p cppc-bench --bench "$bench" > /dev/null
 done
 
+echo "== campaign scaling (thread determinism; advisory speedup)"
+# The binary asserts tally identity across thread counts itself. The
+# speedup assertion only applies where the host could actually run the
+# parallel leg: on single-core or thread-limited hosts the baseline
+# records "speedup": null and the check is skipped, not failed.
+SCALING_JSON="$(mktemp)"
+cargo run -q --release -p cppc-bench --bin campaign_scaling -- \
+    --trials 20000 --out "$SCALING_JSON" > /dev/null
+if grep -q '"speedup":null' "$SCALING_JSON"; then
+    echo "  speedup check skipped: $(grep -o '"note":"[^"]*"' "$SCALING_JSON")"
+else
+    SPEEDUP=$(grep -o '"speedup":[0-9.]*' "$SCALING_JSON" | cut -d: -f2)
+    awk -v s="$SPEEDUP" 'BEGIN { exit !(s > 1.0) }' || {
+        echo "parallel campaign leg slower than sequential (speedup $SPEEDUP)" >&2
+        exit 1
+    }
+fi
+rm -f "$SCALING_JSON"
+
 echo "== hot-path throughput gate (vs BENCH_hotpath.json baseline)"
-# Measures the sequential mbe_coverage campaign against the committed
-# baseline's trials/sec and fails below 0.9x (CI noise allowance).
+# Measures the mbe_coverage campaign both ways: the sequential leg
+# fails below 0.9x the committed baseline trials/sec (CI noise
+# allowance); the batched leg fails below the committed
+# target_trials_per_sec floor (1M trials/sec).
 cargo run -q -p cppc-bench --release --bin hotpath -- --gate BENCH_hotpath.json
 
 echo "== repro golden gates (fast tier)"

@@ -113,10 +113,26 @@ fn main() {
         seq_tally, par_tally,
         "engine determinism violated: tallies differ across thread counts"
     );
-    let speedup = seq_secs / par_secs;
-    println!("  speedup: {speedup:.2}x  (tallies bit-identical)");
+    // A parallel leg that could not actually run at the requested
+    // concurrency (single-core host, or clamped request) measures
+    // scheduler overhead, not scaling: publish `null` rather than a
+    // number a regression gate would misread.
+    let thread_limited = parallel_threads < requested_threads;
+    let (speedup, note) = if cores == 1 || thread_limited {
+        let why = if cores == 1 {
+            "single-core host: parallel leg degenerates to sequential"
+        } else {
+            "thread-limited host: requested concurrency unavailable"
+        };
+        println!("  speedup: n/a ({why}; tallies bit-identical)");
+        (Json::Null, Some(why))
+    } else {
+        let speedup = seq_secs / par_secs;
+        println!("  speedup: {speedup:.2}x  (tallies bit-identical)");
+        (Json::Num(speedup), None)
+    };
 
-    let doc = Json::Obj(vec![
+    let mut doc = Json::Obj(vec![
         ("benchmark".into(), Json::Str("campaign_scaling".into())),
         (
             "campaign".into(),
@@ -139,16 +155,16 @@ fn main() {
                 &par_pool,
             ),
         ),
-        ("speedup".into(), Json::Num(speedup)),
+        ("speedup".into(), speedup),
         ("tallies_identical".into(), Json::Bool(true)),
         // True when the run asked for more workers than the host could
         // give (the clamp above) — readers of the baseline must not
         // interpret such a parallel leg as the requested concurrency.
-        (
-            "thread_limited".into(),
-            Json::Bool(parallel_threads < requested_threads),
-        ),
+        ("thread_limited".into(), Json::Bool(thread_limited)),
     ]);
+    if let (Json::Obj(pairs), Some(why)) = (&mut doc, note) {
+        pairs.push(("note".into(), Json::Str(why.into())));
+    }
     std::fs::write(&out, doc.to_string_compact() + "\n").expect("write baseline");
     println!("wrote {out}");
 }

@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod mbe;
 pub mod microbench;
+pub mod obs;
 
 use cppc_cache_sim::hierarchy::TwoLevelHierarchy;
 use cppc_cache_sim::replacement::ReplacementPolicy;

@@ -28,7 +28,8 @@ use cppc_cache_sim::snapshot::MemorySnapshot;
 use cppc_campaign::rng::rngs::StdRng;
 use cppc_campaign::rng::{RngExt, SeedableRng};
 use cppc_campaign::snapshot::WarmPool;
-use cppc_core::{CppcCache, CppcConfig, SimSnapshot};
+use cppc_campaign::{trial_rng, Accumulator, TrialExec};
+use cppc_core::{BatchOutcome, BatchScratch, BatchSim, CppcCache, CppcConfig, SimSnapshot};
 use cppc_fault::campaign::Outcome;
 use cppc_fault::model::{FaultGenerator, FaultModel, FaultPattern};
 
@@ -87,6 +88,9 @@ pub struct TrialContext {
     mem_snap: MemorySnapshot,
     pattern: FaultPattern,
     truth: Vec<(u64, u64)>,
+    /// Lazily built value-independent batch evaluator for this warm
+    /// state (`None` until the first batched shard runs).
+    batch_sim: Option<BatchSim>,
 }
 
 /// The process-wide pool of warm contexts shared by all benchmark
@@ -148,6 +152,7 @@ fn warm_context() -> (TrialContext, u64) {
             mem_snap,
             pattern: FaultPattern::empty(),
             truth,
+            batch_sim: None,
         },
         bytes,
     )
@@ -232,4 +237,192 @@ pub fn experiment_model_cold(model: FaultModel, rng: &mut StdRng, trial: u64) ->
 /// Panics if the paper configuration is rejected (it is not).
 pub fn experiment_cold(rng: &mut StdRng, trial: u64) -> Outcome {
     experiment_model_cold(SOLID_MODEL, rng, trial)
+}
+
+// ---------------------------------------------------------------------
+// Cross-trial batched execution
+// ---------------------------------------------------------------------
+
+/// Structure-of-arrays context of one batch of trials: every lane's
+/// faulty `(row, error-mask, syndrome)` entries live contiguously in
+/// shared arenas, so the syndrome stage of *all* lanes runs through a
+/// single [`BatchSim::syndromes`] call (one vectorized instruction
+/// stream) instead of one simulator walk per trial.
+#[derive(Debug, Default)]
+pub struct TrialBatch {
+    rows: Vec<u32>,
+    errs: Vec<u64>,
+    syns: Vec<u64>,
+    lanes: Vec<BatchLane>,
+    scratch: BatchScratch,
+}
+
+/// One lane of a [`TrialBatch`]: a trial plus its slice of the arenas.
+#[derive(Debug, Clone, Copy)]
+struct BatchLane {
+    trial: u64,
+    lo: usize,
+    hi: usize,
+    applied: u32,
+}
+
+impl TrialBatch {
+    /// An empty batch (arenas grow on first use and are then reused).
+    #[must_use]
+    pub fn new() -> Self {
+        TrialBatch::default()
+    }
+
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.errs.clear();
+        self.syns.clear();
+        self.lanes.clear();
+    }
+}
+
+/// Evaluates the `trials` range in batches of `batch` lanes into
+/// `acc`, bit-identically to running [`experiment_model`] per trial.
+///
+/// Per batch: every lane's fault pattern is sampled from its own
+/// [`trial_rng`]-derived stream and gathered into the [`TrialBatch`]
+/// arenas, all lanes' syndromes are computed in one vectorized pass,
+/// and each lane is classified by error-delta propagation
+/// ([`BatchSim::classify`]). Lanes the fast path cannot own — shared
+/// parity-group syndromes inside one protection domain, i.e. locator
+/// or DUE territory — fall back to the full per-trial simulator with a
+/// freshly re-derived trial RNG, so their outcome is *the* reference
+/// outcome. If the warm state cannot be certified fault-free
+/// ([`CppcCache::batch_sim`] returns `None`) every trial of the range
+/// falls back wholesale.
+pub fn simulate_batch_into<A: Accumulator<Item = Outcome>>(
+    ctx: &mut TrialContext,
+    batch_buf: &mut TrialBatch,
+    model: FaultModel,
+    batch: usize,
+    seed: u64,
+    trials: std::ops::Range<u64>,
+    acc: &mut A,
+) {
+    let (lo, hi) = (trials.start, trials.end);
+    let batch = batch.max(1) as u64;
+    if ctx.batch_sim.is_none() {
+        // The pooled context may sit in an arbitrary post-trial state;
+        // certify from the restored warm baseline.
+        ctx.cache.restore_snapshot(&ctx.cache_snap);
+        ctx.mem.restore_snapshot(&ctx.mem_snap);
+        ctx.batch_sim = ctx.cache.batch_sim();
+        if ctx.batch_sim.is_none() {
+            crate::obs::BATCH_WHOLESALE_FALLBACKS.inc();
+        }
+    }
+    let Some(sim) = ctx.batch_sim.take() else {
+        for trial in lo..hi {
+            let mut rng = trial_rng(seed, trial);
+            acc.record(trial, run_trial(ctx, model, &mut rng));
+        }
+        return;
+    };
+    let sample_rows = sim.num_rows() / 2;
+
+    let mut chunk_lo = lo;
+    while chunk_lo < hi {
+        let chunk_hi = (chunk_lo + batch).min(hi);
+        batch_buf.clear();
+        for trial in chunk_lo..chunk_hi {
+            // Identical stream derivation to the per-trial path:
+            // trial_rng seeds the generator, which samples the pattern.
+            let mut rng = trial_rng(seed, trial);
+            let mut generator = FaultGenerator::new(sample_rows, rng.random());
+            generator.sample_into(model, &mut ctx.pattern);
+            let arena_lo = batch_buf.rows.len();
+            let applied = sim.gather(&ctx.pattern, &mut batch_buf.rows, &mut batch_buf.errs);
+            batch_buf.lanes.push(BatchLane {
+                trial,
+                lo: arena_lo,
+                hi: batch_buf.rows.len(),
+                applied,
+            });
+        }
+        // One instruction stream over every lane's error words.
+        batch_buf.syns.resize(batch_buf.errs.len(), 0);
+        sim.syndromes(&batch_buf.errs, &mut batch_buf.syns);
+
+        crate::obs::BATCH_BATCHES.inc();
+        crate::obs::BATCH_LANES_FILLED.add(batch_buf.lanes.len() as u64);
+        for li in 0..batch_buf.lanes.len() {
+            let lane = batch_buf.lanes[li];
+            let outcome = if lane.applied == 0 {
+                Outcome::Masked
+            } else {
+                match sim.classify(
+                    &batch_buf.rows[lane.lo..lane.hi],
+                    &mut batch_buf.errs[lane.lo..lane.hi],
+                    &batch_buf.syns[lane.lo..lane.hi],
+                    &mut batch_buf.scratch,
+                ) {
+                    BatchOutcome::Masked => Outcome::Masked,
+                    BatchOutcome::Recovered { residual: false } => Outcome::Corrected,
+                    BatchOutcome::Recovered { residual: true } => Outcome::SilentCorruption,
+                    BatchOutcome::NeedsFull => {
+                        crate::obs::BATCH_TAIL_FALLBACKS.inc();
+                        let mut rng = trial_rng(seed, lane.trial);
+                        run_trial(ctx, model, &mut rng)
+                    }
+                }
+            };
+            acc.record(lane.trial, outcome);
+        }
+        chunk_lo = chunk_hi;
+    }
+    ctx.batch_sim = Some(sim);
+}
+
+/// A [`TrialExec`] running the warm-pool mbe campaign through the
+/// cross-trial batch engine, `batch` lanes at a time.
+///
+/// With `batch == 1` the pipeline still runs batched (one-lane
+/// batches); the tallies are bit-identical at every batch size, thread
+/// count, and with the `simd` feature disabled — the differential
+/// tests pin this.
+#[derive(Debug, Clone, Copy)]
+pub struct MbeBatchExec {
+    model: FaultModel,
+    batch: usize,
+}
+
+impl MbeBatchExec {
+    /// Creates the executor and records which parity kernel the probe
+    /// dispatched to (`kernel.dispatch.*`).
+    #[must_use]
+    pub fn new(model: FaultModel, batch: usize) -> Self {
+        crate::obs::record_kernel_dispatch();
+        MbeBatchExec {
+            model,
+            batch: batch.max(1),
+        }
+    }
+
+    /// The solid-4x4 executor of the standard mbe campaign.
+    #[must_use]
+    pub fn solid(batch: usize) -> Self {
+        MbeBatchExec::new(SOLID_MODEL, batch)
+    }
+}
+
+impl<A: Accumulator<Item = Outcome>> TrialExec<A> for MbeBatchExec {
+    fn run_range(&self, seed: u64, lo: u64, hi: u64, acc: &mut A) {
+        POOL.with(warm_identity(), warm_context, |ctx| {
+            let mut batch_buf = TrialBatch::new();
+            simulate_batch_into(
+                ctx,
+                &mut batch_buf,
+                self.model,
+                self.batch,
+                seed,
+                lo..hi,
+                acc,
+            );
+        });
+    }
 }

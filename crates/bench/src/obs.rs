@@ -1,0 +1,35 @@
+//! Observability for the vectorized hot path: which parity kernel the
+//! one-time CPU probe selected, and how the cross-trial batch engine
+//! is spending its lanes.
+
+cppc_obs::metrics! {
+    group KERNEL_METRICS: "kernel", "Vector parity-kernel dispatch: the implementation the one-time CPU-feature probe selected.";
+    counter KERNEL_DISPATCH_SWAR: "kernel.dispatch.swar", "events", "Campaign executors that resolved the parity kernels to the scalar SWAR fallback.";
+    counter KERNEL_DISPATCH_SSE2: "kernel.dispatch.sse2", "events", "Campaign executors that resolved the parity kernels to the SSE2 path.";
+    counter KERNEL_DISPATCH_AVX2: "kernel.dispatch.avx2", "events", "Campaign executors that resolved the parity kernels to the AVX2 path.";
+}
+
+cppc_obs::metrics! {
+    group BATCH_METRICS: "batch", "Cross-trial batched injection engine: lane occupancy and per-trial fallbacks.";
+    counter BATCH_BATCHES: "batch.batches", "events", "Trial batches evaluated through the vectorized error-delta path.";
+    counter BATCH_LANES_FILLED: "batch.lanes_filled", "trials", "Trials evaluated as lanes of a batch (including lanes that later fell back).";
+    counter BATCH_TAIL_FALLBACKS: "batch.tail_fallbacks", "trials", "Lanes re-run through the full per-trial simulator (locator/DUE territory).";
+    counter BATCH_WHOLESALE_FALLBACKS: "batch.wholesale_fallbacks", "events", "Executors that could not certify a warm baseline and ran every trial per-trial.";
+}
+
+/// Registers the kernel and batch metric groups (idempotent), and
+/// bumps the dispatch counter of the kernel the probe selected.
+pub fn register_metrics() {
+    KERNEL_METRICS.register();
+    BATCH_METRICS.register();
+}
+
+/// Records which parity kernel this executor resolved to.
+pub fn record_kernel_dispatch() {
+    register_metrics();
+    match cppc_ecc::kernels::active().name() {
+        "sse2" => KERNEL_DISPATCH_SSE2.inc(),
+        "avx2" => KERNEL_DISPATCH_AVX2.inc(),
+        _ => KERNEL_DISPATCH_SWAR.inc(),
+    }
+}

@@ -1,0 +1,86 @@
+//! Differential pinning of the cross-trial batch engine: the batched
+//! executor must be observationally identical — trial by trial, not
+//! just in aggregate — to the per-trial reference path, at every batch
+//! size and thread count.
+
+use cppc_bench::mbe::{self, MbeBatchExec, SEED, SOLID_MODEL, SPARSE_MODEL};
+use cppc_campaign::{run, run_exec, trial_rng, Accumulator, CampaignConfig, TrialExec};
+use cppc_fault::campaign::{Outcome, OutcomeTally};
+
+/// Keeps every `(trial, outcome)` pair so reordering or divergence of
+/// any single trial shows, not just tally drift.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Record {
+    items: Vec<(u64, Outcome)>,
+}
+
+impl Accumulator for Record {
+    type Item = Outcome;
+    fn record(&mut self, trial: u64, item: Outcome) {
+        self.items.push((trial, item));
+    }
+    fn merge(&mut self, other: Self) {
+        self.items.extend(other.items);
+    }
+}
+
+#[test]
+fn batched_equals_sequential_trial_by_trial() {
+    const TRIALS: u64 = 600;
+    for model in [SOLID_MODEL, SPARSE_MODEL] {
+        let mut reference = Record::default();
+        for trial in 0..TRIALS {
+            let mut rng = trial_rng(SEED, trial);
+            Accumulator::record(
+                &mut reference,
+                trial,
+                mbe::experiment_model(model, &mut rng),
+            );
+        }
+        for batch in [1usize, 4, 7, 64] {
+            let exec = MbeBatchExec::new(model, batch);
+            let mut got = Record::default();
+            exec.run_range(SEED, 0, TRIALS, &mut got);
+            assert_eq!(got, reference, "model {model:?}, batch {batch}");
+        }
+    }
+}
+
+#[test]
+fn tallies_identical_across_batch_and_threads() {
+    const TRIALS: u64 = 2_000;
+    for model in [SOLID_MODEL, SPARSE_MODEL] {
+        let cfg = CampaignConfig::new(SEED, TRIALS).shard_size(64);
+        let reference =
+            run::<OutcomeTally, _>(&cfg, |rng, _trial| mbe::experiment_model(model, rng));
+        assert!(reference.is_complete());
+        for batch in [1usize, 8, 64] {
+            for threads in [1usize, 2, 8] {
+                let report = run_exec::<OutcomeTally, _>(
+                    &cfg.clone().threads(threads),
+                    MbeBatchExec::new(model, batch),
+                );
+                assert!(report.is_complete());
+                assert_eq!(
+                    report.result, reference.result,
+                    "model {model:?}, batch {batch}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_campaign_exercises_every_outcome_class() {
+    // The sparse 8x8 model must reach the locator/DUE fallback tail —
+    // otherwise the batch-vs-sequential equality above would not be
+    // testing the fallback seam at all.
+    let report = run_exec::<OutcomeTally, _>(
+        &CampaignConfig::new(SEED, 2_000).shard_size(64),
+        MbeBatchExec::new(SPARSE_MODEL, 32),
+    );
+    let t = report.result;
+    assert_eq!(t.total(), 2_000);
+    assert!(t.corrected > 0, "{t:?}");
+    assert!(t.due > 0, "sparse strikes must produce DUEs: {t:?}");
+}

@@ -53,6 +53,43 @@ pub fn trial_rng(campaign_seed: u64, trial: u64) -> StdRng {
     StdRng::seed_from_u64(trial_seed(campaign_seed, trial))
 }
 
+/// Executes a contiguous range of trials of one shard into an
+/// accumulator.
+///
+/// The engine's determinism contract binds implementations, not just
+/// the engine: for every trial in `lo..hi` the executor must derive
+/// that trial's randomness from [`trial_rng`]`(seed, trial)` alone and
+/// call `acc.record(trial, …)` exactly once, in ascending trial order.
+/// Under that contract a range executor — e.g. one that evaluates
+/// several trials through a single vectorized instruction stream — is
+/// observationally identical to the per-trial loop at any thread
+/// count, shard size or batch width.
+///
+/// Closures keep working through [`PerTrial`]; the `*_exec` entry
+/// points ([`run_exec`], [`run_resumable_interruptible_exec`], …)
+/// accept any executor.
+pub trait TrialExec<A: Accumulator>: Sync {
+    /// Runs trials `lo..hi` (derived from `seed`) into `acc`.
+    fn run_range(&self, seed: u64, lo: u64, hi: u64, acc: &mut A);
+}
+
+/// The ordinary per-trial executor: each trial gets its own derived
+/// RNG and one closure call.
+pub struct PerTrial<F>(pub F);
+
+impl<A, F> TrialExec<A> for PerTrial<F>
+where
+    A: Accumulator,
+    F: Fn(&mut StdRng, u64) -> A::Item + Sync,
+{
+    fn run_range(&self, seed: u64, lo: u64, hi: u64, acc: &mut A) {
+        for trial in lo..hi {
+            let mut rng = trial_rng(seed, trial);
+            acc.record(trial, (self.0)(&mut rng, trial));
+        }
+    }
+}
+
 /// Order-independent aggregation of per-trial results.
 ///
 /// `merge` must be associative, and the engine guarantees it is always
@@ -308,6 +345,15 @@ where
     run_with_progress(cfg, experiment, |_| {})
 }
 
+/// [`run`] with an explicit [`TrialExec`] range executor.
+pub fn run_exec<A, E>(cfg: &CampaignConfig, exec: E) -> CampaignReport<A>
+where
+    A: Accumulator,
+    E: TrialExec<A>,
+{
+    run_impl(cfg, &exec, Vec::new(), None, None, &mut |_| {})
+}
+
 /// Runs a campaign, reporting [`Progress`] after every shard.
 pub fn run_with_progress<A, F, P>(
     cfg: &CampaignConfig,
@@ -319,7 +365,28 @@ where
     F: Fn(&mut StdRng, u64) -> A::Item + Sync,
     P: FnMut(&Progress),
 {
-    run_impl(cfg, &experiment, Vec::new(), None, None, &mut on_progress)
+    run_impl(
+        cfg,
+        &PerTrial(experiment),
+        Vec::new(),
+        None,
+        None,
+        &mut on_progress,
+    )
+}
+
+/// [`run_with_progress`] with an explicit [`TrialExec`] range executor.
+pub fn run_with_progress_exec<A, E, P>(
+    cfg: &CampaignConfig,
+    exec: E,
+    mut on_progress: P,
+) -> CampaignReport<A>
+where
+    A: Accumulator,
+    E: TrialExec<A>,
+    P: FnMut(&Progress),
+{
+    run_impl(cfg, &exec, Vec::new(), None, None, &mut on_progress)
 }
 
 /// Runs a campaign with checkpoint/resume.
@@ -346,6 +413,26 @@ where
     run_resumable_interruptible(cfg, policy, None, experiment, on_progress)
 }
 
+/// [`run_resumable`] with an explicit [`TrialExec`] range executor.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] when the checkpoint file exists but is
+/// malformed or belongs to a different campaign.
+pub fn run_resumable_exec<A, E, P>(
+    cfg: &CampaignConfig,
+    policy: &CheckpointPolicy,
+    exec: E,
+    on_progress: P,
+) -> Result<CampaignReport<A>, CheckpointError>
+where
+    A: Accumulator + Persist,
+    E: TrialExec<A>,
+    P: FnMut(&Progress),
+{
+    run_resumable_interruptible_exec(cfg, policy, None, exec, on_progress)
+}
+
 /// [`run_resumable`] with a cooperative interrupt flag.
 ///
 /// When `interrupt` is set (by another thread — a service's shutdown or
@@ -364,11 +451,33 @@ pub fn run_resumable_interruptible<A, F, P>(
     policy: &CheckpointPolicy,
     interrupt: Option<&AtomicBool>,
     experiment: F,
-    mut on_progress: P,
+    on_progress: P,
 ) -> Result<CampaignReport<A>, CheckpointError>
 where
     A: Accumulator + Persist,
     F: Fn(&mut StdRng, u64) -> A::Item + Sync,
+    P: FnMut(&Progress),
+{
+    run_resumable_interruptible_exec(cfg, policy, interrupt, PerTrial(experiment), on_progress)
+}
+
+/// [`run_resumable_interruptible`] with an explicit [`TrialExec`]
+/// range executor.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] when the checkpoint file exists but is
+/// malformed, belongs to a different campaign, or cannot be written.
+pub fn run_resumable_interruptible_exec<A, E, P>(
+    cfg: &CampaignConfig,
+    policy: &CheckpointPolicy,
+    interrupt: Option<&AtomicBool>,
+    exec: E,
+    mut on_progress: P,
+) -> Result<CampaignReport<A>, CheckpointError>
+where
+    A: Accumulator + Persist,
+    E: TrialExec<A>,
     P: FnMut(&Progress),
 {
     let identity = cfg.identity();
@@ -393,7 +502,7 @@ where
         };
         run_impl(
             cfg,
-            &experiment,
+            &exec,
             preloaded,
             Some(&mut save),
             interrupt,
@@ -407,9 +516,9 @@ where
 }
 
 #[allow(clippy::type_complexity, clippy::too_many_lines)]
-fn run_impl<A, F, P>(
+fn run_impl<A, E, P>(
     cfg: &CampaignConfig,
-    experiment: &F,
+    exec: &E,
     preloaded: Vec<(u64, A)>,
     mut save: Option<&mut dyn FnMut(&[Option<A>], bool)>,
     interrupt: Option<&AtomicBool>,
@@ -417,7 +526,7 @@ fn run_impl<A, F, P>(
 ) -> CampaignReport<A>
 where
     A: Accumulator,
-    F: Fn(&mut StdRng, u64) -> A::Item + Sync,
+    E: TrialExec<A>,
     P: FnMut(&Progress),
 {
     let total_shards = cfg.total_shards();
@@ -453,7 +562,7 @@ where
         let queue = &queue;
         for worker in 0..workers {
             let tx = tx.clone();
-            let experiment = &experiment;
+            let exec = &exec;
             scope.spawn(move || {
                 while !interrupt.is_some_and(|f| f.load(Ordering::Acquire)) {
                     let Some(shard) = queue.next(worker) else {
@@ -463,10 +572,7 @@ where
                     let _shard_span = crate::obs::SHARD_LATENCY.start();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         let mut acc = A::default();
-                        for trial in lo..hi {
-                            let mut rng = trial_rng(cfg.seed, trial);
-                            acc.record(trial, experiment(&mut rng, trial));
-                        }
+                        exec.run_range(cfg.seed, lo, hi, &mut acc);
                         acc
                     }));
                     let msg = match outcome {

@@ -19,5 +19,6 @@ fn main() {
     cppc_campaign::snapshot::register_metrics();
     cppc_repro::obs::register_metrics();
     cppc_serve::obs::register_metrics();
+    cppc_bench::obs::register_metrics();
     print!("{}", cppc_obs::reference_markdown());
 }

@@ -58,9 +58,16 @@ COMMANDS:
                                   --kind scheme; see docs/SCHEMES.md)
                  --trials <n>     campaign size (default 2000)
                  --seed <n>       master seed (default 0xC11)
-                 --threads <n>    workers, 0 = all CPUs (default 0)
+                 --threads <n>    workers; 0 resolves to every CPU via
+                                  available_parallelism (default 0)
                  --shard-size <n> trials per shard (campaign identity)
+                 --batch <n>      mbe kind: trials per vectorized
+                                  syndrome batch (default 1; tallies
+                                  and checkpoints are bit-identical at
+                                  any batch size)
                  --checkpoint <path>  periodic checkpoint file
+                 --checkpoint-every <n>  shards between checkpoint
+                                  writes (default 16)
                  --resume true|false  resume from checkpoint (default true)
                  --json           print only the result document on
                                   stdout (matches a serve job's result)
@@ -119,8 +126,9 @@ COMMANDS:
                  --checkpoint-every <n> shards between checkpoints
                                   (default 4)
   submit       submit a job to a daemon; prints the job id
-                 --kind/--trials/--seed/--threads/--shard-size and the
-                 kind-specific flags, exactly as `campaign`
+                 --kind/--trials/--seed/--threads/--shard-size/--batch
+                 and the kind-specific flags, exactly as `campaign`
+                 (--threads 0 resolves on the daemon's host)
                  --tenant <name>  fair-share key (default 'default')
                  --priority high|normal (default normal)
                  --watch          stream progress until the job ends
@@ -267,17 +275,48 @@ fn pct(n: u64, t: &OutcomeTally) -> f64 {
     n as f64 / t.total() as f64 * 100.0
 }
 
+/// How an engine campaign checkpoints: where, how often (in shards),
+/// and whether an existing file is resumed from.
+struct CheckpointArgs<'a> {
+    path: Option<&'a str>,
+    every_shards: u64,
+    resume: bool,
+}
+
+impl<'a> CheckpointArgs<'a> {
+    fn from_args(args: &'a ParsedArgs) -> Result<Self, Box<dyn Error>> {
+        Ok(CheckpointArgs {
+            path: args.get("checkpoint"),
+            every_shards: args.get_parsed("checkpoint-every", 16)?,
+            resume: args.get_parsed("resume", true)?,
+        })
+    }
+}
+
 /// Runs one engine campaign, printing throttled live metrics to stderr
 /// and checkpointing/resuming when `--checkpoint` is given.
 fn run_engine_campaign<A, F>(
     cfg: &CampaignConfig,
-    checkpoint: Option<&str>,
-    resume: bool,
+    ckpt: &CheckpointArgs,
     experiment: F,
 ) -> Result<CampaignReport<A>, Box<dyn Error>>
 where
     A: Accumulator + Persist,
     F: Fn(&mut StdRng, u64) -> A::Item + Sync,
+{
+    run_engine_campaign_exec(cfg, ckpt, cppc_campaign::PerTrial(experiment))
+}
+
+/// [`run_engine_campaign`] over an explicit range executor (the batched
+/// mbe path goes through here directly).
+fn run_engine_campaign_exec<A, E>(
+    cfg: &CampaignConfig,
+    ckpt: &CheckpointArgs,
+    exec: E,
+) -> Result<CampaignReport<A>, Box<dyn Error>>
+where
+    A: Accumulator + Persist,
+    E: cppc_campaign::TrialExec<A>,
 {
     let mut last_print: Option<std::time::Instant> = None;
     let on_progress = move |p: &Progress| {
@@ -288,13 +327,14 @@ where
             last_print = Some(std::time::Instant::now());
         }
     };
-    let report = match checkpoint {
+    let report = match ckpt.path {
         Some(path) => {
             let mut policy = CheckpointPolicy::new(path);
-            policy.resume = resume;
-            cppc_campaign::run_resumable(cfg, &policy, experiment, on_progress)?
+            policy.resume = ckpt.resume;
+            policy.every_shards = ckpt.every_shards.max(1);
+            cppc_campaign::run_resumable_exec(cfg, &policy, exec, on_progress)?
         }
-        None => cppc_campaign::run_with_progress(cfg, experiment, on_progress),
+        None => cppc_campaign::run_with_progress_exec(cfg, exec, on_progress),
     };
     for failed in &report.failed {
         eprintln!(
@@ -369,9 +409,9 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
     let trials: u64 = args.get_parsed("trials", 2000)?;
     let seed: u64 = args.get_parsed("seed", 0xC11)?;
     let shard_size: u64 = args.get_parsed("shard-size", cppc_campaign::DEFAULT_SHARD_SIZE)?;
-    let resume: bool = args.get_parsed("resume", true)?;
+    let batch: usize = args.get_parsed("batch", 1)?;
     let json = args.get_flag("json");
-    let checkpoint = args.get("checkpoint");
+    let ckpt = CheckpointArgs::from_args(args)?;
 
     let cfg = CampaignConfig::new(seed, trials)
         .threads(threads)
@@ -379,7 +419,7 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
     let banner = format!(
         "campaign: kind={kind}  trials={trials}  seed={seed:#x}  threads={}  checkpoint={}",
         cfg.resolved_threads(),
-        checkpoint.unwrap_or("none"),
+        ckpt.path.unwrap_or("none"),
     );
     if json {
         eprintln!("{banner}");
@@ -393,8 +433,7 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
             let fault = parse_fault(args.get_or("fault", "4x4"))?;
             let report: CampaignReport<OutcomeTally> = run_engine_campaign(
                 &cfg,
-                checkpoint,
-                resume,
+                &ckpt,
                 inject_experiment(inject_geometry(), config, fault),
             )?;
             print_tally(&report, json);
@@ -403,23 +442,21 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
             let scheme = parse_scheme(args.get_or("scheme", "cppc"))?;
             let config = parse_config(args.get_or("config", "paper"))?;
             let fault = parse_fault(args.get_or("fault", "4x4"))?;
-            let report: CampaignReport<OutcomeTally> = run_engine_campaign(
-                &cfg,
-                checkpoint,
-                resume,
-                scheme_experiment(scheme, config, fault),
-            )?;
+            let report: CampaignReport<OutcomeTally> =
+                run_engine_campaign(&cfg, &ckpt, scheme_experiment(scheme, config, fault))?;
             print_tally(&report, json);
         }
         "mbe" => {
+            // `--batch > 1` routes through the cross-trial batched
+            // executor; results are bit-identical to `--batch 1`.
             let report: CampaignReport<OutcomeTally> =
-                run_engine_campaign(&cfg, checkpoint, resume, cppc_bench::mbe::experiment)?;
+                run_engine_campaign_exec(&cfg, &ckpt, cppc_bench::mbe::MbeBatchExec::solid(batch))?;
             print_tally(&report, json);
         }
         "sleep" => {
             let millis: u64 = args.get_parsed("sleep-ms", 0)?;
             let report: CampaignReport<OutcomeTally> =
-                run_engine_campaign(&cfg, checkpoint, resume, sleep_experiment(millis))?;
+                run_engine_campaign(&cfg, &ckpt, sleep_experiment(millis))?;
             print_tally(&report, json);
         }
         "montecarlo" => {
@@ -439,7 +476,7 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
                     const { std::cell::RefCell::new(Vec::new()) };
             }
             let report: CampaignReport<MonteCarloAccumulator> =
-                run_engine_campaign(&cfg, checkpoint, resume, |rng: &mut StdRng, _trial| {
+                run_engine_campaign(&cfg, &ckpt, |rng: &mut StdRng, _trial| {
                     LAST_FAULT.with(|s| simulate_trial_into(&mc_cfg, rng, &mut s.borrow_mut()))
                 })?;
             shard_summary(&report, json);
@@ -699,6 +736,7 @@ pub fn register_all_metrics() {
     cppc_campaign::obs::register_metrics();
     cppc_repro::obs::register_metrics();
     cppc_serve::obs::register_metrics();
+    cppc_bench::obs::register_metrics();
 }
 
 /// `stats`

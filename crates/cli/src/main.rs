@@ -34,7 +34,9 @@ const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
             "seed",
             "threads",
             "shard-size",
+            "batch",
             "checkpoint",
+            "checkpoint-every",
             "resume",
             "json",
             "config",
@@ -94,6 +96,7 @@ const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
             "seed",
             "threads",
             "shard-size",
+            "batch",
             "config",
             "fault",
             "rate",

@@ -113,8 +113,11 @@ fn spec_from_args(args: &ParsedArgs) -> Result<JobSpec, Box<dyn Error>> {
         args.get_parsed("trials", 2000)?,
         args.get_parsed("seed", 0xC11)?,
     );
+    // `--threads 0` resolves to every CPU on the daemon's host, not
+    // the submitting one.
     spec.threads = args.get_parsed("threads", 1)?;
     spec.shard_size = args.get_parsed("shard-size", spec.shard_size)?;
+    spec.batch = args.get_parsed("batch", spec.batch)?;
     spec.validate()?;
     Ok(spec)
 }

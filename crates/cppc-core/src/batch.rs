@@ -1,0 +1,478 @@
+//! Value-independent batch evaluation of fault-injection trials.
+//!
+//! The CPPC classification pipeline is XOR-linear end to end: parity
+//! syndromes, the R1/R2 dirty-XOR invariant and R3 all separate into
+//! `f(warm ^ error) = f(warm) ^ f(error)`, and on a *fault-free warm
+//! state* the `f(warm)` terms cancel against the stored parities and
+//! registers (the same argument that justifies the warm-snapshot
+//! oracle in `cppc-bench`). A trial's outcome therefore depends only
+//! on the fault geometry and the warm state's valid/dirty maps — never
+//! on the stored data values.
+//!
+//! [`BatchSim`] exploits this: it is built once from a warm
+//! [`CppcCache`](crate::CppcCache) (via
+//! [`CppcCache::batch_sim`](crate::CppcCache::batch_sim)) and then
+//! classifies trials by propagating **error masks** through the exact
+//! recovery algebra of
+//! [`recover_all`](crate::CppcCache::recover_all), instead of
+//! restoring and re-simulating the full cache per trial:
+//!
+//! * detection: a word's syndrome under errors is `encode(err)`;
+//! * clean faulty words: the §3.2 re-fetch restores the warm value, so
+//!   the error clears (a clean word equals its backing copy);
+//! * single faulty dirty word per domain (§4.4 steps 1–2): the
+//!   reconstruction leaves residual error
+//!   `rot_f⁻¹(XOR over other domain words w of rot_w(err_w))`;
+//! * disjoint-syndrome groups (§4.4 step 4): the masked reconstruction
+//!   updates `err_f = (err_f & !mask) | (residual_f & mask)`, applied
+//!   sequentially in scan order exactly like the full path;
+//! * shared-syndrome groups (§4.5): `R3 = (R1^R2) ^ XOR of rotated
+//!   domain values` collapses to the XOR of rotated error masks, so
+//!   the *same* [`locate_spatial_into`] the full engine calls runs on
+//!   error-derived inputs; a successful locate applies its masks
+//!   (`err_f ^= mask_f`). A locate the locator *refuses* — or a shared
+//!   group under a config without the locator — is DUE territory: the
+//!   batch path reports [`BatchOutcome::NeedsFull`] and the caller
+//!   runs that lane through the ordinary per-trial simulator (the
+//!   "recovery tail" fallback).
+//!
+//! After recovery the trial is a silent corruption iff any residual
+//! error mask is non-zero on a valid row; the §4.4 post-condition scan
+//! cannot fire for data-array faults (every patched word's parity is
+//! refreshed, every unpatched erroneous word was undetected), and the
+//! register file is never struck by a [`FaultPattern`], so the
+//! remaining outcomes are exactly Masked / Corrected / SDC.
+//!
+//! The per-trial fall-back plus the trial-by-trial differential tests
+//! in `cppc-bench` keep this path pinned bit-identical to the full
+//! simulator.
+
+use cppc_ecc::InterleavedParity;
+use cppc_fault::model::FaultPattern;
+
+use crate::locator::{locate_spatial_into, Suspect};
+use crate::rotate::{rotate_left_bytes, rotate_right_bytes};
+
+/// How one trial classified under error-mask propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// No flip landed on a valid row — nothing to detect or recover.
+    Masked,
+    /// Every detected fault recovered through the single-word or
+    /// disjoint-group reconstruction; `residual` reports whether any
+    /// error mask survived (silent corruption) or all cleared
+    /// (corrected).
+    Recovered {
+        /// `true` iff some valid row still carries a non-zero error.
+        residual: bool,
+    },
+    /// Some protection domain reached DUE territory: the spatial
+    /// locator refused a shared-syndrome group, or the configuration
+    /// has no locator. The caller must run this lane through the full
+    /// per-trial simulator for the reference outcome.
+    NeedsFull,
+}
+
+/// Reusable per-thread buffers of [`BatchSim::classify`].
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Indices into the lane's entries, sorted by scan rank.
+    order: Vec<usize>,
+    /// Indices of the current domain's detected dirty members.
+    group: Vec<usize>,
+    /// Locator inputs of the current shared-syndrome group.
+    suspects: Vec<Suspect>,
+    /// Locator outputs (per-suspect correction masks).
+    masks: Vec<u64>,
+}
+
+/// Precomputed warm-state fault-geometry tables (one per warm state;
+/// see the module docs).
+#[derive(Debug, Clone)]
+pub struct BatchSim {
+    pub(crate) rows: usize,
+    /// Per row: lands a flip on resident data?
+    pub(crate) valid: Vec<bool>,
+    /// Per row: dirty word (register-protected)?
+    pub(crate) dirty: Vec<bool>,
+    /// Per row: register pair of the row's protection domain.
+    pub(crate) pair: Vec<u16>,
+    /// Per row: register lane of the row's protection domain.
+    pub(crate) lane: Vec<u16>,
+    /// Per row: byte rotation applied before XOR into the registers.
+    pub(crate) rot: Vec<u8>,
+    /// Per row: CPPC rotation class (the locator's `Suspect::class`).
+    pub(crate) class: Vec<u8>,
+    /// Per row: position in `recover_all`'s set-major scan order.
+    pub(crate) scan_rank: Vec<u32>,
+    pub(crate) code: InterleavedParity,
+    /// Whether the §4.5 spatial locator applies (8-way parity + byte
+    /// shifting); without it shared-syndrome groups are DUEs.
+    pub(crate) locator_ok: bool,
+}
+
+impl BatchSim {
+    /// Number of physical data rows of the warm cache.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Appends one `(row, error-mask)` entry per *valid* faulty row of
+    /// `pattern` to the parallel arenas and returns the number of
+    /// applied bit flips (the batch form of
+    /// [`inject`](crate::CppcCache::inject)'s return value).
+    ///
+    /// Flips on invalid rows are dropped exactly like `inject` drops
+    /// them; flips sharing a row merge into one mask.
+    pub fn gather(&self, pattern: &FaultPattern, rows: &mut Vec<u32>, errs: &mut Vec<u64>) -> u32 {
+        let mut applied = 0u32;
+        for (row, mask) in pattern.row_masks() {
+            assert!(row < self.rows, "row {row} out of range");
+            if !self.valid[row] {
+                continue;
+            }
+            applied += mask.count_ones();
+            rows.push(row as u32);
+            errs.push(mask);
+        }
+        applied
+    }
+
+    /// Computes the parity syndrome of every error mask in `errs` into
+    /// `out` — by XOR-linearity, `syndrome(warm ^ err) = encode(err)`
+    /// on a fault-free warm state. One call covers every lane of a
+    /// batch: this is the single vectorized instruction stream the
+    /// syndromes of all trials flow through
+    /// ([`cppc_ecc::kernels::encode_many`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn syndromes(&self, errs: &[u64], out: &mut [u64]) {
+        cppc_ecc::kernels::encode_many(errs, self.code.ways(), out);
+    }
+
+    /// Classifies one lane from its gathered `(row, err, syn)` entries,
+    /// replaying the recovery algebra on the error masks. `errs` is
+    /// updated in place to the post-recovery residual errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[must_use]
+    pub fn classify(
+        &self,
+        rows: &[u32],
+        errs: &mut [u64],
+        syns: &[u64],
+        scratch: &mut BatchScratch,
+    ) -> BatchOutcome {
+        assert_eq!(rows.len(), errs.len(), "parallel slices");
+        assert_eq!(rows.len(), syns.len(), "parallel slices");
+        if errs.iter().all(|&e| e == 0) {
+            return BatchOutcome::Masked;
+        }
+
+        // Entries in recover_all's scan order (set-major), so domain
+        // first-encounter order and within-group order match the full
+        // walk. Insertion sort: a lane holds a handful of rows.
+        scratch.order.clear();
+        scratch.order.extend(0..rows.len());
+        let rank = |i: usize| self.scan_rank[rows[i] as usize];
+        for i in 1..scratch.order.len() {
+            let mut j = i;
+            while j > 0 && rank(scratch.order[j - 1]) > rank(scratch.order[j]) {
+                scratch.order.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+
+        // Detected clean words: the re-fetch restores the warm (==
+        // backing) value, clearing the error.
+        for &i in &scratch.order {
+            let row = rows[i] as usize;
+            if syns[i] != 0 && !self.dirty[row] {
+                errs[i] = 0;
+            }
+        }
+
+        // Detected dirty words, grouped by protection domain in
+        // first-encounter order.
+        for gi in 0..scratch.order.len() {
+            let i = scratch.order[gi];
+            let row = rows[i] as usize;
+            if syns[i] == 0 || !self.dirty[row] {
+                continue;
+            }
+            let key = (self.pair[row], self.lane[row]);
+            let seen = scratch.order[..gi].iter().any(|&p| {
+                let r = rows[p] as usize;
+                syns[p] != 0 && self.dirty[r] && (self.pair[r], self.lane[r]) == key
+            });
+            if seen {
+                continue;
+            }
+            scratch.group.clear();
+            for &j in &scratch.order[gi..] {
+                let r = rows[j] as usize;
+                if syns[j] != 0 && self.dirty[r] && (self.pair[r], self.lane[r]) == key {
+                    scratch.group.push(j);
+                }
+            }
+
+            if scratch.group.len() == 1 {
+                let f = scratch.group[0];
+                errs[f] = self.residual_of(rows, errs, f, key);
+                continue;
+            }
+            let disjoint = scratch.group.iter().enumerate().all(|(i, &a)| {
+                scratch.group[i + 1..]
+                    .iter()
+                    .all(|&b| syns[a] & syns[b] == 0)
+            });
+            if !disjoint {
+                // Shared syndromes: the §4.5 locator, on error-derived
+                // inputs. R3 is the XOR of the rotated errors of every
+                // erroneous dirty word of the domain (the warm values
+                // cancel against R1^R2, module docs).
+                if !self.locator_ok {
+                    return BatchOutcome::NeedsFull;
+                }
+                let mut r3 = 0u64;
+                for (&row, &err) in rows.iter().zip(errs.iter()) {
+                    let r = row as usize;
+                    if err != 0 && self.dirty[r] && (self.pair[r], self.lane[r]) == key {
+                        r3 ^= rotate_left_bytes(err, u32::from(self.rot[r]));
+                    }
+                }
+                scratch.suspects.clear();
+                for &f in &scratch.group {
+                    let r = rows[f] as usize;
+                    scratch.suspects.push(Suspect {
+                        row: r,
+                        class: usize::from(self.class[r]),
+                        syndrome: syns[f] as u8,
+                    });
+                }
+                if locate_spatial_into(r3, &scratch.suspects, &mut scratch.masks).is_err() {
+                    // The locator refused — the full path's DUE. The
+                    // caller's per-trial fallback owns this lane.
+                    return BatchOutcome::NeedsFull;
+                }
+                for (k, &f) in scratch.group.iter().enumerate() {
+                    errs[f] ^= scratch.masks[k];
+                }
+                continue;
+            }
+            // Masked reconstruction, sequential in scan order: each
+            // member takes the reconstruction only in its own fired
+            // parity-group columns, and later members see the updated
+            // errors of earlier ones.
+            for k in 0..scratch.group.len() {
+                let f = scratch.group[k];
+                let residual = self.residual_of(rows, errs, f, key);
+                let mask = self.group_mask(syns[f]);
+                errs[f] = (errs[f] & !mask) | (residual & mask);
+            }
+        }
+
+        BatchOutcome::Recovered {
+            residual: errs.iter().any(|&e| e != 0),
+        }
+    }
+
+    /// Residual error the §4.4 reconstruction of entry `f` leaves
+    /// behind: `rot_f⁻¹(XOR over the domain's other erroneous dirty
+    /// words w of rot_w(err_w))`. The warm values cancel against the
+    /// registers (module docs), so only error masks appear.
+    fn residual_of(&self, rows: &[u32], errs: &[u64], f: usize, key: (u16, u16)) -> u64 {
+        let mut acc = 0u64;
+        for (j, (&row, &err)) in rows.iter().zip(errs.iter()).enumerate() {
+            let r = row as usize;
+            if j != f && err != 0 && self.dirty[r] && (self.pair[r], self.lane[r]) == key {
+                acc ^= rotate_left_bytes(err, u32::from(self.rot[r]));
+            }
+        }
+        rotate_right_bytes(acc, u32::from(self.rot[rows[f] as usize]))
+    }
+
+    /// Column mask of the fired parity groups of `syndrome` (the mask
+    /// of `reconstruct_word_masked`).
+    fn group_mask(&self, syndrome: u64) -> u64 {
+        let ways = self.code.ways();
+        let mut mask = 0u64;
+        for g in 0..ways {
+            if syndrome >> g & 1 == 1 {
+                let mut col = g;
+                while col < 64 {
+                    mask |= 1u64 << col;
+                    col += ways;
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CppcCache, CppcConfig};
+    use cppc_cache_sim::geometry::CacheGeometry;
+    use cppc_cache_sim::memory::MainMemory;
+    use cppc_cache_sim::replacement::ReplacementPolicy;
+    use cppc_campaign::rng::rngs::StdRng;
+    use cppc_campaign::rng::{RngExt, SeedableRng};
+    use cppc_fault::model::{FaultGenerator, FaultModel};
+
+    /// The reference outcome of one injected pattern, from the full
+    /// simulator: `None` = masked, `Ok(true)` = corrected, `Ok(false)`
+    /// = silent corruption, `Err(())` = DUE.
+    fn full_outcome(
+        cache: &mut CppcCache,
+        mem: &mut MainMemory,
+        pattern: &cppc_fault::model::FaultPattern,
+        probes: &[(u64, u64)],
+    ) -> Option<Result<bool, ()>> {
+        if cache.inject(pattern) == 0 {
+            return None;
+        }
+        Some(match cache.recover_all(mem) {
+            Err(_) => Err(()),
+            Ok(_) => Ok(probes
+                .iter()
+                .all(|&(addr, v)| cache.peek_word(addr).is_none_or(|got| got == v))),
+        })
+    }
+
+    /// Drives mixed store/load traffic (larger than the cache, so LRU
+    /// creates resident *clean* blocks with non-zero values) and
+    /// returns the warm pair plus the probe list of every word of
+    /// every resident block with its expected value.
+    fn warm(l2: bool, seed: u64) -> (CppcCache, MainMemory, Vec<(u64, u64)>) {
+        let geo = CacheGeometry::new(1024, 2, 32).unwrap(); // 16 sets, 4 words
+        let mut mem = MainMemory::new();
+        let mut cache = if l2 {
+            CppcCache::new_l2(geo, CppcConfig::paper(), ReplacementPolicy::Lru).unwrap()
+        } else {
+            CppcCache::new_l1(geo, CppcConfig::paper(), ReplacementPolicy::Lru).unwrap()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oracle = std::collections::HashMap::new();
+        for _ in 0..4_000 {
+            let addr = (rng.random_range(0..3 * 1024u64)) & !7;
+            if rng.random_bool(0.5) {
+                let v: u64 = rng.random();
+                cache.store_word(addr, v, &mut mem).unwrap();
+                oracle.insert(addr, v);
+            } else {
+                let _ = cache.load_word(addr, &mut mem).unwrap();
+            }
+        }
+        let wpb = geo.words_per_block();
+        let mut probes = Vec::new();
+        let mut clean_words = 0usize;
+        for set in 0..geo.num_sets() {
+            for way in 0..geo.associativity() {
+                let Some((tag, dirty_mask)) = cache.tag_state_of(set, way) else {
+                    continue;
+                };
+                let base = geo.address_of(tag, set);
+                for w in 0..wpb {
+                    let addr = base + (w * 8) as u64;
+                    probes.push((addr, *oracle.get(&addr).unwrap_or(&0)));
+                    clean_words += usize::from(dirty_mask >> w & 1 == 0);
+                }
+            }
+        }
+        assert!(clean_words > 0, "traffic must leave clean resident words");
+        for &(addr, v) in &probes {
+            assert_eq!(cache.peek_word(addr), Some(v), "warm probe list is truth");
+        }
+        (cache, mem, probes)
+    }
+
+    /// The pinning property: wherever `classify` claims an outcome
+    /// (anything but `NeedsFull`), it equals the full simulator's,
+    /// across random spatial/temporal strikes on both lane modes.
+    #[test]
+    fn classify_matches_full_simulator() {
+        for l2 in [false, true] {
+            let (mut cache, mut mem, probes) = warm(l2, 0xBA7C + u64::from(l2));
+            let snap = cache.snapshot();
+            let mem_snap = mem.snapshot();
+            let sim = cache.batch_sim().expect("warm state certifies");
+            let models = [
+                FaultModel::TemporalSingleBit,
+                FaultModel::TemporalMultiBit { count: 3 },
+                FaultModel::SpatialSquare {
+                    rows: 4,
+                    cols: 4,
+                    density: 1.0,
+                },
+                FaultModel::SpatialSquare {
+                    rows: 8,
+                    cols: 8,
+                    density: 0.4,
+                },
+            ];
+            let mut generator = FaultGenerator::new(sim.num_rows(), 0x5EED + u64::from(l2));
+            let mut scratch = BatchScratch::default();
+            let (mut rows, mut errs, mut syns) = (Vec::new(), Vec::new(), Vec::new());
+            let (mut fast, mut fell_back) = (0u32, 0u32);
+            for i in 0..600 {
+                let pattern = generator.sample(models[i % models.len()]);
+
+                rows.clear();
+                errs.clear();
+                let applied = sim.gather(&pattern, &mut rows, &mut errs);
+                syns.resize(errs.len(), 0);
+                sim.syndromes(&errs, &mut syns);
+                let batch = if applied == 0 {
+                    BatchOutcome::Masked
+                } else {
+                    sim.classify(&rows, &mut errs, &syns, &mut scratch)
+                };
+
+                cache.restore_snapshot(&snap);
+                mem.restore_snapshot(&mem_snap);
+                let full = full_outcome(&mut cache, &mut mem, &pattern, &probes);
+                match batch {
+                    // A locate-refusal: the reference path owns the
+                    // lane, so the batch claims nothing to check.
+                    BatchOutcome::NeedsFull => {
+                        fell_back += 1;
+                        assert_eq!(full, Some(Err(())), "trial {i}: NeedsFull is DUE territory");
+                    }
+                    BatchOutcome::Masked => assert!(full.is_none(), "trial {i}"),
+                    BatchOutcome::Recovered { residual } => {
+                        fast += 1;
+                        assert_eq!(full, Some(Ok(!residual)), "trial {i}");
+                    }
+                }
+            }
+            assert!(fast > 100, "fast path must carry the bulk ({fast})");
+            // `fell_back` may be zero here: with the locator
+            // replicated, only locate-refusals (rare in this sample)
+            // take the tail — the bench-level sparse campaign test
+            // pins that seam with `due > 0`.
+            let _ = fell_back;
+        }
+    }
+
+    #[test]
+    fn struck_cache_does_not_certify() {
+        let (mut cache, _mem, _probes) = warm(false, 0xDEAD);
+        assert!(cache.batch_sim().is_some());
+        let pattern = cppc_fault::model::FaultPattern::new(vec![cppc_fault::model::BitFlip {
+            row: 0,
+            col: 7,
+        }]);
+        // Strike a resident word and *don't* recover: the baseline is
+        // no longer fault-free, so the batch algebra must refuse.
+        if cache.inject(&pattern) == 1 {
+            assert!(cache.batch_sim().is_none());
+        }
+    }
+}

@@ -1245,6 +1245,60 @@ impl CppcCache {
         &mut self.regs
     }
 
+    /// Builds a [`crate::batch::BatchSim`] — the value-independent
+    /// batch trial evaluator — from this cache's *warm* state.
+    ///
+    /// Returns `None` unless the state is certifiably fault-free
+    /// (register parity good, R1^R2 invariant holds, every resident
+    /// word's parity syndrome is zero): the batch algebra's
+    /// `f(warm ^ err) = f(warm) ^ f(err)` cancellation is only valid
+    /// from a clean baseline, so a caller holding a dirty/struck cache
+    /// must take the ordinary per-trial path.
+    #[must_use]
+    pub fn batch_sim(&self) -> Option<crate::batch::BatchSim> {
+        if !self.regs.check_parity() || !self.verify_invariant() {
+            return None;
+        }
+        let geo = self.inner.geometry();
+        let (sets, assoc, wpb) = (geo.num_sets(), geo.associativity(), geo.words_per_block());
+        let rows = self.layout.num_rows();
+        let mut sim = crate::batch::BatchSim {
+            rows,
+            valid: vec![false; rows],
+            dirty: vec![false; rows],
+            pair: vec![0; rows],
+            lane: vec![0; rows],
+            rot: vec![0; rows],
+            class: vec![0; rows],
+            scan_rank: vec![0; rows],
+            code: self.code,
+            locator_ok: self.config.parity_ways == 8 && self.config.byte_shifting,
+        };
+        let mut rank = 0u32;
+        for set in 0..sets {
+            for way in 0..assoc {
+                let block = self.inner.block(set, way);
+                let (valid, dirty_mask) = (block.is_valid(), block.dirty_mask());
+                for w in 0..wpb {
+                    let row = self.layout.row_of(set, way, w);
+                    if valid && self.syndrome_at(set, way, w) != 0 {
+                        return None; // latent fault: not a warm baseline
+                    }
+                    let (pair, lane, rot) = self.domain_of_row(row, w);
+                    sim.valid[row] = valid;
+                    sim.dirty[row] = valid && dirty_mask >> w & 1 == 1;
+                    sim.pair[row] = u16::try_from(pair).expect("pair fits u16");
+                    sim.lane[row] = u16::try_from(lane).expect("lane fits u16");
+                    sim.rot[row] = u8::try_from(rot).expect("rotation fits u8");
+                    sim.class[row] = u8::try_from(self.class_of_row(row)).expect("class fits u8");
+                    sim.scan_rank[row] = rank;
+                    rank += 1;
+                }
+            }
+        }
+        Some(sim)
+    }
+
     // ------------------------------------------------------------------
     // Warm-state snapshot / restore
     // ------------------------------------------------------------------

@@ -42,6 +42,7 @@
 #![deny(missing_docs)]
 
 pub mod baselines;
+pub mod batch;
 pub mod cache;
 pub mod config;
 pub mod full;
@@ -55,6 +56,7 @@ pub mod scheme;
 pub mod silent;
 pub mod tags;
 
+pub use batch::{BatchOutcome, BatchScratch, BatchSim};
 pub use cache::{CppcCache, CppcStats, Due, DueReason, RecoveryReport, SimSnapshot};
 pub use config::{ConfigError, CppcConfig, ROTATION_CLASSES};
 pub use full::{FullyProtectedCache, ProtectedFault};

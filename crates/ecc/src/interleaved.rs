@@ -91,7 +91,8 @@ impl InterleavedParity {
         self.encode(word) ^ stored
     }
 
-    /// Encodes every word of a block into the parallel `parity` slice.
+    /// Encodes every word of a block into the parallel `parity` slice,
+    /// through the runtime-dispatched [`crate::kernels`].
     ///
     /// # Panics
     ///
@@ -99,9 +100,7 @@ impl InterleavedParity {
     #[inline]
     pub fn encode_slice(&self, words: &[u64], parity: &mut [u64]) {
         assert_eq!(words.len(), parity.len(), "parallel slices");
-        for (p, &w) in parity.iter_mut().zip(words) {
-            *p = self.encode(w);
-        }
+        crate::kernels::encode_many(words, self.ways, parity);
     }
 
     /// OR of the per-word syndromes of a block: non-zero iff *any* word
@@ -109,15 +108,13 @@ impl InterleavedParity {
     ///
     /// The fold must be OR, not XOR — XOR-folding syndromes across words
     /// would cancel identical error pairs, and this helper exists for
-    /// detect-any checks where that would be a missed detection.
+    /// detect-any checks where that would be a missed detection. Runs
+    /// through the runtime-dispatched [`crate::kernels`].
     #[inline]
     #[must_use]
     pub fn block_syndrome_or(&self, words: &[u64], stored: &[u64]) -> u64 {
         debug_assert_eq!(words.len(), stored.len(), "parallel slices");
-        words
-            .iter()
-            .zip(stored)
-            .fold(0u64, |acc, (&w, &p)| acc | (self.encode(w) ^ p))
+        crate::kernels::block_syndrome_or(words, stored, self.ways)
     }
 
     /// Returns `true` iff a *contiguous* horizontal flip of `n` bits

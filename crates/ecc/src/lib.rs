@@ -16,6 +16,11 @@
 //!   against, including its read-before-write update rule.
 //! * [`interleave`] — physical bit-interleaving layout arithmetic used by
 //!   the SECDED baseline to tolerate spatial multi-bit errors.
+//! * [`kernels`] — vectorized slice kernels (XOR folds, syndrome
+//!   evaluation, byte-parity gathers) behind a one-time CPU-feature
+//!   probe, with the SWAR code as the guaranteed fallback. The `simd`
+//!   cargo feature (default on) gates the `core::arch` paths; without
+//!   it every kernel is the scalar implementation.
 //!
 //! All codes operate on real data (`u64` words or byte slices), encode to
 //! real check bits, and decode by recomputation — nothing is emulated with
@@ -35,11 +40,16 @@
 //! assert_eq!(decoded.data(), Some(0xDEAD_BEEF_0123_4567));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `kernels` module opts back in for
+// its runtime-dispatched `core::arch` intrinsics (each call site is
+// guarded by the one-time CPU-feature probe). Everything else in the
+// crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod interleave;
 pub mod interleaved;
+pub mod kernels;
 pub mod parity;
 pub mod secded;
 pub mod secded_block;

@@ -23,19 +23,14 @@ pub fn parity64(word: u64) -> u8 {
 
 /// Computes even parity over an arbitrary byte slice (block parity).
 ///
-/// XOR-folds the slice eight bytes at a time into one `u64` lane —
-/// parity is linear, so folding first and counting once is equivalent
-/// to summing per-byte population counts.
+/// XOR-folds the slice into one 64-bit lane — parity is linear, so
+/// folding first and counting once is equivalent to summing per-byte
+/// population counts. The fold runs through the runtime-dispatched
+/// [`crate::kernels`] (SSE2/AVX2 when available, SWAR otherwise).
 #[inline]
 #[must_use]
 pub fn parity_bytes(bytes: &[u8]) -> u8 {
-    let mut chunks = bytes.chunks_exact(8);
-    let mut folded = 0u64;
-    for chunk in chunks.by_ref() {
-        folded ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-    }
-    let tail = chunks.remainder().iter().fold(0u8, |acc, &b| acc ^ b);
-    parity64(folded ^ u64::from(tail))
+    parity64(crate::kernels::fold_xor_bytes(bytes))
 }
 
 /// Granularity at which one parity bit is attached.

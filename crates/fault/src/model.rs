@@ -60,6 +60,26 @@ impl FaultPattern {
         self.flips.is_empty()
     }
 
+    /// Iterates the pattern row by row as `(row, error-mask)` pairs,
+    /// where bit `c` of the mask is set iff the pattern flips column
+    /// `c` of that row. Rows appear in ascending order (flips are kept
+    /// sorted), each exactly once.
+    pub fn row_masks(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let mut i = 0;
+        std::iter::from_fn(move || {
+            let first = *self.flips.get(i)?;
+            let mut mask = 0u64;
+            while let Some(f) = self.flips.get(i) {
+                if f.row != first.row {
+                    break;
+                }
+                mask |= 1u64 << f.col;
+                i += 1;
+            }
+            Some((first.row, mask))
+        })
+    }
+
     /// The bounding box `(rows, cols)` of the pattern (0,0 for empty).
     #[must_use]
     pub fn bounding_box(&self) -> (usize, u32) {
@@ -234,6 +254,20 @@ impl FaultGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn row_masks_groups_sorted_flips() {
+        let p = FaultPattern::new(vec![
+            BitFlip { row: 7, col: 63 },
+            BitFlip { row: 3, col: 0 },
+            BitFlip { row: 3, col: 5 },
+            BitFlip { row: 3, col: 5 }, // duplicate
+            BitFlip { row: 9, col: 1 },
+        ]);
+        let got: Vec<(usize, u64)> = p.row_masks().collect();
+        assert_eq!(got, vec![(3, 0b10_0001), (7, 1u64 << 63), (9, 0b10)]);
+        assert_eq!(FaultPattern::empty().row_masks().count(), 0);
+    }
 
     #[test]
     fn single_bit_is_single() {

@@ -51,8 +51,9 @@ pub enum JobKind {
         /// Dirty window, hours.
         tavg: f64,
     },
-    /// The warm-pool `mbe_coverage` campaign
-    /// ([`cppc_bench::mbe::experiment`]).
+    /// The warm-pool `mbe_coverage` campaign, executed through the
+    /// cross-trial batched engine ([`cppc_bench::mbe::MbeBatchExec`])
+    /// at the spec's `batch` size.
     Mbe,
     /// Synthetic duration-controllable campaign
     /// ([`cppc_bench::experiments::sleep_experiment`]) — for service
@@ -91,10 +92,16 @@ pub struct JobSpec {
     pub trials: u64,
     /// Master seed.
     pub seed: u64,
-    /// Requested worker threads (clamped by the governor; `0` = one).
+    /// Requested worker threads. `0` resolves to every CPU on the
+    /// executing host (`available_parallelism`) before the governor
+    /// clamps it.
     pub threads: usize,
     /// Trials per shard (checkpoint granularity; part of the identity).
     pub shard_size: u64,
+    /// Trials per vectorized syndrome batch (`mbe` kind only; other
+    /// kinds ignore it). Not part of the campaign identity: tallies and
+    /// checkpoints are bit-identical at any batch size.
+    pub batch: usize,
 }
 
 impl JobSpec {
@@ -107,6 +114,7 @@ impl JobSpec {
             seed,
             threads: 1,
             shard_size: DEFAULT_SHARD_SIZE,
+            batch: 1,
         }
     }
 
@@ -158,11 +166,14 @@ impl JobSpec {
     /// workers. Seed, trials and shard size come from the spec alone,
     /// so a job resumed in a different process (or run directly via
     /// `cppc-cli campaign`) targets the same campaign identity.
+    ///
+    /// `threads` is passed through unresolved: the engine maps `0` to
+    /// every CPU via `available_parallelism` at run time.
     #[must_use]
     pub fn campaign_config(&self, threads: usize) -> CampaignConfig {
         CampaignConfig::new(self.seed, self.trials)
             .shard_size(self.shard_size)
-            .threads(threads.max(1))
+            .threads(threads)
     }
 
     /// Serializes the spec.
@@ -201,6 +212,7 @@ impl JobSpec {
         pairs.push(("seed".into(), Json::UInt(self.seed)));
         pairs.push(("threads".into(), Json::UInt(self.threads as u64)));
         pairs.push(("shard_size".into(), Json::UInt(self.shard_size)));
+        pairs.push(("batch".into(), Json::UInt(self.batch as u64)));
         Json::Obj(pairs)
     }
 
@@ -254,12 +266,17 @@ impl JobSpec {
         };
         let threads = usize::try_from(u64_field("threads", 1)?)
             .map_err(|_| "bad 'threads' in spec".to_string())?;
+        // Journals written before batching existed carry no 'batch'
+        // field; those jobs ran (and resume) on the per-trial path.
+        let batch = usize::try_from(u64_field("batch", 1)?)
+            .map_err(|_| "bad 'batch' in spec".to_string())?;
         Ok(JobSpec {
             kind,
             trials: u64_field("trials", 0)?,
             seed: u64_field("seed", 0)?,
             threads,
             shard_size: u64_field("shard_size", DEFAULT_SHARD_SIZE)?,
+            batch,
         })
     }
 }
@@ -515,7 +532,10 @@ mod tests {
                     0xCA7,
                 )
             },
-            JobSpec::new(JobKind::Mbe, 2000, 0xC0DE),
+            JobSpec {
+                batch: 32,
+                ..JobSpec::new(JobKind::Mbe, 2000, 0xC0DE)
+            },
             JobSpec::new(JobKind::Sleep { millis: 3 }, 100, 7),
             JobSpec::new(
                 JobKind::Scheme {

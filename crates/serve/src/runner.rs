@@ -22,8 +22,8 @@ use cppc_campaign::json::Json;
 use cppc_campaign::metrics::Progress;
 use cppc_campaign::rng::rngs::StdRng;
 use cppc_campaign::{
-    run_resumable_interruptible, Accumulator, CampaignReport, CheckpointError, CheckpointPolicy,
-    Persist,
+    run_resumable_interruptible, run_resumable_interruptible_exec, Accumulator, CampaignReport,
+    CheckpointError, CheckpointPolicy, Persist,
 };
 use cppc_fault::campaign::{Outcome, OutcomeTally};
 use cppc_reliability::montecarlo::{simulate_trial_into, MonteCarloAccumulator, MonteCarloConfig};
@@ -113,12 +113,15 @@ pub fn execute(
                 tally_result_json,
             )
         }
+        // The batched executor is bit-identical to the per-trial path
+        // at any batch size, so checkpoints written by older daemons
+        // (or by `--batch 1` runs) resume seamlessly through it.
         JobKind::Mbe => finish::<OutcomeTally>(
-            run_resumable_interruptible(
+            run_resumable_interruptible_exec(
                 &cfg,
                 &policy,
                 interrupt,
-                cppc_bench::mbe::experiment,
+                cppc_bench::mbe::MbeBatchExec::solid(spec.batch),
                 on_progress,
             ),
             tally_result_json,

@@ -137,10 +137,22 @@ impl Scheduler {
         self.max_threads
     }
 
+    /// Resolves a spec's thread demand: `0` means every CPU on this
+    /// host (`available_parallelism`), then the governor's cap clamps.
+    fn resolve_demand(&self, threads: usize) -> usize {
+        let wanted = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        } else {
+            threads
+        };
+        wanted.clamp(1, self.max_threads)
+    }
+
     /// Admits a job to its lane, or rejects with [`Backpressure`] when
-    /// the queue is at capacity. `threads` is the spec's demand; it is
-    /// clamped into `1..=max_threads` here so every admitted job can
-    /// eventually be granted.
+    /// the queue is at capacity. `threads` is the spec's demand; `0`
+    /// resolves to every CPU, then it is clamped into
+    /// `1..=max_threads` here so every admitted job can eventually be
+    /// granted.
     ///
     /// # Errors
     ///
@@ -162,7 +174,7 @@ impl Scheduler {
         }
         let job = QueuedJob {
             id,
-            threads: threads.clamp(1, self.max_threads),
+            threads: self.resolve_demand(threads),
         };
         st.lanes[lane_index(priority)].push(tenant, job);
         st.queued += 1;
@@ -180,7 +192,7 @@ impl Scheduler {
         let mut st = self.state.lock().expect("scheduler lock");
         let job = QueuedJob {
             id,
-            threads: threads.clamp(1, self.max_threads),
+            threads: self.resolve_demand(threads),
         };
         st.lanes[lane_index(priority)].push(tenant, job);
         st.queued += 1;
