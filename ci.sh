@@ -67,6 +67,32 @@ echo "== hot-path throughput gate (vs BENCH_hotpath.json baseline)"
 # target_trials_per_sec floor (1M trials/sec).
 cargo run -q -p cppc-bench --release --bin hotpath -- --gate BENCH_hotpath.json
 
+echo "== trace pipeline gate (vs BENCH_timing.json baseline)"
+# Measures all three trace ingestion legs (sequential text replay,
+# binary materialize + batch, streaming chunked reader): each fails
+# below 0.9x its committed ops/sec, and the streaming leg must hold the
+# recorded speedup target over the sequential baseline. The binary also
+# asserts the final hierarchy digests are identical across legs.
+cargo run -q -p cppc-bench --release --bin timing -- --gate BENCH_timing.json
+
+echo "== trace round-trip byte identity (text -> bin -> text)"
+# The text and binary trace encodings must be lossless inverses: a
+# recorded text trace converted to the binary format and back must be
+# byte-identical to the original file.
+TRACE_TMP="$(mktemp -d)"
+TRACE_CLI=target/release/cppc-cli
+"$TRACE_CLI" trace record --ops 50000 --seed 7 --format text \
+    --out "$TRACE_TMP/a.txt" > /dev/null
+"$TRACE_CLI" trace convert --in "$TRACE_TMP/a.txt" --to bin \
+    --out "$TRACE_TMP/a.cppct" > /dev/null
+"$TRACE_CLI" trace convert --in "$TRACE_TMP/a.cppct" --to text \
+    --out "$TRACE_TMP/b.txt" > /dev/null
+cmp "$TRACE_TMP/a.txt" "$TRACE_TMP/b.txt" || {
+    echo "text -> bin -> text trace round trip is not byte-identical" >&2
+    exit 1
+}
+rm -rf "$TRACE_TMP"
+
 echo "== repro golden gates (fast tier)"
 # Re-runs the fast-tier paper artifacts and fails if any gated metric
 # leaves its tolerance band around the committed goldens in

@@ -13,6 +13,7 @@
 
 use std::time::Instant;
 
+use cppc_bench::gate::BenchArgs;
 use cppc_bench::mbe::{experiment, pool, SEED};
 use cppc_campaign::json::Json;
 use cppc_fault::campaign::{Campaign, OutcomeTally};
@@ -66,22 +67,10 @@ fn leg_json(requested: usize, effective: usize, trials: u64, secs: f64, delta: &
 }
 
 fn main() {
-    let mut threads = 0usize; // 0 = all CPUs
-    let mut trials = 2000u64;
-    let mut out = String::from("BENCH_campaign.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        let mut next = || {
-            args.next()
-                .unwrap_or_else(|| panic!("{flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--threads" => threads = next().parse().expect("--threads needs a number"),
-            "--trials" => trials = next().parse().expect("--trials needs a number"),
-            "--out" => out = next(),
-            other => panic!("unknown flag {other}; supported: --threads/--trials/--out"),
-        }
-    }
+    let args = BenchArgs::parse(&["threads", "trials", "out"]);
+    let threads: usize = args.parsed("threads", 0); // 0 = all CPUs
+    let trials: u64 = args.parsed("trials", 2000);
+    let out: String = args.parsed("out", String::from("BENCH_campaign.json"));
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Oversubscribing a deterministic sharded campaign only adds context
     // switches: clamp the effective worker count to the host's cores but

@@ -30,6 +30,7 @@
 
 use std::time::Instant;
 
+use cppc_bench::gate::{self, BenchArgs, GATE_FLOOR};
 use cppc_bench::mbe::{experiment, pool, MbeBatchExec, SEED};
 use cppc_campaign::json::Json;
 use cppc_campaign::{run_exec, CampaignConfig};
@@ -48,10 +49,6 @@ const BATCH_BASELINE_COMMIT: &str = "b268aba";
 
 /// The batched leg's absolute throughput target.
 const BATCH_TARGET_TRIALS_PER_SEC: f64 = 1_000_000.0;
-
-/// A measured run may regress to this fraction of the recorded baseline
-/// before the gate fails (CI noise allowance).
-const GATE_FLOOR: f64 = 0.9;
 
 /// Lanes per batch when `--batch` is not given.
 const DEFAULT_BATCH: usize = 64;
@@ -83,69 +80,26 @@ fn tally_json(tally: &OutcomeTally) -> Json {
     ])
 }
 
-/// Median-of-three measurement of one leg, asserting run-to-run tally
-/// identity. Returns `(tally, median_secs)`.
-fn median_of_three(
-    label: &str,
-    trials: u64,
-    mut leg: impl FnMut(u64) -> (OutcomeTally, f64),
-) -> (OutcomeTally, f64) {
-    let mut runs: Vec<(OutcomeTally, f64)> = (0..3)
-        .map(|i| {
-            let (tally, s) = leg(trials);
-            println!(
-                "  {label} run {}: {s:.2}s  ({:.0} trials/sec)",
-                i + 1,
-                trials as f64 / s
-            );
-            (tally, s)
-        })
-        .collect();
-    let tally = runs[0].0;
-    assert!(
-        runs.iter().all(|(t, _)| *t == tally),
-        "{label} tallies must be identical across runs"
-    );
-    runs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"));
-    (tally, runs[1].1)
-}
-
 /// Regression-gate mode: measure each leg once, compare against the
 /// committed baseline file, exit 1 on a >10% regression of either.
 fn run_gate(path: &str, trials: u64, batch: usize) {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("gate: cannot read {path}: {e}"));
-    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("gate: {path} is not JSON: {e}"));
-    let recorded = doc
-        .get("baseline")
-        .and_then(|b| b.get("trials_per_sec"))
-        .and_then(Json::as_f64)
-        .unwrap_or_else(|| panic!("gate: {path} lacks baseline.trials_per_sec"));
+    let recorded = gate::read_baseline(path, "baseline.trials_per_sec");
     // The batched leg gates against the recorded *target* floor, not
     // its own freshest measurement: the recorded trials_per_sec is a
     // quiet-host median-of-three, which a loaded CI run can undershoot
     // by well over the noise allowance without any real regression.
     // Falling below the 1M target, by contrast, means the batch engine
     // itself stopped paying off.
-    let batched_floor = doc
-        .get("batched")
-        .and_then(|b| b.get("target_trials_per_sec"))
-        .and_then(Json::as_f64)
-        .unwrap_or_else(|| panic!("gate: {path} lacks batched.target_trials_per_sec"));
+    let batched_floor = gate::read_baseline(path, "batched.target_trials_per_sec");
 
-    let mut failed = false;
     println!("hot-path gate: {trials} sequential trials vs {recorded:.0} trials/sec baseline");
     let (_tally, secs) = timed_run(trials);
-    let current = trials as f64 / secs;
-    let ratio = current / recorded;
-    println!("  measured: {current:.0} trials/sec  ({ratio:.2}x of recorded baseline)");
-    if ratio < GATE_FLOOR {
-        eprintln!(
-            "hot-path REGRESSION: {current:.0} trials/sec is below {GATE_FLOOR}x of the \
-             recorded {recorded:.0} trials/sec baseline in {path}"
-        );
-        failed = true;
-    }
+    let sequential_ok = gate::gate_leg(
+        "hot-path sequential",
+        "trials",
+        trials as f64 / secs,
+        recorded * GATE_FLOOR,
+    );
 
     // The batched leg runs more trials per measurement — at ≥ 1M
     // trials/sec a small campaign would time scheduler noise.
@@ -155,18 +109,14 @@ fn run_gate(path: &str, trials: u64, batch: usize) {
          {batched_floor:.0} trials/sec target floor"
     );
     let (_tally, secs) = timed_batched_run(batched_trials, batch);
-    let current = batched_trials as f64 / secs;
-    let ratio = current / batched_floor;
-    println!("  measured: {current:.0} trials/sec  ({ratio:.2}x of target floor)");
-    if current < batched_floor {
-        eprintln!(
-            "hot-path REGRESSION (batched): {current:.0} trials/sec is below the \
-             {batched_floor:.0} trials/sec target floor in {path}"
-        );
-        failed = true;
-    }
+    let batched_ok = gate::gate_leg(
+        "hot-path batched",
+        "trials",
+        batched_trials as f64 / secs,
+        batched_floor,
+    );
 
-    if failed {
+    if !(sequential_ok && batched_ok) {
         std::process::exit(1);
     }
     println!("  gate passed (sequential floor {GATE_FLOOR}x, batched floor {batched_floor:.0} trials/sec)");
@@ -174,54 +124,32 @@ fn run_gate(path: &str, trials: u64, batch: usize) {
 
 #[allow(clippy::too_many_lines)]
 fn main() {
-    let mut trials = 100_000u64;
-    let mut batch_trials = 1_000_000u64;
-    let mut batch = DEFAULT_BATCH;
-    let mut out = String::from("BENCH_hotpath.json");
-    let mut gate: Option<String> = None;
-    let mut trials_set = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        let mut next = || {
-            args.next()
-                .unwrap_or_else(|| panic!("{flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--trials" => {
-                trials = next().parse().expect("--trials needs a number");
-                trials_set = true;
-            }
-            "--batch-trials" => {
-                batch_trials = next().parse().expect("--batch-trials needs a number");
-            }
-            "--batch" => batch = next().parse().expect("--batch needs a number"),
-            "--out" => out = next(),
-            "--gate" => gate = Some(next()),
-            other => {
-                panic!(
-                    "unknown flag {other}; supported: --trials/--batch-trials/--batch/--out/--gate"
-                )
-            }
-        }
-    }
+    let args = BenchArgs::parse(&["trials", "batch-trials", "batch", "out", "gate"]);
+    let trials: u64 = args.parsed("trials", 100_000);
+    let batch_trials: u64 = args.parsed("batch-trials", 1_000_000);
+    let batch: usize = args.parsed("batch", DEFAULT_BATCH);
+    let out: String = args.parsed("out", String::from("BENCH_hotpath.json"));
 
-    if let Some(path) = gate {
+    if let Some(path) = args.get("gate") {
         // Gate runs default to a smaller campaign: one run per leg,
         // quick enough for CI, long enough to amortise the per-thread
         // warmup capture.
-        run_gate(&path, if trials_set { trials } else { 20_000 }, batch);
+        run_gate(path, args.parsed("trials", 20_000), batch);
         return;
     }
 
     println!("hot-path benchmark: {trials} sequential mbe_coverage trials, 3 runs");
-    let (tally, median) = median_of_three("sequential", trials, timed_run);
+    let (tally, median) =
+        gate::median_of_three("sequential", trials, "trials", || timed_run(trials));
     let current = trials as f64 / median;
     let speedup = current / BASELINE_TRIALS_PER_SEC;
     println!("  median: {current:.0} trials/sec  ({speedup:.2}x vs pre-snapshot baseline)");
 
     println!("hot-path benchmark: {batch_trials} batched trials (batch {batch}), 3 runs");
     let (batched_tally, batched_median) =
-        median_of_three("batched", batch_trials, |t| timed_batched_run(t, batch));
+        gate::median_of_three("batched", batch_trials, "trials", || {
+            timed_batched_run(batch_trials, batch)
+        });
     let batched_current = batch_trials as f64 / batched_median;
     let batched_speedup = batched_current / BATCH_BASELINE_TRIALS_PER_SEC;
     println!(

@@ -1,0 +1,233 @@
+//! Trace-pipeline throughput benchmark and regression gate.
+//!
+//! Measures hierarchy-drive ops/sec of one synthetic trace through the
+//! three ingestion paths and writes them to `BENCH_timing.json`:
+//!
+//! * **sequential** — the materialize-then-replay baseline: parse the
+//!   text trace into a `SharedTrace`, then step the hierarchy one op
+//!   at a time (the pipeline as it existed before the binary format).
+//! * **bin_materialize** — decode the whole binary trace into a
+//!   `SharedTrace`, gather it into an `OpBatch` and drive the batched
+//!   fast path once.
+//! * **streaming** — the chunked `BinTraceReader` decoding straight
+//!   out of its reusable buffer into a recycled `OpBatch`, feeding
+//!   `run_batch` as it goes (O(1) memory; see `docs/TRACES.md`).
+//!
+//! Every leg re-reads its file from disk, so the rates compare whole
+//! pipelines, not just decode loops; the final hierarchy digests are
+//! asserted identical across legs on every run. The streaming leg must
+//! hold ≥ [`TARGET_MIN_SPEEDUP`]x over the sequential baseline.
+//!
+//! Run with `cargo run -p cppc-bench --release --bin timing`.
+//! `--ops N` sets the trace length (default 2000000); `--bench NAME`
+//! and `--seed N` pick the workload; `--out PATH` redirects the output
+//! file.
+//!
+//! `--gate PATH` switches to regression-gate mode: reads the committed
+//! `BENCH_timing.json` at PATH, measures each leg once (default
+//! `--ops 500000`) and exits non-zero if any leg fell below
+//! [`cppc_bench::gate::GATE_FLOOR`]x its recorded ops/sec or the
+//! streaming-vs-sequential speedup fell below the recorded target.
+
+use std::time::Instant;
+
+use cppc_bench::experiments::trace_digest;
+use cppc_bench::gate::{self, BenchArgs, GATE_FLOOR};
+use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::hierarchy::TwoLevelHierarchy;
+use cppc_cache_sim::replacement::ReplacementPolicy;
+use cppc_campaign::json::Json;
+use cppc_workloads::{
+    binfmt, spec2000_profiles, write_trace, BinTraceReader, OpBatch, SharedTrace, TraceGenerator,
+};
+
+/// The streaming leg's required advantage over the sequential
+/// materialize-then-replay baseline.
+const TARGET_MIN_SPEEDUP: f64 = 2.0;
+
+/// The three pipeline legs, in baseline-first order.
+const LEGS: [&str; 3] = ["sequential", "bin_materialize", "streaming"];
+
+/// The drive target: the paper's Table 1 machine shape (32 KB 2-way L1,
+/// 1 MB 4-way L2, 32-byte lines), so the rates describe the pipeline on
+/// the geometry the reproduction actually evaluates.
+fn bench_hierarchy() -> TwoLevelHierarchy {
+    let l1 = CacheGeometry::new(32 * 1024, 2, 32).expect("L1 geometry");
+    let l2 = CacheGeometry::new(1024 * 1024, 4, 32).expect("L2 geometry");
+    TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru)
+}
+
+/// One leg's measurement: the final hierarchy digest (asserted
+/// identical across legs and runs) and the wall-clock seconds.
+fn timed_leg(leg: &str, text_path: &std::path::Path, bin_path: &std::path::Path) -> (u64, f64) {
+    let start = Instant::now();
+    let digest = match leg {
+        "sequential" => {
+            let file = std::fs::File::open(text_path).expect("open text trace");
+            let ops = cppc_workloads::read_trace(std::io::BufReader::new(file))
+                .expect("parse text trace");
+            let trace = SharedTrace::from_ops(ops);
+            let mut h = bench_hierarchy();
+            h.run(trace.replay());
+            trace_digest(&h)
+        }
+        "bin_materialize" => {
+            let trace = SharedTrace::from_binary_file(bin_path).expect("read binary trace");
+            let batch = trace.batch();
+            let mut h = bench_hierarchy();
+            h.run_batch(&batch);
+            trace_digest(&h)
+        }
+        "streaming" => {
+            let mut reader = BinTraceReader::open(bin_path).expect("open binary trace");
+            let mut h = bench_hierarchy();
+            let mut batch = OpBatch::new();
+            binfmt::drive(&mut reader, &mut h, &mut batch).expect("stream binary trace");
+            trace_digest(&h)
+        }
+        other => panic!("unknown leg {other}"),
+    };
+    (digest, start.elapsed().as_secs_f64())
+}
+
+/// Writes the benchmark's trace to both formats under a
+/// process-private temp directory; returns `(dir, text_path,
+/// bin_path)`. The caller removes `dir` when done.
+fn write_traces(
+    bench: &str,
+    ops: usize,
+    seed: u64,
+) -> (std::path::PathBuf, std::path::PathBuf, std::path::PathBuf) {
+    let profiles = spec2000_profiles();
+    let profile = profiles
+        .iter()
+        .find(|p| p.name == bench)
+        .unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
+    let generated: Vec<_> = TraceGenerator::new(profile, seed).take(ops).collect();
+    let dir = std::env::temp_dir().join(format!("cppc-timing-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let text_path = dir.join("trace.txt");
+    let bin_path = dir.join("trace.cppct");
+    let mut text = std::io::BufWriter::new(std::fs::File::create(&text_path).expect("create"));
+    write_trace(&mut text, generated.iter().copied()).expect("write text trace");
+    drop(text);
+    binfmt::write_bin_trace_file(&bin_path, &generated).expect("write binary trace");
+    (dir, text_path, bin_path)
+}
+
+/// Regression-gate mode: measure each leg once against the recorded
+/// per-leg floors, then re-check the streaming-vs-sequential speedup
+/// target on the fresh measurements.
+fn run_gate(path: &str, bench: &str, ops: usize, seed: u64) {
+    let target = gate::read_baseline(path, "target_min_speedup");
+    let (dir, text_path, bin_path) = write_traces(bench, ops, seed);
+
+    println!("timing gate: {ops} ops of '{bench}' vs {path}");
+    let mut ok = true;
+    let mut rates = std::collections::HashMap::new();
+    let mut digests = Vec::new();
+    for leg in LEGS {
+        let recorded = gate::read_baseline(path, &format!("legs.{leg}.ops_per_sec"));
+        let (digest, secs) = timed_leg(leg, &text_path, &bin_path);
+        let rate = ops as f64 / secs;
+        ok &= gate::gate_leg(&format!("timing {leg}"), "ops", rate, recorded * GATE_FLOOR);
+        rates.insert(leg, rate);
+        digests.push(digest);
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "hierarchy digests diverge across pipeline legs"
+    );
+
+    // The speedup is a same-host, same-run ratio, so it gates at the
+    // full recorded target with no noise allowance.
+    let speedup = rates["streaming"] / rates["sequential"];
+    println!("  streaming vs sequential: {speedup:.2}x (target {target:.1}x)");
+    if speedup < target {
+        eprintln!(
+            "timing REGRESSION: streaming leg is only {speedup:.2}x the sequential \
+             baseline, below the {target:.1}x target in {path}"
+        );
+        ok = false;
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("  gate passed (per-leg floor {GATE_FLOOR}x, speedup target {target:.1}x)");
+}
+
+fn main() {
+    let args = BenchArgs::parse(&["ops", "bench", "seed", "out", "gate"]);
+    let bench: String = args.parsed("bench", String::from("gcc"));
+    let seed: u64 = args.parsed("seed", 42);
+    let out: String = args.parsed("out", String::from("BENCH_timing.json"));
+
+    if let Some(path) = args.get("gate") {
+        run_gate(path, &bench, args.parsed("ops", 500_000), seed);
+        return;
+    }
+    let ops: usize = args.parsed("ops", 2_000_000);
+
+    let (dir, text_path, bin_path) = write_traces(&bench, ops, seed);
+    println!("trace-pipeline benchmark: {ops} ops of '{bench}' (seed {seed}), 3 runs per leg");
+
+    let mut legs_json = Vec::new();
+    let mut rates = std::collections::HashMap::new();
+    let mut digests = Vec::new();
+    for leg in LEGS {
+        let (digest, median) = gate::median_of_three(leg, ops as u64, "ops", || {
+            timed_leg(leg, &text_path, &bin_path)
+        });
+        let rate = ops as f64 / median;
+        println!("  {leg} median: {rate:.0} ops/sec");
+        rates.insert(leg, rate);
+        digests.push(digest);
+        legs_json.push((
+            leg.to_string(),
+            Json::Obj(vec![
+                ("median_wall_clock_secs".into(), Json::Num(median)),
+                ("ops_per_sec".into(), Json::Num(rate)),
+            ]),
+        ));
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "hierarchy digests diverge across pipeline legs"
+    );
+    println!("  digest identity: all legs -> {:#018x}", digests[0]);
+
+    let streaming_speedup = rates["streaming"] / rates["sequential"];
+    let materialize_speedup = rates["bin_materialize"] / rates["sequential"];
+    println!(
+        "  speedup vs sequential: streaming {streaming_speedup:.2}x, \
+         bin_materialize {materialize_speedup:.2}x (target {TARGET_MIN_SPEEDUP:.1}x)"
+    );
+
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("timing".into())),
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                ("bench".into(), Json::Str(bench)),
+                ("ops".into(), Json::UInt(ops as u64)),
+                ("seed".into(), Json::UInt(seed)),
+            ]),
+        ),
+        ("target_min_speedup".into(), Json::Num(TARGET_MIN_SPEEDUP)),
+        ("legs".into(), Json::Obj(legs_json)),
+        (
+            "speedup_streaming_vs_sequential".into(),
+            Json::Num(streaming_speedup),
+        ),
+        (
+            "speedup_bin_materialize_vs_sequential".into(),
+            Json::Num(materialize_speedup),
+        ),
+        ("digest".into(), Json::Str(format!("{:#018x}", digests[0]))),
+    ]);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::write(&out, doc.to_string_compact() + "\n").expect("write timing result");
+    println!("wrote {out}");
+}

@@ -12,6 +12,7 @@
 use std::time::Duration;
 
 use cppc_cache_sim::geometry::CacheGeometry;
+use cppc_cache_sim::hierarchy::TwoLevelHierarchy;
 use cppc_cache_sim::memory::MainMemory;
 use cppc_cache_sim::replacement::ReplacementPolicy;
 use cppc_campaign::rng::rngs::StdRng;
@@ -19,6 +20,7 @@ use cppc_campaign::rng::{RngExt, SeedableRng};
 use cppc_core::{CppcCache, CppcConfig, SchemeKind};
 use cppc_fault::campaign::Outcome;
 use cppc_fault::model::{FaultGenerator, FaultModel};
+use cppc_workloads::SharedTrace;
 
 /// Parses a CPPC configuration name (`basic`, `paper`, `two-pairs`,
 /// `eight-pairs`).
@@ -163,6 +165,98 @@ pub fn scheme_experiment(
     }
 }
 
+/// The hierarchy the `trace` experiment replays its trace through: a
+/// small two-level machine (8KB/2-way L1, 32KB/4-way L2, 32B lines) so
+/// short traces still generate misses and write-backs at both levels.
+///
+/// # Panics
+///
+/// Never — the geometries are valid by construction.
+#[must_use]
+pub fn trace_hierarchy() -> TwoLevelHierarchy {
+    let l1 = CacheGeometry::new(8 * 1024, 2, 32).expect("valid geometry");
+    let l2 = CacheGeometry::new(32 * 1024, 4, 32).expect("valid geometry");
+    TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru)
+}
+
+/// Digest of a hierarchy run the `trace` experiment folds into its
+/// outcome draw: a deterministic mix of both levels' counters and the
+/// final cycle, so any divergence in the replayed stream (a corrupted
+/// trace file, a decoder bug, a non-deterministic fast path) changes
+/// the campaign tally.
+#[must_use]
+pub fn trace_digest(h: &TwoLevelHierarchy) -> u64 {
+    let (l1, l2) = h.stats();
+    let mut acc: u64 = 0xCBF2_9CE4_8422_2325; // FNV-1a offset basis
+    let mut mix = |v: u64| {
+        acc ^= v;
+        acc = acc.wrapping_mul(0x1000_0000_01B3);
+    };
+    for s in [l1, l2] {
+        mix(s.load_hits);
+        mix(s.load_misses);
+        mix(s.store_hits);
+        mix(s.store_misses);
+        mix(s.stores_to_dirty);
+        mix(s.writebacks);
+        mix(s.writeback_words);
+        mix(s.fills);
+        mix(s.clean_evictions);
+    }
+    mix(h.cycle());
+    acc
+}
+
+/// Loads a trace file for the `trace` experiment, sniffing the format
+/// from the leading bytes: binary (`docs/TRACES.md`) if the file opens
+/// with the `CPPCT` magic, text v1 otherwise.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O failures or malformed
+/// content in either format.
+pub fn load_trace(path: &str) -> Result<SharedTrace, String> {
+    use std::io::Read;
+    let mut probe = [0u8; cppc_workloads::binfmt::MAGIC.len()];
+    let mut file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+    let sniffed = file
+        .read(&mut probe)
+        .map_err(|e| format!("cannot read '{path}': {e}"))?;
+    if probe[..sniffed] == cppc_workloads::binfmt::MAGIC {
+        SharedTrace::from_binary_file(path).map_err(|e| format!("bad binary trace '{path}': {e}"))
+    } else {
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+        let ops = cppc_workloads::read_trace(std::io::BufReader::new(file))
+            .map_err(|e| format!("bad text trace '{path}': {e}"))?;
+        Ok(SharedTrace::from_ops(ops))
+    }
+}
+
+/// The trace-driven experiment behind `cppc-cli campaign --kind trace`
+/// and `trace` service jobs: each trial replays the whole pre-decoded
+/// trace through [`trace_hierarchy`] via the batched fast path, folds
+/// the run's [`trace_digest`] into the trial's RNG draw and classifies
+/// like [`synthetic_outcome`]. The digest term makes the tally sensitive
+/// to every replayed operation while staying a pure function of
+/// `(trace, trial RNG stream, trial index)` — so served results match
+/// direct runs byte for byte at any thread count.
+pub fn trace_experiment(trace: &SharedTrace) -> impl Fn(&mut StdRng, u64) -> Outcome + Sync {
+    // Decode once; every trial replays the same immutable lanes.
+    let batch = trace.batch();
+    move |rng, trial| {
+        let mut h = trace_hierarchy();
+        h.run_batch(&batch);
+        let draw =
+            rng.random::<u64>() ^ trace_digest(&h) ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match draw % 4 {
+            0 => Outcome::Masked,
+            1 => Outcome::Corrected,
+            2 => Outcome::DetectedUnrecoverable,
+            _ => Outcome::SilentCorruption,
+        }
+    }
+}
+
 /// A deterministic outcome that depends on both the trial's RNG stream
 /// and its index, so any divergence in stream derivation, shard layout
 /// or merge order changes the tally. Used by the `sleep` experiment and
@@ -278,6 +372,35 @@ mod tests {
         let outcomes: Vec<Outcome> = (0..16).map(|t| synthetic_outcome(&mut c, t)).collect();
         let shifted: Vec<Outcome> = (1..17).map(|t| synthetic_outcome(&mut d, t)).collect();
         assert_ne!(outcomes, shifted);
+    }
+
+    #[test]
+    fn trace_experiment_is_thread_invariant_and_trace_sensitive() {
+        let p = &cppc_workloads::spec2000_profiles()[0];
+        let trace = SharedTrace::generate(p, 0x7ACE, 2_000);
+        let sequential: OutcomeTally = cppc_campaign::run(
+            &cppc_campaign::CampaignConfig::new(0x7ACE, 32).shard_size(8),
+            trace_experiment(&trace),
+        )
+        .result;
+        let threaded: OutcomeTally = cppc_campaign::run(
+            &cppc_campaign::CampaignConfig::new(0x7ACE, 32)
+                .shard_size(8)
+                .threads(4),
+            trace_experiment(&trace),
+        )
+        .result;
+        assert_eq!(sequential, threaded, "tally independent of thread count");
+        assert_eq!(sequential.total(), 32);
+        // A different trace must change the tally: the digest really
+        // feeds the outcome draw.
+        let other = SharedTrace::generate(p, 0x7ACF, 2_000);
+        let diverged: OutcomeTally = cppc_campaign::run(
+            &cppc_campaign::CampaignConfig::new(0x7ACE, 32).shard_size(8),
+            trace_experiment(&other),
+        )
+        .result;
+        assert_ne!(sequential, diverged, "tally sensitive to the trace");
     }
 
     #[test]

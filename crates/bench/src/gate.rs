@@ -1,0 +1,234 @@
+//! Shared machinery for the perf-regression benchmark binaries and
+//! their CI gates (`hotpath`, `campaign_scaling`, `timing`): flag
+//! parsing, median-of-three measurement with run-to-run identity
+//! assertions, committed-baseline JSON lookup and the measured-vs-floor
+//! leg check. Each benchmark binary supplies only its legs; the gate
+//! loop itself lives here so every `--gate` run behaves the same way.
+
+use cppc_campaign::json::Json;
+
+/// A measured run may regress to this fraction of the recorded baseline
+/// before a gate fails (CI noise allowance).
+pub const GATE_FLOOR: f64 = 0.9;
+
+/// `--flag value` pairs from a benchmark binary's command line, with an
+/// allowlist: an unknown flag panics up front, naming the supported
+/// set, so a typo'd `--trails` cannot silently run the defaults.
+pub struct BenchArgs {
+    pairs: Vec<(String, String)>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments (without the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a flag outside `allowed`, a missing value or a bare
+    /// positional argument.
+    #[must_use]
+    pub fn parse(allowed: &[&str]) -> Self {
+        Self::from_iter(std::env::args().skip(1), allowed)
+    }
+
+    /// [`BenchArgs::parse`] over an explicit argument list (tests).
+    ///
+    /// # Panics
+    ///
+    /// As [`BenchArgs::parse`].
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I, allowed: &[&str]) -> Self {
+        let supported = || {
+            allowed
+                .iter()
+                .map(|a| format!("--{a}"))
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        let mut pairs = Vec::new();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let name = flag.strip_prefix("--").unwrap_or_else(|| {
+                panic!("unexpected argument {flag}; supported: {}", supported())
+            });
+            assert!(
+                allowed.contains(&name),
+                "unknown flag {flag}; supported: {}",
+                supported()
+            );
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"));
+            pairs.push((name.to_string(), value));
+        }
+        BenchArgs { pairs }
+    }
+
+    /// The raw value of `--flag`, if given.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(name, _)| name == flag)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// A parsed value with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the flag is present but unparseable.
+    #[must_use]
+    pub fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        match self.get(flag) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("cannot parse '{v}' for --{flag}")),
+        }
+    }
+}
+
+/// Median-of-three measurement of one benchmark leg. Each run's result
+/// payload (a tally, a digest) must be identical across the three runs
+/// — a leg whose answer varies with timing is broken, not noisy.
+/// Returns `(payload, median_secs)`.
+///
+/// # Panics
+///
+/// Panics when the three runs disagree on the payload or a timing is
+/// not finite.
+pub fn median_of_three<T, F>(label: &str, units: u64, unit_name: &str, mut leg: F) -> (T, f64)
+where
+    T: PartialEq + Clone + std::fmt::Debug,
+    F: FnMut() -> (T, f64),
+{
+    let mut runs: Vec<(T, f64)> = (0..3)
+        .map(|i| {
+            let (payload, secs) = leg();
+            println!(
+                "  {label} run {}: {secs:.2}s  ({:.0} {unit_name}/sec)",
+                i + 1,
+                units as f64 / secs
+            );
+            (payload, secs)
+        })
+        .collect();
+    let payload = runs[0].0.clone();
+    assert!(
+        runs.iter().all(|(p, _)| *p == payload),
+        "{label} results must be identical across runs"
+    );
+    runs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"));
+    (payload, runs[1].1)
+}
+
+/// Reads a number out of a committed baseline JSON file by dotted path
+/// (`"baseline.trials_per_sec"`).
+///
+/// # Panics
+///
+/// Panics with a `gate:`-prefixed message when the file is missing,
+/// not JSON, or lacks the path — a gate with no baseline must fail
+/// loudly, not pass silently.
+#[must_use]
+pub fn read_baseline(path: &str, dotted: &str) -> f64 {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("gate: cannot read {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("gate: {path} is not JSON: {e}"));
+    let mut node = &doc;
+    for key in dotted.split('.') {
+        node = node
+            .get(key)
+            .unwrap_or_else(|| panic!("gate: {path} lacks {dotted}"));
+    }
+    node.as_f64()
+        .unwrap_or_else(|| panic!("gate: {path}'s {dotted} is not a number"))
+}
+
+/// One measured-vs-floor comparison inside a `--gate` run: prints the
+/// measurement and returns whether it cleared the floor (the caller
+/// aggregates legs and sets the exit code once, so every leg reports
+/// even when an early one fails).
+pub fn gate_leg(label: &str, unit_name: &str, current_per_sec: f64, floor_per_sec: f64) -> bool {
+    let ratio = current_per_sec / floor_per_sec;
+    println!(
+        "  {label}: {current_per_sec:.0} {unit_name}/sec  ({ratio:.2}x of the {floor_per_sec:.0} {unit_name}/sec floor)"
+    );
+    if current_per_sec < floor_per_sec {
+        eprintln!(
+            "{label} REGRESSION: {current_per_sec:.0} {unit_name}/sec is below the \
+             {floor_per_sec:.0} {unit_name}/sec floor"
+        );
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(items: &[&str]) -> Vec<String> {
+        items.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn bench_args_parse_and_lookup() {
+        let a = BenchArgs::from_iter(
+            words(&["--trials", "500", "--out", "x.json"]),
+            &["trials", "out", "gate"],
+        );
+        assert_eq!(a.parsed("trials", 0u64), 500);
+        assert_eq!(a.get("out"), Some("x.json"));
+        assert_eq!(a.get("gate"), None);
+        assert_eq!(a.parsed("gate-missing-default", 7u32), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag --trails")]
+    fn bench_args_reject_unknown_flags() {
+        let _ = BenchArgs::from_iter(words(&["--trails", "500"]), &["trials"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn bench_args_require_values() {
+        let _ = BenchArgs::from_iter(words(&["--out"]), &["out"]);
+    }
+
+    #[test]
+    fn median_of_three_picks_the_median_and_checks_identity() {
+        let mut times = [3.0, 1.0, 2.0].into_iter();
+        let (payload, median) =
+            median_of_three("leg", 100, "ops", || (42u64, times.next().unwrap()));
+        assert_eq!(payload, 42);
+        assert!((median - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical across runs")]
+    fn median_of_three_rejects_varying_payloads() {
+        let mut n = 0u64;
+        let _ = median_of_three("leg", 100, "ops", || {
+            n += 1;
+            (n, 1.0)
+        });
+    }
+
+    #[test]
+    fn gate_leg_reports_floor_crossings() {
+        assert!(gate_leg("fast", "ops", 1000.0, 900.0));
+        assert!(!gate_leg("slow", "ops", 800.0, 900.0));
+    }
+
+    #[test]
+    fn read_baseline_walks_dotted_paths() {
+        let dir = std::env::temp_dir().join(format!("cppc-gate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.json");
+        std::fs::write(&path, r#"{"a":{"b":{"c":12.5}}}"#).unwrap();
+        let p = path.to_str().unwrap();
+        assert!((read_baseline(p, "a.b.c") - 12.5).abs() < 1e-12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

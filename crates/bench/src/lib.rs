@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 pub mod mbe;
 pub mod microbench;
 pub mod obs;

@@ -9,7 +9,9 @@
 //!   same dirty word (L1) or dirty block (L2).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
+use crate::batch::{self, OpBatch};
 use crate::cache::{Backing, Cache};
 use crate::geometry::CacheGeometry;
 use crate::memory::MainMemory;
@@ -46,11 +48,41 @@ impl MemOp {
     }
 }
 
+/// A multiply-mix hasher for the word-key maps on the drive hot path.
+/// Keys are already well-distributed word addresses, not attacker
+/// input, so SipHash's collision resistance buys nothing here — this
+/// single multiply + xor-shift cuts a measurable slice off every store
+/// the hierarchy simulates. Only the map's bucketing depends on it, so
+/// swapping hashers cannot change any statistic.
+#[derive(Debug, Clone, Copy, Default)]
+struct WordKeyHasher(u64);
+
+impl Hasher for WordKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed (via `write_u64`); a generic
+        // byte path would be dead code on this map.
+        debug_assert!(bytes.len() == 8, "WordKeyHasher hashes u64 keys only");
+        let mut buf = [0u8; 8];
+        buf[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+        self.write_u64(u64::from_le_bytes(buf));
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        let mut h = (self.0 ^ key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Tracks intervals between consecutive accesses to currently-dirty
 /// entities (words or blocks), producing the paper's `Tavg`.
 #[derive(Debug, Clone, Default)]
 struct DirtyIntervalTracker {
-    last_touch: HashMap<u64, u64>,
+    last_touch: HashMap<u64, u64, BuildHasherDefault<WordKeyHasher>>,
     interval_sum: u128,
     interval_count: u64,
 }
@@ -60,15 +92,20 @@ impl DirtyIntervalTracker {
     /// access if `dirty_after` (stores make words dirty; loads leave
     /// state unchanged).
     fn touch(&mut self, key: u64, now: u64, dirty_after: bool) {
-        if let Some(&last) = self.last_touch.get(&key) {
-            self.interval_sum += u128::from(now - last);
-            self.interval_count += 1;
-        }
-        if dirty_after {
-            self.last_touch.insert(key, now);
-        } else if self.last_touch.contains_key(&key) {
-            // Word was dirty and stays dirty on a load: refresh the stamp.
-            self.last_touch.insert(key, now);
+        // One hash lookup per touch: a tracked key always refreshes its
+        // stamp (dirty stays dirty on a load), an untracked one starts
+        // being tracked only once a store dirties it.
+        match self.last_touch.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                self.interval_sum += u128::from(now - *e.get());
+                self.interval_count += 1;
+                e.insert(now);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if dirty_after {
+                    e.insert(now);
+                }
+            }
         }
     }
 
@@ -246,6 +283,115 @@ impl TwoLevelHierarchy {
         let scratch_before = self.l1.scratch_reuse() + self.l2.scratch_reuse();
         for op in trace {
             self.step(op);
+        }
+        let (l1_after, l2_after) = self.stats();
+        crate::obs::publish_level_delta(1, &l1_before, &l1_after);
+        crate::obs::publish_level_delta(2, &l2_before, &l2_after);
+        crate::obs::publish_scratch_delta(
+            scratch_before,
+            self.l1.scratch_reuse() + self.l2.scratch_reuse(),
+        );
+    }
+
+    /// Runs a pre-decoded [`OpBatch`] through the hierarchy — the trace
+    /// timing fast path.
+    ///
+    /// State and statistics come out bit-identical to feeding the same
+    /// operations through [`TwoLevelHierarchy::step`] one at a time
+    /// (pinned by differential tests). The speedup comes from the loop
+    /// shape: geometry and configuration loads are hoisted out of the
+    /// per-op path, the L1 hit path costs a single probe (`step`'s
+    /// separate dirty-interval probe is folded into the hit check) with
+    /// the full miss machinery entered only when that probe fails, and
+    /// obs deltas publish once per batch instead of never (`step`) or
+    /// once per iterator drain ([`TwoLevelHierarchy::run`]).
+    pub fn run_batch(&mut self, batch: &OpBatch) {
+        let (l1_before, l2_before) = self.stats();
+        let scratch_before = self.l1.scratch_reuse() + self.l2.scratch_reuse();
+        let cycles_per_op = self.cycles_per_op;
+        let sample_interval = self.sample_interval;
+        let l1_geo = *self.l1.geometry();
+        let addrs = batch.addrs();
+        let kinds = batch.kinds();
+        let values = batch.values();
+        for i in 0..batch.len() {
+            let addr = addrs[i];
+            let kind = kinds[i];
+            self.cycle += cycles_per_op;
+            let word_key = addr & !7;
+            // One probe classifies the access *and* answers step()'s
+            // dirty-before question; probe has no side effects, so
+            // folding the two lookups preserves every counter.
+            let hit = self.l1.probe(addr);
+            match kind {
+                batch::KIND_LOAD => {
+                    if let Some((set, way)) = hit {
+                        let w = l1_geo.word_index(addr);
+                        let dirty_before = self.l1.block(set, way).is_word_dirty(w);
+                        self.l1.record_access(false, true);
+                        self.l1.touch(set, way);
+                        if dirty_before {
+                            self.l1_intervals.touch(word_key, self.cycle, true);
+                        }
+                    } else {
+                        // Miss: a non-resident word is never dirty, so
+                        // step()'s dirty-before branch cannot fire.
+                        let mut backing = L2Backing {
+                            l2: &mut self.l2,
+                            mem: &mut self.mem,
+                            intervals: &mut self.l2_intervals,
+                            cycle: self.cycle,
+                        };
+                        let _ = self.l1.load_word(addr, &mut backing);
+                    }
+                }
+                batch::KIND_STORE => {
+                    if let Some((set, way)) = hit {
+                        self.l1.record_access(true, true);
+                        self.l1
+                            .store_word_in_place(set, way, l1_geo.word_index(addr), values[i]);
+                    } else {
+                        let mut backing = L2Backing {
+                            l2: &mut self.l2,
+                            mem: &mut self.mem,
+                            intervals: &mut self.l2_intervals,
+                            cycle: self.cycle,
+                        };
+                        self.l1.store_word(addr, values[i], &mut backing);
+                    }
+                    self.l1_intervals.touch(word_key, self.cycle, true);
+                }
+                batch::KIND_STORE_BYTE => {
+                    if let Some((set, way)) = hit {
+                        self.l1.record_access(true, true);
+                        self.l1.store_byte_in_place(
+                            set,
+                            way,
+                            l1_geo.word_index(addr),
+                            l1_geo.byte_in_word(addr),
+                            values[i] as u8,
+                        );
+                    } else {
+                        let mut backing = L2Backing {
+                            l2: &mut self.l2,
+                            mem: &mut self.mem,
+                            intervals: &mut self.l2_intervals,
+                            cycle: self.cycle,
+                        };
+                        self.l1.store_byte(addr, values[i] as u8, &mut backing);
+                    }
+                    self.l1_intervals.touch(word_key, self.cycle, true);
+                }
+                k => unreachable!("invalid op kind {k}"),
+            }
+            self.ops_since_sample += 1;
+            if self.ops_since_sample >= sample_interval {
+                self.ops_since_sample = 0;
+                let d1 = self.l1.dirty_word_count();
+                let d2 = self.l2.dirty_word_count();
+                self.l1.stats_mut().sample_dirty(d1);
+                self.l2.stats_mut().sample_dirty(d2);
+            }
         }
         let (l1_after, l2_after) = self.stats();
         crate::obs::publish_level_delta(1, &l1_before, &l1_after);
@@ -436,6 +582,74 @@ mod tests {
         let l1 = CacheGeometry::new(256, 2, 32).unwrap();
         let l2 = CacheGeometry::new(1024, 2, 64).unwrap();
         let _ = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
+    }
+
+    fn random_ops(seed: u64, n: usize) -> Vec<MemOp> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let addr = rng.random_range(0..16384u64);
+                match rng.random_range(0..4u32) {
+                    0 => MemOp::Store(addr & !7, rng.random()),
+                    1 => MemOp::StoreByte(addr, rng.random::<u64>() as u8),
+                    _ => MemOp::Load(addr & !7),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_batch_matches_step_bit_for_bit() {
+        let ops = random_ops(0xBA7C4, 40_000);
+        let mut stepped = tiny();
+        stepped.set_cycles_per_op(3);
+        stepped.set_sample_interval(7);
+        let mut batched = stepped.clone();
+        for &op in &ops {
+            stepped.step(op);
+        }
+        // Uneven chunk sizes so batch boundaries cross the sampling
+        // cadence in every phase.
+        let mut batch = crate::batch::OpBatch::new();
+        for chunk in ops.chunks(513) {
+            batch.clear();
+            batch.extend_from_ops(chunk);
+            batched.run_batch(&batch);
+        }
+        assert_eq!(stepped.stats(), batched.stats());
+        assert_eq!(stepped.cycle(), batched.cycle());
+        assert_eq!(stepped.l1_tavg(), batched.l1_tavg());
+        assert_eq!(stepped.l2_tavg(), batched.l2_tavg());
+        assert_eq!(stepped.l1_dirty_fraction(), batched.l1_dirty_fraction());
+        assert_eq!(stepped.l2_dirty_fraction(), batched.l2_dirty_fraction());
+        for addr in (0..16384u64).step_by(8) {
+            assert_eq!(
+                stepped.l1().peek_word(addr),
+                batched.l1().peek_word(addr),
+                "L1 word {addr:#x}"
+            );
+            assert_eq!(
+                stepped.l2().peek_word(addr),
+                batched.l2().peek_word(addr),
+                "L2 word {addr:#x}"
+            );
+            assert_eq!(
+                stepped.memory().peek_word(addr),
+                batched.memory().peek_word(addr),
+                "memory word {addr:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_run() {
+        let ops = random_ops(0x5EED, 10_000);
+        let mut iterated = tiny();
+        let mut batched = tiny();
+        iterated.run(ops.iter().copied());
+        batched.run_batch(&crate::batch::OpBatch::from_ops(&ops));
+        assert_eq!(iterated.stats(), batched.stats());
+        assert_eq!(iterated.cycle(), batched.cycle());
     }
 
     #[test]

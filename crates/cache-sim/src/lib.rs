@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod block;
 pub mod cache;
 pub mod geometry;
@@ -52,6 +53,7 @@ pub mod stats;
 pub mod victim;
 pub mod write_through;
 
+pub use batch::OpBatch;
 pub use block::CacheBlock;
 pub use cache::Cache;
 pub use geometry::{CacheGeometry, GeometryError};

@@ -13,6 +13,7 @@ fn main() {
     // Touch every instrumented crate so its groups self-register; the
     // reference lists metadata only and works with `obs` off too.
     cppc_cache_sim::obs::register_metrics();
+    cppc_workloads::obs::register_metrics();
     cppc_core::obs::register_metrics();
     cppc_timing::obs::register_metrics();
     cppc_campaign::obs::register_metrics();

@@ -51,7 +51,8 @@ COMMANDS:
   campaign     run a campaign through the parallel deterministic engine
                (bit-identical results at any thread count; live metrics
                on stderr)
-                 --kind inject|scheme|montecarlo|mbe|sleep (default inject)
+                 --kind inject|scheme|montecarlo|mbe|sleep|trace
+                                  (default inject)
                  --scheme cppc|parity1d|secded-interleaved|parity2d|
                           silent-write-ecc|harp-odecc
                                   protection scheme to campaign (implies
@@ -72,18 +73,35 @@ COMMANDS:
                  --json           print only the result document on
                                   stdout (matches a serve job's result)
                  inject and scheme kinds also take --config/--fault;
-                 montecarlo --rate/--domains/--tavg; sleep --sleep-ms
+                 montecarlo --rate/--domains/--tavg; sleep --sleep-ms;
+                 trace --trace <file> (text or binary trace to replay
+                 per trial; see docs/TRACES.md)
   mttf         print the analytical MTTF table
                  --level l1|l2    evaluation point (default l1)
                  --fit <f>        SEU rate, FIT/bit (default 0.001)
                  --avf <f>        AVF (default 0.7)
   sweep        design-space sweep
                  --what pairs|ways (default pairs)
-  trace        record a synthetic trace to a file
+  trace        trace-file tools (see docs/TRACES.md); bare `trace` is
+               `trace record`
+    trace record   record a synthetic trace to a file
                  --bench <name>   benchmark (default gcc)
                  --ops <n>        operations (default 100000)
-                 --out <path>     output file (default trace.txt)
+                 --format text|bin (default text)
+                 --out <path>     output file (default trace.txt, or
+                                  trace.cppct with --format bin)
                  --seed <n>       trace seed (default 42)
+    trace convert  convert between trace formats
+                 --in <path>      input (format sniffed, or --from
+                                  text|bin|din to pin it)
+                 --out <path>     output file
+                 --to text|bin    output format (default bin)
+    trace info     format, op counts and load/store mix of a file
+                 --in <path>      trace file
+    trace bench    ops/sec probe: materialize-then-replay vs the
+                   streaming binary reader (binary traces)
+                 --in <path>      trace file
+                 --reps <n>       best-of repetitions (default 3)
   montecarlo   validate the MTTF model at accelerated rates
                  --rate <f>       faults/hour over dirty bits (default 40)
                  --domains <n>    protection domains (default 8)
@@ -459,6 +477,16 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
                 run_engine_campaign(&cfg, &ckpt, sleep_experiment(millis))?;
             print_tally(&report, json);
         }
+        "trace" => {
+            use cppc_bench::experiments::{load_trace, trace_experiment};
+            let path = args
+                .get("trace")
+                .ok_or("--kind trace requires --trace <file>")?;
+            let trace = load_trace(path)?;
+            let report: CampaignReport<OutcomeTally> =
+                run_engine_campaign(&cfg, &ckpt, trace_experiment(&trace))?;
+            print_tally(&report, json);
+        }
         "montecarlo" => {
             use cppc_reliability::montecarlo::{
                 analytic_mttf_hours, simulate_trial_into, MonteCarloAccumulator, MonteCarloConfig,
@@ -495,9 +523,10 @@ pub fn campaign(args: &ParsedArgs) -> CliResult {
             }
         }
         other => {
-            return Err(
-                format!("unknown kind '{other}' (use inject|scheme|montecarlo|mbe|sleep)").into(),
+            return Err(format!(
+                "unknown kind '{other}' (use inject|scheme|montecarlo|mbe|sleep|trace)"
             )
+            .into())
         }
     }
     Ok(())
@@ -530,21 +559,203 @@ pub fn mttf(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
-/// `trace`
+/// Which on-disk trace format a file holds, judged from its first
+/// bytes: the binary magic, the text header, or (failing both) the
+/// Dinero `din` layout, which has no signature of its own.
+fn sniff_trace_format(path: &str) -> Result<&'static str, Box<dyn Error>> {
+    use std::io::Read;
+    let mut head = [0u8; 64];
+    let mut f = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+    let n = f.read(&mut head)?;
+    let head = &head[..n];
+    if head.starts_with(&cppc_workloads::binfmt::MAGIC) {
+        return Ok("bin");
+    }
+    if head.starts_with(cppc_workloads::trace_io::HEADER.as_bytes()) {
+        return Ok("text");
+    }
+    Ok("din")
+}
+
+/// Loads a whole trace file into memory as ops, in any of the three
+/// supported formats.
+fn load_trace_ops(
+    path: &str,
+    format: &str,
+) -> Result<Vec<cppc_cache_sim::hierarchy::MemOp>, Box<dyn Error>> {
+    use std::io::BufReader;
+    let open = || -> Result<std::fs::File, Box<dyn Error>> {
+        Ok(std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?)
+    };
+    Ok(match format {
+        "text" => cppc_workloads::read_trace(BufReader::new(open()?))?,
+        // No BufReader: the binary reader does its own chunked buffering.
+        "bin" => cppc_workloads::read_bin_trace(open()?)?,
+        "din" => cppc_workloads::read_din_trace(BufReader::new(open()?))?,
+        other => return Err(format!("unknown trace format '{other}' (use text|bin|din)").into()),
+    })
+}
+
+/// `trace` / `trace record`
 pub fn trace(args: &ParsedArgs) -> CliResult {
-    use cppc_workloads::{write_trace, TraceGenerator};
+    use cppc_workloads::{write_trace, BinTraceWriter, TraceGenerator};
     let bench = args.get_or("bench", "gcc");
     let ops: usize = args.get_parsed("ops", 100_000)?;
-    let out_path = args.get_or("out", "trace.txt").to_string();
+    let format = args.get_or("format", "text");
+    let default_out = if format == "bin" {
+        "trace.cppct"
+    } else {
+        "trace.txt"
+    };
+    let out_path = args.get_or("out", default_out).to_string();
     let seed: u64 = args.get_parsed("seed", 42)?;
     let profiles = spec2000_profiles();
     let profile = profiles
         .iter()
         .find(|p| p.name == bench)
         .ok_or_else(|| format!("unknown benchmark '{bench}' (see `benchmarks`)"))?;
-    let mut file = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
-    let n = write_trace(&mut file, TraceGenerator::new(profile, seed).take(ops))?;
-    println!("wrote {n} operations of '{bench}' (seed {seed}) to {out_path}");
+    let generated = TraceGenerator::new(profile, seed).take(ops);
+    let n = match format {
+        "text" => {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
+            write_trace(&mut file, generated)?
+        }
+        "bin" => {
+            let file = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
+            let mut writer = BinTraceWriter::new(file)?;
+            for op in generated {
+                writer.push(op)?;
+            }
+            usize::try_from(writer.finish()?).unwrap_or(usize::MAX)
+        }
+        other => return Err(format!("unknown format '{other}' (use text|bin)").into()),
+    };
+    println!("wrote {n} operations of '{bench}' (seed {seed}, {format}) to {out_path}");
+    Ok(())
+}
+
+/// `trace convert` — whole-file conversion between the text v1, binary
+/// v1 and Dinero `din` formats. The input format is sniffed unless
+/// `--from` pins it (a `din` file has no signature, so sniffing falls
+/// back to it only when neither magic matches).
+pub fn trace_convert(args: &ParsedArgs) -> CliResult {
+    use std::io::Write;
+    let in_path = args.get("in").ok_or("missing --in <path>")?;
+    let out_path = args.get("out").ok_or("missing --out <path>")?;
+    let from = match args.get("from") {
+        Some(f) => f.to_string(),
+        None => sniff_trace_format(in_path)?.to_string(),
+    };
+    let to = args.get_or("to", "bin");
+    let _span = cppc_workloads::obs::TRACE_CONVERT.start();
+    let ops = load_trace_ops(in_path, &from)?;
+    match to {
+        "text" => {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(out_path)?);
+            cppc_workloads::write_trace(&mut out, ops.iter().copied())?;
+            out.flush()?;
+        }
+        "bin" => {
+            cppc_workloads::binfmt::write_bin_trace_file(out_path, &ops)?;
+        }
+        other => return Err(format!("unknown output format '{other}' (use text|bin)").into()),
+    }
+    cppc_workloads::obs::TRACE_OPS_CONVERTED.add(ops.len() as u64);
+    println!(
+        "converted {} operations: {in_path} ({from}) -> {out_path} ({to})",
+        ops.len()
+    );
+    Ok(())
+}
+
+/// `trace info` — format, declared and actual op counts, and the
+/// load/store mix of a trace file.
+pub fn trace_info(args: &ParsedArgs) -> CliResult {
+    use cppc_cache_sim::hierarchy::MemOp;
+    let path = args.get("in").ok_or("missing --in <path>")?;
+    let format = sniff_trace_format(path)?;
+    let file_bytes = std::fs::metadata(path)?.len();
+    let declared: Option<u64> = if format == "bin" {
+        cppc_workloads::BinTraceReader::open(path)?.declared_ops()
+    } else {
+        None
+    };
+    let ops = load_trace_ops(path, format)?;
+    let (mut loads, mut stores, mut byte_stores) = (0u64, 0u64, 0u64);
+    for op in &ops {
+        match op {
+            MemOp::Load(_) => loads += 1,
+            MemOp::Store(..) => stores += 1,
+            MemOp::StoreByte(..) => byte_stores += 1,
+        }
+    }
+    println!("{path}: {format} trace, {file_bytes} bytes");
+    match declared {
+        Some(n) => println!("  declared ops: {n}"),
+        None if format == "bin" => println!("  declared ops: unknown (unfinished writer)"),
+        None => {}
+    }
+    println!("  ops:          {}", ops.len());
+    println!("  loads:        {loads}");
+    println!("  stores:       {stores}");
+    println!("  byte stores:  {byte_stores}");
+    Ok(())
+}
+
+/// `trace bench` — quick ops/sec probe of a trace file: the
+/// materialize-then-replay leg (full decode into a `SharedTrace`, then
+/// one batched drive) against the streaming leg (chunked
+/// `BinTraceReader` decode feeding the hierarchy as it goes; binary
+/// traces only). Both legs include the file I/O, and the hierarchy
+/// digests are asserted identical.
+pub fn trace_bench(args: &ParsedArgs) -> CliResult {
+    use cppc_bench::experiments::{load_trace, trace_digest, trace_hierarchy};
+    let path = args.get("in").ok_or("missing --in <path>")?;
+    let reps: usize = args.get_parsed("reps", 3)?;
+    let reps = reps.max(1);
+    let format = sniff_trace_format(path)?;
+
+    let mut materialize_best = f64::INFINITY;
+    let mut ops_count = 0usize;
+    let mut digest = 0u64;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let trace = load_trace(path)?;
+        let batch = trace.batch();
+        let mut h = trace_hierarchy();
+        h.run_batch(&batch);
+        let dt = t0.elapsed().as_secs_f64();
+        ops_count = batch.len();
+        digest = trace_digest(&h);
+        materialize_best = materialize_best.min(dt);
+    }
+    let materialize_rate = ops_count as f64 / materialize_best;
+    println!("{path}: {ops_count} ops ({format}), best of {reps}");
+    println!("  materialize: {materialize_rate:>12.0} ops/s");
+
+    if format == "bin" {
+        let mut streaming_best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let mut reader = cppc_workloads::BinTraceReader::open(path)?;
+            let mut h = trace_hierarchy();
+            let mut batch = cppc_workloads::OpBatch::new();
+            cppc_workloads::binfmt::drive(&mut reader, &mut h, &mut batch)?;
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                trace_digest(&h),
+                digest,
+                "streaming drive diverged from materialized drive"
+            );
+            streaming_best = streaming_best.min(dt);
+        }
+        let streaming_rate = ops_count as f64 / streaming_best;
+        println!("  streaming:   {streaming_rate:>12.0} ops/s");
+        println!(
+            "  speedup:     {:>12.2}x",
+            streaming_rate / materialize_rate
+        );
+    }
     Ok(())
 }
 
@@ -731,6 +942,7 @@ pub fn repro(args: &ParsedArgs) -> CliResult {
 /// with the `metrics-md` generator binary.
 pub fn register_all_metrics() {
     cppc_cache_sim::obs::register_metrics();
+    cppc_workloads::obs::register_metrics();
     cppc_core::obs::register_metrics();
     cppc_timing::obs::register_metrics();
     cppc_campaign::obs::register_metrics();

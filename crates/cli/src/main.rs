@@ -45,11 +45,18 @@ const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
             "domains",
             "tavg",
             "sleep-ms",
+            "trace",
         ],
     ),
     ("mttf", &["level", "fit", "avf"]),
     ("sweep", &["what"]),
-    ("trace", &["bench", "ops", "out", "seed"]),
+    // Bare `trace` stays a `trace record` alias, so existing scripts
+    // keep working.
+    ("trace", &["bench", "ops", "out", "seed", "format"]),
+    ("trace record", &["bench", "ops", "out", "seed", "format"]),
+    ("trace convert", &["in", "out", "from", "to"]),
+    ("trace info", &["in"]),
+    ("trace bench", &["in", "reps"]),
     ("montecarlo", &["rate", "domains", "tavg", "trials"]),
     ("coherence", &["cores", "ops"]),
     (
@@ -103,6 +110,7 @@ const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
             "domains",
             "tavg",
             "sleep-ms",
+            "trace",
         ],
     ),
     ("status", &["socket", "tcp", "id"]),
@@ -114,8 +122,25 @@ const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
     ("shutdown", &["socket", "tcp"]),
 ];
 
+/// Folds a `trace <subcommand>` pair into the single composite command
+/// token the parser expects (`["trace", "convert", ...]` becomes
+/// `["trace convert", ...]`). A bare `trace` — or `trace` followed by
+/// an option — is left alone and keeps its historical record meaning.
+fn merge_composite(mut argv: Vec<String>) -> Vec<String> {
+    const TRACE_SUBCOMMANDS: &[&str] = &["record", "convert", "info", "bench"];
+    if argv.first().is_some_and(|c| c == "trace")
+        && argv
+            .get(1)
+            .is_some_and(|s| TRACE_SUBCOMMANDS.contains(&s.as_str()))
+    {
+        let sub = argv.remove(1);
+        argv[0] = format!("trace {sub}");
+    }
+    argv
+}
+
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv = merge_composite(std::env::args().skip(1).collect());
     let parsed = match ParsedArgs::parse(argv) {
         Ok(p) => p,
         Err(e) => {
@@ -144,7 +169,10 @@ fn main() {
         "campaign" => commands::campaign(&parsed),
         "mttf" => commands::mttf(&parsed),
         "sweep" => commands::sweep(&parsed),
-        "trace" => commands::trace(&parsed),
+        "trace" | "trace record" => commands::trace(&parsed),
+        "trace convert" => commands::trace_convert(&parsed),
+        "trace info" => commands::trace_info(&parsed),
+        "trace bench" => commands::trace_bench(&parsed),
         "montecarlo" => commands::montecarlo(&parsed),
         "coherence" => commands::coherence(&parsed),
         "repro" => commands::repro(&parsed),
@@ -167,5 +195,79 @@ fn main() {
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(items: &[&str]) -> Vec<String> {
+        items.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn composite_trace_commands_merge() {
+        for sub in ["record", "convert", "info", "bench"] {
+            let merged = merge_composite(words(&["trace", sub, "--in", "t.cppct"]));
+            assert_eq!(merged[0], format!("trace {sub}"));
+            assert_eq!(&merged[1..], &words(&["--in", "t.cppct"])[..]);
+        }
+    }
+
+    #[test]
+    fn bare_trace_and_other_commands_pass_through() {
+        // Historical form: `trace --bench gcc` still means record.
+        let bare = merge_composite(words(&["trace", "--bench", "gcc"]));
+        assert_eq!(bare, words(&["trace", "--bench", "gcc"]));
+        let other = merge_composite(words(&["campaign", "--kind", "trace"]));
+        assert_eq!(other, words(&["campaign", "--kind", "trace"]));
+        assert!(merge_composite(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn trace_subcommands_have_option_allowlists() {
+        for cmd in [
+            "trace",
+            "trace record",
+            "trace convert",
+            "trace info",
+            "trace bench",
+        ] {
+            assert!(
+                COMMAND_OPTIONS.iter().any(|(name, _)| *name == cmd),
+                "missing COMMAND_OPTIONS entry for '{cmd}'"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_subcommands_reject_unknown_options() {
+        let argv = merge_composite(words(&["trace", "convert", "--input", "t.txt"]));
+        let parsed = ParsedArgs::parse(argv).unwrap();
+        assert_eq!(parsed.command(), "trace convert");
+        let (_, allowed) = COMMAND_OPTIONS
+            .iter()
+            .find(|(name, _)| *name == "trace convert")
+            .unwrap();
+        let err = parsed.reject_unknown(allowed).unwrap_err();
+        assert!(err.to_string().contains("--input"), "{err}");
+
+        let ok = ParsedArgs::parse(merge_composite(words(&[
+            "trace", "convert", "--in", "a", "--out", "b", "--from", "din", "--to", "bin",
+        ])))
+        .unwrap();
+        assert!(ok.reject_unknown(allowed).is_ok());
+    }
+
+    #[test]
+    fn campaign_and_submit_accept_trace_kind_flags() {
+        for cmd in ["campaign", "submit"] {
+            let (_, allowed) = COMMAND_OPTIONS
+                .iter()
+                .find(|(name, _)| *name == cmd)
+                .unwrap();
+            assert!(allowed.contains(&"trace"), "'{cmd}' lacks --trace");
+        }
     }
 }

@@ -102,10 +102,19 @@ fn spec_from_args(args: &ParsedArgs) -> Result<JobSpec, Box<dyn Error>> {
         "sleep" => JobKind::Sleep {
             millis: args.get_parsed("sleep-ms", 0)?,
         },
+        "trace" => JobKind::Trace {
+            // The path is resolved on the daemon's host, not the
+            // submitting one; absolute paths travel best.
+            path: args
+                .get("trace")
+                .ok_or("--kind trace requires --trace <file>")?
+                .to_string(),
+        },
         other => {
-            return Err(
-                format!("unknown kind '{other}' (use inject|scheme|montecarlo|mbe|sleep)").into(),
+            return Err(format!(
+                "unknown kind '{other}' (use inject|scheme|montecarlo|mbe|sleep|trace)"
             )
+            .into())
         }
     };
     let mut spec = JobSpec::new(

@@ -62,6 +62,15 @@ pub enum JobKind {
         /// Sleep per trial, milliseconds.
         millis: u64,
     },
+    /// Trace-driven campaign
+    /// ([`cppc_bench::experiments::trace_experiment`]): every trial
+    /// replays a recorded trace through the batched hierarchy fast
+    /// path and folds the run digest into its outcome.
+    Trace {
+        /// Path to the trace file (binary `docs/TRACES.md` format, or
+        /// text v1), resolved on the executing host at dispatch time.
+        path: String,
+    },
 }
 
 impl JobKind {
@@ -74,6 +83,7 @@ impl JobKind {
             JobKind::MonteCarlo { .. } => "montecarlo",
             JobKind::Mbe => "mbe",
             JobKind::Sleep { .. } => "sleep",
+            JobKind::Trace { .. } => "trace",
         }
     }
 }
@@ -157,6 +167,13 @@ impl JobSpec {
                     return Err("too many trials for montecarlo".into());
                 }
             }
+            JobKind::Trace { path } => {
+                // Existence is checked on the executing host at
+                // dispatch; an empty path can never be right.
+                if path.is_empty() {
+                    return Err("trace path must not be empty".into());
+                }
+            }
             JobKind::Mbe | JobKind::Sleep { .. } => {}
         }
         Ok(())
@@ -202,6 +219,9 @@ impl JobSpec {
                 pairs.push(("rate".into(), Json::Num(*rate)));
                 pairs.push(("domains".into(), Json::UInt(u64::from(*domains))));
                 pairs.push(("tavg".into(), Json::Num(*tavg)));
+            }
+            JobKind::Trace { path } => {
+                pairs.push(("path".into(), Json::Str(path.clone())));
             }
             JobKind::Mbe | JobKind::Sleep { .. } => {}
         }
@@ -261,6 +281,9 @@ impl JobSpec {
             "mbe" => JobKind::Mbe,
             "sleep" => JobKind::Sleep {
                 millis: u64_field("millis", 0)?,
+            },
+            "trace" => JobKind::Trace {
+                path: str_field("path")?,
             },
             other => return Err(format!("unknown job kind '{other}'")),
         };
@@ -538,6 +561,13 @@ mod tests {
             },
             JobSpec::new(JobKind::Sleep { millis: 3 }, 100, 7),
             JobSpec::new(
+                JobKind::Trace {
+                    path: "/tmp/t.cppct".into(),
+                },
+                50,
+                0x7ACE,
+            ),
+            JobSpec::new(
                 JobKind::Scheme {
                     scheme: "secded-interleaved".into(),
                     config: "paper".into(),
@@ -595,6 +625,14 @@ mod tests {
             1,
         );
         assert!(bad_rate.validate().is_err());
+        let bad_trace = JobSpec::new(
+            JobKind::Trace {
+                path: String::new(),
+            },
+            10,
+            1,
+        );
+        assert!(bad_trace.validate().unwrap_err().contains("path"));
     }
 
     #[test]

@@ -15,8 +15,8 @@ use std::path::Path;
 use std::sync::atomic::AtomicBool;
 
 use cppc_bench::experiments::{
-    inject_experiment, inject_geometry, parse_config, parse_fault, parse_scheme, scheme_experiment,
-    sleep_experiment,
+    inject_experiment, inject_geometry, load_trace, parse_config, parse_fault, parse_scheme,
+    scheme_experiment, sleep_experiment, trace_experiment,
 };
 use cppc_campaign::json::Json;
 use cppc_campaign::metrics::Progress;
@@ -136,6 +136,24 @@ pub fn execute(
             ),
             tally_result_json,
         ),
+        JobKind::Trace { path } => {
+            // Load (and pre-decode) once; the experiment replays the
+            // immutable batch per trial on every worker thread.
+            let trace = match load_trace(path) {
+                Ok(trace) => trace,
+                Err(error) => return RunEnd::Failed { error },
+            };
+            finish::<OutcomeTally>(
+                run_resumable_interruptible(
+                    &cfg,
+                    &policy,
+                    interrupt,
+                    trace_experiment(&trace),
+                    on_progress,
+                ),
+                tally_result_json,
+            )
+        }
         JobKind::MonteCarlo {
             rate,
             domains,
@@ -294,6 +312,53 @@ mod tests {
             }
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_job_completes_and_matches_direct_engine_run() {
+        let ckpt = tmp("trace_complete.json");
+        let trace_path = tmp("trace_complete.cppct");
+        let _ = std::fs::remove_file(&ckpt);
+        let p = &cppc_workloads::spec2000_profiles()[0];
+        let trace = cppc_workloads::SharedTrace::generate(p, 0x7ACE, 1_000);
+        cppc_workloads::binfmt::write_bin_trace_file(&trace_path, trace.ops()).unwrap();
+        let spec = JobSpec {
+            shard_size: 8,
+            ..JobSpec::new(
+                JobKind::Trace {
+                    path: trace_path.display().to_string(),
+                },
+                32,
+                0xABCD,
+            )
+        };
+        let end = execute(&spec, &ckpt, 4, 2, None, |_| {});
+        let direct: OutcomeTally =
+            cppc_campaign::run(&spec.campaign_config(1), trace_experiment(&trace)).result;
+        assert_eq!(
+            end,
+            RunEnd::Complete {
+                result: tally_result_json(&direct)
+            }
+        );
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&trace_path);
+    }
+
+    #[test]
+    fn trace_job_with_missing_file_fails_cleanly() {
+        let ckpt = tmp("trace_missing.json");
+        let spec = JobSpec::new(
+            JobKind::Trace {
+                path: "/nonexistent/trace.cppct".into(),
+            },
+            8,
+            1,
+        );
+        match execute(&spec, &ckpt, 4, 1, None, |_| {}) {
+            RunEnd::Failed { error } => assert!(error.contains("cannot open"), "{error}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 
     #[test]

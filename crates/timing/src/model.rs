@@ -1,9 +1,10 @@
 //! The CPI model and per-scheme port-contention terms.
 
-use cppc_cache_sim::hierarchy::TwoLevelHierarchy;
+use cppc_cache_sim::batch::OpBatch;
+use cppc_cache_sim::hierarchy::{MemOp, TwoLevelHierarchy};
 use cppc_cache_sim::replacement::ReplacementPolicy;
 use cppc_cache_sim::stats::CacheStats;
-use cppc_workloads::{BenchmarkProfile, TraceGenerator};
+use cppc_workloads::{BenchmarkProfile, SharedTrace, TraceGenerator};
 
 use crate::config::MachineConfig;
 
@@ -116,6 +117,56 @@ impl TimingModel {
         hierarchy.run(generator.by_ref().take(memops / 2));
         hierarchy.reset_stats();
         hierarchy.run(generator.take(memops));
+        let (l1_stats, l2_stats) = hierarchy.stats();
+        self.breakdown_from_stats(profile, scheme, memops, l1_stats, l2_stats)
+    }
+
+    /// Trace-driven variant of [`TimingModel::simulate`]: drives a
+    /// pre-recorded [`SharedTrace`] through the hierarchy a pre-decoded
+    /// batch at a time
+    /// ([`TwoLevelHierarchy::run_batch`](cppc_cache_sim::TwoLevelHierarchy::run_batch)),
+    /// so the per-op dispatch overhead amortizes. The first
+    /// `memops / 2` operations warm the hierarchy, the next `memops`
+    /// are measured — given
+    /// `SharedTrace::generate(profile, seed, memops / 2 + memops)` the
+    /// breakdown is bit-identical to
+    /// `simulate(profile, scheme, memops, seed)` (pinned by tests);
+    /// the trace can equally come from disk
+    /// ([`SharedTrace::from_binary_file`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace holds fewer than `memops / 2 + memops`
+    /// operations or the machine's cache geometries are inconsistent.
+    #[must_use]
+    pub fn simulate_trace(
+        &self,
+        profile: &BenchmarkProfile,
+        scheme: L1Scheme,
+        trace: &SharedTrace,
+        memops: usize,
+    ) -> CpiBreakdown {
+        let _span = crate::obs::SIMULATE.start();
+        let warm = memops / 2;
+        assert!(
+            trace.len() >= warm + memops,
+            "trace holds {} ops, need {warm} warm + {memops} measured",
+            trace.len()
+        );
+        let l1 = self.machine.l1d.geometry().expect("valid L1 geometry");
+        let l2 = self.machine.l2.geometry().expect("valid L2 geometry");
+        let mut hierarchy = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
+        let mut batch = OpBatch::with_capacity(cppc_workloads::binfmt::DEFAULT_BATCH_OPS);
+        let mut run_span = |hierarchy: &mut TwoLevelHierarchy, ops: &[MemOp]| {
+            for chunk in ops.chunks(cppc_workloads::binfmt::DEFAULT_BATCH_OPS) {
+                batch.clear();
+                batch.extend_from_ops(chunk);
+                hierarchy.run_batch(&batch);
+            }
+        };
+        run_span(&mut hierarchy, &trace.ops()[..warm]);
+        hierarchy.reset_stats();
+        run_span(&mut hierarchy, &trace.ops()[warm..warm + memops]);
         let (l1_stats, l2_stats) = hierarchy.stats();
         self.breakdown_from_stats(profile, scheme, memops, l1_stats, l2_stats)
     }
@@ -304,6 +355,31 @@ mod tests {
         let a = model.simulate(p, L1Scheme::TwoDimParity, 20_000, 9).cpi();
         let b = model.simulate(p, L1Scheme::TwoDimParity, 20_000, 9).cpi();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simulate_trace_matches_generator_drive() {
+        // The batched trace drive is the fast path for the same
+        // computation simulate() performs — every stat and CPI term
+        // must come out bit-identical.
+        let model = TimingModel::default();
+        for p in &spec2000_profiles()[..4] {
+            let trace = SharedTrace::generate(p, 42, 20_000 / 2 + 20_000);
+            for scheme in [L1Scheme::Cppc, L1Scheme::TwoDimParity] {
+                let direct = model.simulate(p, scheme, 20_000, 42);
+                let traced = model.simulate_trace(p, scheme, &trace, 20_000);
+                assert_eq!(direct, traced, "{} {scheme:?}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trace holds")]
+    fn simulate_trace_rejects_short_traces() {
+        let model = TimingModel::default();
+        let p = &spec2000_profiles()[0];
+        let trace = SharedTrace::generate(p, 1, 100);
+        let _ = model.simulate_trace(p, L1Scheme::Cppc, &trace, 1_000);
     }
 
     #[test]

@@ -19,13 +19,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod generator;
 pub mod micro;
+pub mod obs;
 pub mod profile;
 pub mod shared;
 pub mod trace_io;
 
+pub use binfmt::{read_bin_trace, write_bin_trace, BinTraceError, BinTraceReader, BinTraceWriter};
+pub use cppc_cache_sim::batch::OpBatch;
 pub use generator::TraceGenerator;
 pub use profile::{spec2000_profiles, BenchmarkProfile};
 pub use shared::{Replay, SharedTrace};
-pub use trace_io::{read_trace, write_trace};
+pub use trace_io::{read_din_trace, read_trace, write_trace};

@@ -1,0 +1,18 @@
+//! Observability for the trace pipeline: how many bytes the streaming
+//! binary reader pulled, how many operations it decoded, how often it
+//! refilled its chunk buffer, and how much work the format converters
+//! did. See `docs/TRACES.md` for the format these counters instrument.
+
+cppc_obs::metrics! {
+    group TRACE_METRICS: "trace", "Binary trace pipeline: streaming-reader and converter activity.";
+    counter TRACE_BYTES_READ: "trace.bytes_read", "bytes", "Bytes pulled from the underlying stream by binary trace readers (header + records).";
+    counter TRACE_OPS_DECODED: "trace.ops_decoded", "ops", "Operations decoded out of binary trace records into OpBatch lanes.";
+    counter TRACE_CHUNK_REFILLS: "trace.chunk_refills", "events", "Chunk-buffer refills performed by streaming binary trace readers.";
+    counter TRACE_OPS_CONVERTED: "trace.ops_converted", "ops", "Operations pushed through whole-file trace format converters (text/binary/din).";
+    timer TRACE_CONVERT: "trace.convert.ns", "ns", "Wall time spent inside whole-file trace format conversions (throughput = ops_converted / this).";
+}
+
+/// Registers the `trace.*` metric group (idempotent).
+pub fn register_metrics() {
+    TRACE_METRICS.register();
+}

@@ -58,6 +58,32 @@ impl SharedTrace {
         SharedTrace { ops: ops.into() }
     }
 
+    /// Materialises a binary trace file (`docs/TRACES.md`) into a
+    /// shared trace. Use [`BinTraceReader`](crate::BinTraceReader)
+    /// directly when the trace may not fit in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinTraceError`](crate::BinTraceError) on I/O failures
+    /// or malformed content.
+    pub fn from_binary_file<P: AsRef<std::path::Path>>(
+        path: P,
+    ) -> Result<Self, crate::BinTraceError> {
+        // No BufReader layer: the binary reader chunks for itself.
+        let file = std::fs::File::open(path)?;
+        Ok(Self::from_ops(crate::read_bin_trace(file)?))
+    }
+
+    /// Decodes the whole trace into a fresh structure-of-arrays
+    /// [`OpBatch`](crate::OpBatch) — the same pre-decoded form the
+    /// streaming binary reader produces, for
+    /// [`run_batch`](cppc_cache_sim::TwoLevelHierarchy::run_batch)
+    /// consumers.
+    #[must_use]
+    pub fn batch(&self) -> crate::OpBatch {
+        crate::OpBatch::from_ops(&self.ops)
+    }
+
     /// Number of operations in the trace.
     #[must_use]
     pub fn len(&self) -> usize {

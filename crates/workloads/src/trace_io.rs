@@ -12,7 +12,9 @@
 //! ```
 //!
 //! `L` = load, `S` = 64-bit store (hex value), `B` = byte store.
-//! Addresses and values are hexadecimal without `0x`.
+//! Addresses and values are hexadecimal; the writer emits them bare,
+//! the reader also accepts an optional `0x`/`0X` prefix and CRLF line
+//! endings (traces recorded on other systems survive the round trip).
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -35,6 +37,8 @@ pub enum TraceError {
         line: usize,
         /// The offending content.
         content: String,
+        /// What was wrong with it.
+        reason: &'static str,
     },
 }
 
@@ -43,8 +47,12 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceError::BadHeader(h) => write!(f, "bad trace header: '{h}'"),
-            TraceError::BadLine { line, content } => {
-                write!(f, "bad trace line {line}: '{content}'")
+            TraceError::BadLine {
+                line,
+                content,
+                reason,
+            } => {
+                write!(f, "bad trace line {line} ({reason}): '{content}'")
             }
         }
     }
@@ -86,11 +94,23 @@ pub fn write_trace<W: Write, I: IntoIterator<Item = MemOp>>(
 ///
 /// Returns [`TraceError`] on I/O failures or malformed content.
 pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemOp>, TraceError> {
+    // `BufRead::lines` already strips `\n` and a trailing `\r`, so CRLF
+    // input parses identically to LF input.
     let mut lines = input.lines();
     let header = lines.next().transpose()?.unwrap_or_default();
     if header.trim() != HEADER {
         return Err(TraceError::BadHeader(header));
     }
+    // Numbers are hex with an optional 0x/0X prefix (foreign tools and
+    // hand-written traces often include it).
+    let hex = |field: Option<&str>, missing: &'static str| -> Result<u64, &'static str> {
+        let raw = field.ok_or(missing)?;
+        let digits = raw
+            .strip_prefix("0x")
+            .or_else(|| raw.strip_prefix("0X"))
+            .unwrap_or(raw);
+        u64::from_str_radix(digits, 16).map_err(|_| "not a hex number")
+    };
     let mut ops = Vec::new();
     for (i, line) in lines.enumerate() {
         let line = line?;
@@ -98,28 +118,79 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemOp>, TraceError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let bad = || TraceError::BadLine {
+        let bad = |reason: &'static str| TraceError::BadLine {
             line: i + 2,
             content: line.clone(),
+            reason,
         };
         let mut parts = trimmed.split_whitespace();
-        let kind = parts.next().ok_or_else(bad)?;
-        let addr = u64::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+        let kind = parts.next().ok_or_else(|| bad("missing op kind"))?;
+        let addr = hex(parts.next(), "missing address").map_err(bad)?;
         let op = match kind {
             "L" => MemOp::Load(addr),
-            "S" => {
-                let v =
-                    u64::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
-                MemOp::Store(addr, v)
-            }
+            "S" => MemOp::Store(addr, hex(parts.next(), "missing store value").map_err(bad)?),
             "B" => {
-                let v = u8::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
-                MemOp::StoreByte(addr, v)
+                let v = hex(parts.next(), "missing store value").map_err(bad)?;
+                MemOp::StoreByte(
+                    addr,
+                    u8::try_from(v).map_err(|_| bad("byte-store value exceeds one byte"))?,
+                )
             }
-            _ => return Err(bad()),
+            _ => return Err(bad("unknown op kind (expected L, S or B)")),
         };
         if parts.next().is_some() {
-            return Err(bad());
+            return Err(bad("trailing garbage after operands"));
+        }
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Reads a Dinero-style `din` trace: one `<accesstype> <hexaddr>`
+/// reference per line, where access type `0` is a data read, `1` a
+/// data write and `2` an instruction fetch. Reads and fetches map to
+/// [`MemOp::Load`]; writes map to [`MemOp::Store`] with value 0 (din
+/// traces carry no data values). An optional third hex field (the
+/// reference size some tools emit) is accepted and ignored.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failures or malformed content.
+pub fn read_din_trace<R: BufRead>(input: R) -> Result<Vec<MemOp>, TraceError> {
+    let hex = |field: Option<&str>, missing: &'static str| -> Result<u64, &'static str> {
+        let raw = field.ok_or(missing)?;
+        let digits = raw
+            .strip_prefix("0x")
+            .or_else(|| raw.strip_prefix("0X"))
+            .unwrap_or(raw);
+        u64::from_str_radix(digits, 16).map_err(|_| "not a hex number")
+    };
+    let mut ops = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: &'static str| TraceError::BadLine {
+            line: i + 1,
+            content: line.clone(),
+            reason,
+        };
+        let mut parts = trimmed.split_whitespace();
+        let label = parts.next().ok_or_else(|| bad("missing access type"))?;
+        let addr = hex(parts.next(), "missing address").map_err(bad)?;
+        let op = match label {
+            "0" | "2" => MemOp::Load(addr),
+            "1" => MemOp::Store(addr, 0),
+            _ => return Err(bad("unknown access type (expected 0, 1 or 2)")),
+        };
+        if let Some(size) = parts.next() {
+            // The optional size field; it must at least look numeric.
+            hex(Some(size), "not a hex number").map_err(bad)?;
+            if parts.next().is_some() {
+                return Err(bad("trailing garbage after operands"));
+            }
         }
         ops.push(op);
     }
@@ -163,16 +234,54 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        for bad in [
-            "# cppc-trace v1\nX 10",
-            "# cppc-trace v1\nL",
-            "# cppc-trace v1\nS 10",
-            "# cppc-trace v1\nL zz",
-            "# cppc-trace v1\nL 10 extra",
+        for (bad, why) in [
+            ("# cppc-trace v1\nX 10", "unknown op kind"),
+            ("# cppc-trace v1\nL", "missing address"),
+            ("# cppc-trace v1\nS 10", "missing store value"),
+            ("# cppc-trace v1\nL zz", "not a hex number"),
+            ("# cppc-trace v1\nL 0xzz", "not a hex number"),
+            ("# cppc-trace v1\nB 10 1ff", "exceeds one byte"),
+            ("# cppc-trace v1\nL 10 extra", "trailing garbage"),
+            ("# cppc-trace v1\nS 10 20 30", "trailing garbage"),
         ] {
             let err = read_trace(BufReader::new(bad.as_bytes())).unwrap_err();
-            assert!(matches!(err, TraceError::BadLine { .. }), "{bad}");
+            match err {
+                TraceError::BadLine {
+                    line: 2, reason, ..
+                } => {
+                    assert!(reason.contains(why), "{bad}: got reason '{reason}'");
+                }
+                other => panic!("{bad}: expected BadLine, got {other}"),
+            }
         }
+    }
+
+    #[test]
+    fn accepts_crlf_line_endings() {
+        let text = "# cppc-trace v1\r\nL a0\r\nS b0 1\r\nB c1 7f\r\n";
+        let ops = read_trace(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                MemOp::Load(0xA0),
+                MemOp::Store(0xB0, 1),
+                MemOp::StoreByte(0xC1, 0x7F),
+            ]
+        );
+    }
+
+    #[test]
+    fn accepts_0x_prefixes() {
+        let text = "# cppc-trace v1\nL 0xa0\nS 0XB0 0x1\nB 0xc1 7f\n";
+        let ops = read_trace(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                MemOp::Load(0xA0),
+                MemOp::Store(0xB0, 1),
+                MemOp::StoreByte(0xC1, 0x7F),
+            ]
+        );
     }
 
     #[test]
@@ -183,11 +292,49 @@ mod tests {
     }
 
     #[test]
+    fn din_import_maps_access_types() {
+        let text = "0 1000\n1 0x2008\n2 3000\n0 4000 4\n";
+        let ops = read_din_trace(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                MemOp::Load(0x1000),
+                MemOp::Store(0x2008, 0),
+                MemOp::Load(0x3000),
+                MemOp::Load(0x4000),
+            ]
+        );
+    }
+
+    #[test]
+    fn din_import_rejects_malformed_lines() {
+        for (bad, why) in [
+            ("7 1000", "unknown access type"),
+            ("0", "missing address"),
+            ("0 zz", "not a hex number"),
+            ("0 1000 zz", "not a hex number"),
+            ("0 1000 4 extra", "trailing garbage"),
+        ] {
+            let err = read_din_trace(BufReader::new(bad.as_bytes())).unwrap_err();
+            match err {
+                TraceError::BadLine {
+                    line: 1, reason, ..
+                } => {
+                    assert!(reason.contains(why), "{bad}: got reason '{reason}'");
+                }
+                other => panic!("{bad}: expected BadLine, got {other}"),
+            }
+        }
+    }
+
+    #[test]
     fn error_display() {
         let e = TraceError::BadLine {
             line: 3,
             content: "oops".into(),
+            reason: "trailing garbage after operands",
         };
         assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("trailing garbage"));
     }
 }

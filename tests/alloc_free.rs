@@ -106,6 +106,49 @@ fn steady_state_hierarchy_run_allocates_nothing() {
     );
 }
 
+/// The streaming binary-trace drive loop — chunked refills of the
+/// reader's fixed buffer, record decode into recycled `OpBatch` lanes,
+/// batched hierarchy stepping — is allocation-free once the reader and
+/// batch exist and the hierarchy has seen the trace once. Constructing
+/// a reader allocates its chunk buffer by design; steady state is the
+/// loop, so the measured window drives a pre-built reader end to end.
+#[test]
+fn steady_state_streaming_binary_drive_allocates_nothing() {
+    let _serial = MEASURE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let trace = trace(200_000);
+    let dir = std::env::temp_dir().join(format!("cppc-alloc-free-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream.cppct");
+    cppc_workloads::binfmt::write_bin_trace_file(&path, trace.ops()).unwrap();
+
+    let l1 = CacheGeometry::new(8 * 1024, 2, 32).unwrap();
+    let l2 = CacheGeometry::new(32 * 1024, 4, 32).unwrap();
+    let mut h = TwoLevelHierarchy::new(l1, l2, ReplacementPolicy::Lru);
+    let mut batch = cppc_workloads::OpBatch::new();
+
+    // Warmup: two full streamed drives allocate the cache arenas, the
+    // backing-memory pages, the interval-map capacity and the batch's
+    // lane capacity.
+    for _ in 0..2 {
+        let mut reader = cppc_workloads::BinTraceReader::open(&path).unwrap();
+        cppc_workloads::binfmt::drive(&mut reader, &mut h, &mut batch).unwrap();
+    }
+
+    let mut reader = cppc_workloads::BinTraceReader::open(&path).unwrap();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let driven = cppc_workloads::binfmt::drive(&mut reader, &mut h, &mut batch).unwrap();
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(driven, 200_000, "whole trace streamed");
+    assert_eq!(
+        during, 0,
+        "steady-state streaming drive of 200000 ops performed {during} heap allocations"
+    );
+}
+
 /// The full snapshot trial cycle — restore warm state, generate and
 /// inject a fault pattern, run recovery (including the locator), and
 /// classify — is allocation-free once the warm pool holds a captured
