@@ -121,6 +121,23 @@ git diff --exit-code -- docs/SCHEMES.md || {
     exit 1
 }
 
+echo "== explore quick-tier gate (committed frontier matches the code)"
+# Re-runs the quick-tier design-space sweep and fails if the committed
+# docs/results/explore_quick.json differs byte-for-byte from what the
+# models produce (or if the frontier degenerates to CPPC-only points).
+cargo run -q --release -p cppc-cli --bin cppc-cli -- explore --quick --check
+
+echo "== docs/EXPLORER.md freshness"
+# The explorer book is a pure function of the committed
+# docs/results/explore_*.json documents, so re-rendering (no
+# simulation) must be a no-op on a clean tree.
+cargo run -q --release -p cppc-cli --bin explorer-md > docs/EXPLORER.md
+git diff --exit-code -- docs/EXPLORER.md || {
+    echo "docs/EXPLORER.md is stale: regenerate with" \
+         "'cargo run --release -p cppc-cli --bin explorer-md > docs/EXPLORER.md'" >&2
+    exit 1
+}
+
 echo "== docs/METRICS.md freshness"
 cargo run -q -p cppc-cli --bin metrics-md > docs/METRICS.md
 git diff --exit-code -- docs/METRICS.md || {

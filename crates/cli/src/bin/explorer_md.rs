@@ -1,0 +1,38 @@
+//! Generates `docs/EXPLORER.md` from the committed sweep documents.
+//!
+//! Prints the book to stdout; the checked-in file is produced with
+//!
+//! ```console
+//! $ cargo run -p cppc-cli --bin explorer-md > docs/EXPLORER.md
+//! ```
+//!
+//! and `ci.sh` regenerates it and fails on drift, so the book can
+//! never fall out of sync with the committed
+//! `docs/results/explore_*.json` documents (which `cppc-cli explore
+//! --quick --check` in turn pins to the code). Rendering reads only
+//! the documents — no simulation.
+//!
+//! An optional first argument overrides the repository root (default
+//! `.`) used to locate `docs/results/explore_{quick,full}.json`.
+
+use cppc_campaign::json::Json;
+use std::path::Path;
+
+fn load(root: &Path, tier: &str) -> Option<Json> {
+    let path = root
+        .join("docs")
+        .join("results")
+        .join(format!("explore_{tier}.json"));
+    Json::parse(&std::fs::read_to_string(path).ok()?).ok()
+}
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = Path::new(&root);
+    let quick = load(root, "quick");
+    let full = load(root, "full");
+    print!(
+        "{}",
+        cppc_explore::doc::render(quick.as_ref(), full.as_ref())
+    );
+}

@@ -21,5 +21,6 @@ fn main() {
     cppc_repro::obs::register_metrics();
     cppc_serve::obs::register_metrics();
     cppc_bench::obs::register_metrics();
+    cppc_explore::obs::register_metrics();
     print!("{}", cppc_obs::reference_markdown());
 }

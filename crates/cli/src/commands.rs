@@ -123,6 +123,28 @@ COMMANDS:
                  --quick          scaled-down trial counts (tests only;
                                   never mix with committed goldens)
                  --root <path>    repo root (default .)
+  explore      design-space sweep over scheme x geometry x interleave-k
+               x scrub interval; Pareto frontier over (MTTF, energy,
+               CPI, area) feeding docs/EXPLORER.md
+                 --quick          28-config CI tier (default: the
+                                  432-config full tier)
+                 --check          re-run the tier and require byte
+                                  identity with the committed
+                                  docs/results/explore_<tier>.json
+                 --render         re-render docs/EXPLORER.md from the
+                                  committed JSONs, no simulation
+                 --threads <n>    workers across configs, 0 = all CPUs
+                                  (default 0); bytes identical at any
+                                  thread count
+                 --checkpoint-dir <dir>  per-config checkpoints keyed
+                                  by config digest (resume)
+                 --include <s,..> keep only config labels containing a
+                                  substring (side study; needs --out)
+                 --exclude <s,..> drop config labels containing a
+                                  substring (side study; needs --out)
+                 --out <path>     write the document here instead of
+                                  docs/results/explore_<tier>.json
+                 --root <path>    repo root (default .)
   stats        run a workload + mini campaign, then print the live
                metrics registry (see docs/METRICS.md)
                  --bench <name>   benchmark (default gcc)
@@ -937,6 +959,158 @@ pub fn repro(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
+/// Path of a tier's committed sweep document.
+fn explore_json_path(root: &std::path::Path, tier: &str) -> PathBuf {
+    root.join("docs")
+        .join("results")
+        .join(format!("explore_{tier}.json"))
+}
+
+/// Loads a committed sweep document, if present and well-formed.
+fn explore_doc(root: &std::path::Path, tier: &str) -> Option<cppc_campaign::json::Json> {
+    let text = std::fs::read_to_string(explore_json_path(root, tier)).ok()?;
+    cppc_campaign::json::Json::parse(&text).ok()
+}
+
+/// Re-renders `docs/EXPLORER.md` from the committed tier documents.
+fn write_explorer_book(root: &std::path::Path) -> Result<PathBuf, Box<dyn Error>> {
+    let quick = explore_doc(root, "quick");
+    let full = explore_doc(root, "full");
+    let path = root.join("docs").join("EXPLORER.md");
+    std::fs::write(
+        &path,
+        cppc_explore::doc::render(quick.as_ref(), full.as_ref()),
+    )
+    .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Splits a comma-separated filter list.
+fn split_filters(raw: Option<&str>) -> Vec<String> {
+    raw.map_or_else(Vec::new, |s| {
+        s.split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(ToString::to_string)
+            .collect()
+    })
+}
+
+/// `explore` — the design-space explorer (`crates/explore`, see
+/// docs/EXPLORER.md).
+pub fn explore(args: &ParsedArgs) -> CliResult {
+    use cppc_explore::{doc, run_sweep, SweepOptions, SweepOutcome, SweepSpec};
+
+    let root = PathBuf::from(args.get_or("root", "."));
+    let quick = args.get_flag("quick");
+    let check = args.get_flag("check");
+    if args.get_flag("render") {
+        let path = write_explorer_book(&root)?;
+        println!("rendered {}", path.display());
+        return Ok(());
+    }
+
+    let mut spec = if quick {
+        SweepSpec::quick_tier()
+    } else {
+        SweepSpec::full_tier()
+    };
+    spec.include = split_filters(args.get("include"));
+    spec.exclude = split_filters(args.get("exclude"));
+    let filtered = !spec.include.is_empty() || !spec.exclude.is_empty();
+    let out_override = args.get("out").map(PathBuf::from);
+    if check && (filtered || out_override.is_some()) {
+        return Err("--check verifies the canonical tier; drop --include/--exclude/--out".into());
+    }
+    if filtered {
+        if out_override.is_none() {
+            return Err(
+                "filtered sweeps are side studies; give them a home with --out <path>".into(),
+            );
+        }
+        spec.tier = "custom".to_string();
+    }
+
+    let opts = SweepOptions {
+        threads: args.get_parsed("threads", 0)?,
+        checkpoint_dir: args.get("checkpoint-dir").map(PathBuf::from),
+    };
+    eprintln!(
+        "explore: {} tier, {} configs x {} trials ({} workload ops) ...",
+        spec.tier,
+        spec.enumerate().len(),
+        spec.trials,
+        spec.workload_ops
+    );
+    let points = match run_sweep(&spec, &opts, None)? {
+        SweepOutcome::Complete(points) => points,
+        SweepOutcome::Interrupted { completed, total } => {
+            return Err(format!("sweep interrupted at {completed}/{total} configs").into())
+        }
+    };
+    let document = doc::sweep_doc(&spec, &points);
+    let body = doc::pretty(&document);
+    let summary = |key: &str| {
+        document
+            .get("summary")
+            .and_then(|s| s.get(key))
+            .and_then(cppc_campaign::json::Json::as_u64)
+            .unwrap_or(0)
+    };
+
+    if check {
+        let path = explore_json_path(&root, &spec.tier);
+        let regen = format!(
+            "cargo run --release -p cppc-cli -- explore{} --root {}",
+            if quick { " --quick" } else { "" },
+            root.display()
+        );
+        let committed = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e} (generate it with `{regen}`)", path.display()))?;
+        if committed != body {
+            return Err(format!(
+                "{} is stale: re-running the {} tier produced different bytes; \
+                 regenerate with `{regen}`",
+                path.display(),
+                spec.tier
+            )
+            .into());
+        }
+        if summary("frontier_non_cppc") == 0 {
+            return Err("frontier degenerated to a CPPC monoculture".into());
+        }
+        println!(
+            "explore check: {} matches ({} configs, frontier {} incl. {} non-CPPC)",
+            path.display(),
+            summary("configs"),
+            summary("frontier_size"),
+            summary("frontier_non_cppc"),
+        );
+        return Ok(());
+    }
+
+    let path = out_override.unwrap_or_else(|| explore_json_path(&root, &spec.tier));
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&path, &body).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!(
+        "wrote {} ({} configs, frontier {} incl. {} non-CPPC, {} dominated)",
+        path.display(),
+        summary("configs"),
+        summary("frontier_size"),
+        summary("frontier_non_cppc"),
+        summary("dominated"),
+    );
+    // A canonical tier write refreshes the book; side studies (--out)
+    // leave the committed documents alone.
+    if args.get("out").is_none() {
+        let book = write_explorer_book(&root)?;
+        println!("rendered {}", book.display());
+    }
+    Ok(())
+}
+
 /// Registers every instrumented subsystem's metric groups, so describe
 /// mode and snapshots list them even before any activity. Kept in sync
 /// with the `metrics-md` generator binary.
@@ -949,6 +1123,7 @@ pub fn register_all_metrics() {
     cppc_repro::obs::register_metrics();
     cppc_serve::obs::register_metrics();
     cppc_bench::obs::register_metrics();
+    cppc_explore::obs::register_metrics();
 }
 
 /// `stats`

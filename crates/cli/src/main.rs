@@ -73,6 +73,20 @@ const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "explore",
+        &[
+            "quick",
+            "check",
+            "render",
+            "threads",
+            "checkpoint-dir",
+            "include",
+            "exclude",
+            "out",
+            "root",
+        ],
+    ),
+    (
         "stats",
         &[
             "bench", "ops", "seed", "trials", "format", "all", "events", "describe",
@@ -111,6 +125,7 @@ const COMMAND_OPTIONS: &[(&str, &[&str])] = &[
             "tavg",
             "sleep-ms",
             "trace",
+            "quick",
         ],
     ),
     ("status", &["socket", "tcp", "id"]),
@@ -176,6 +191,7 @@ fn main() {
         "montecarlo" => commands::montecarlo(&parsed),
         "coherence" => commands::coherence(&parsed),
         "repro" => commands::repro(&parsed),
+        "explore" => commands::explore(&parsed),
         "stats" => commands::stats(&parsed),
         "serve" => serve_cmd::serve_daemon(&parsed),
         "submit" => serve_cmd::submit(&parsed),

@@ -110,9 +110,14 @@ fn spec_from_args(args: &ParsedArgs) -> Result<JobSpec, Box<dyn Error>> {
                 .ok_or("--kind trace requires --trace <file>")?
                 .to_string(),
         },
+        // `--trials`/`--seed` override the tier's per-config campaign
+        // parameters, so small smoke sweeps can run through the daemon.
+        "explore" => JobKind::Explore {
+            quick: args.get_flag("quick"),
+        },
         other => {
             return Err(format!(
-                "unknown kind '{other}' (use inject|scheme|montecarlo|mbe|sleep|trace)"
+                "unknown kind '{other}' (use inject|scheme|montecarlo|mbe|sleep|trace|explore)"
             )
             .into())
         }

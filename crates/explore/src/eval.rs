@@ -1,0 +1,513 @@
+//! Per-configuration evaluation: one [`SweepConfig`] in, one
+//! [`ConfigPoint`] out.
+//!
+//! Each configuration is scored on the four explorer objectives:
+//!
+//! * **MTTF (years)** from the closed-form models of
+//!   `cppc_reliability::mttf`, with the paper's L1 parameters rescaled
+//!   to the config's capacity. Scrubbing caps the double-fault
+//!   vulnerability window (`Tavg`) at the scrub interval for schemes
+//!   whose failure mode is a second fault in the same domain; parity's
+//!   first-fault-fatal MTTF is unaffected (scrubbing detects, it cannot
+//!   correct).
+//! * **Energy ratio** — dynamic pJ over the workload window, divided by
+//!   a one-dimensional-parity cache of the same geometry running the
+//!   same window without scrubbing. Scrub passes add one read per block
+//!   per pass plus writebacks for the dirty fraction.
+//! * **CPI inflation %** — the port-contention timing model, again
+//!   normalised to same-geometry 1D parity; scrubbing inflates CPI by
+//!   the scrub traffic's share of the interval.
+//! * **Area overhead %** — the scheme's storage overhead from
+//!   `cppc_energy::area`.
+//!
+//! Alongside the analytical models, every configuration runs a
+//! fault-injection campaign (`scheme_experiment` over a 4x4 spatial
+//! strike) whose outcome tally is carried into the document — the
+//! empirical cross-check on the closed-form MTTF ordering.
+//!
+//! Evaluation is a pure function of (spec, config, geometry baseline):
+//! no clocks, no global state, so the sweep driver can run configs on
+//! any number of threads and still produce identical bytes.
+
+use crate::spec::{SweepConfig, SweepSpec};
+use cppc_bench::experiments::scheme_experiment;
+use cppc_cache_sim::stats::CacheStats;
+use cppc_campaign::json::Json;
+use cppc_campaign::{CampaignConfig, Persist};
+use cppc_core::SchemeKind;
+use cppc_energy::{AreaModel, ProtectionKind, SchemeEnergy, TechnologyNode};
+use cppc_fault::campaign::OutcomeTally;
+use cppc_fault::model::FaultModel;
+use cppc_reliability::mttf::{
+    mttf_cppc_years, mttf_domain_double_fault_years, mttf_one_dim_parity_years, mttf_secded_years,
+    ReliabilityParams,
+};
+use cppc_timing::{counts_from_stats, CacheLevelConfig, L1Scheme, MachineConfig, TimingModel};
+use cppc_workloads::{spec2000_profiles, BenchmarkProfile};
+
+/// Seed of the workload trace every configuration shares.
+const WORKLOAD_SEED: u64 = 42;
+
+/// Campaign shard size: small enough that even quick-tier configs span
+/// several shards (exercising the deterministic reduction).
+const CAMPAIGN_SHARD: u64 = 16;
+
+/// The spatial strike injected by every campaign trial (the paper's
+/// 4x4 worst-case footprint).
+const FAULT: FaultModel = FaultModel::SpatialSquare {
+    rows: 4,
+    cols: 4,
+    density: 1.0,
+};
+
+/// Cache statistics of the shared functional run at one geometry.
+///
+/// All schemes at a geometry see the same access stream, so the
+/// (expensive) functional simulation runs once per distinct
+/// size × associativity × block triple and its statistics feed every
+/// scheme's analytical breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometryBaseline {
+    /// L1 statistics of the measured window.
+    pub l1_stats: CacheStats,
+    /// L2 statistics of the measured window.
+    pub l2_stats: CacheStats,
+}
+
+fn profile_for(spec: &SweepSpec) -> Result<BenchmarkProfile, String> {
+    spec2000_profiles()
+        .into_iter()
+        .find(|p| p.name == spec.benchmark)
+        .ok_or_else(|| format!("unknown benchmark profile '{}'", spec.benchmark))
+}
+
+fn machine_for(cache_kib: u32, associativity: u32, block_bytes: u32) -> MachineConfig {
+    let mut machine = MachineConfig::table1();
+    machine.l1d = CacheLevelConfig {
+        size_bytes: cache_kib as usize * 1024,
+        associativity: associativity as usize,
+        block_bytes: block_bytes as usize,
+        latency_cycles: 2,
+    };
+    // The hierarchy refills whole blocks, so both levels must agree on
+    // the block size; sweeping the L1 block drags the L2's along.
+    machine.l2.block_bytes = block_bytes as usize;
+    machine
+}
+
+/// Runs the shared functional workload at one geometry.
+///
+/// # Errors
+///
+/// Returns a message if the spec names an unknown benchmark profile.
+pub fn baseline(
+    spec: &SweepSpec,
+    cache_kib: u32,
+    associativity: u32,
+    block_bytes: u32,
+) -> Result<GeometryBaseline, String> {
+    let profile = profile_for(spec)?;
+    let model = TimingModel::new(machine_for(cache_kib, associativity, block_bytes));
+    let b = model.simulate(
+        &profile,
+        L1Scheme::OneDimParity,
+        spec.workload_ops,
+        WORKLOAD_SEED,
+    );
+    Ok(GeometryBaseline {
+        l1_stats: b.l1_stats,
+        l2_stats: b.l2_stats,
+    })
+}
+
+fn l1_scheme_of(kind: SchemeKind) -> L1Scheme {
+    match kind {
+        SchemeKind::Cppc => L1Scheme::Cppc,
+        SchemeKind::Parity1d => L1Scheme::OneDimParity,
+        SchemeKind::Parity2d => L1Scheme::TwoDimParity,
+        // SECDED variants decode off the critical path (§6.1).
+        SchemeKind::SecdedInterleaved | SchemeKind::SilentWriteEcc | SchemeKind::HarpOdecc => {
+            L1Scheme::Secded
+        }
+    }
+}
+
+fn pricing_of(cfg: &SweepConfig) -> ProtectionKind {
+    match cfg.scheme {
+        // CPPC's code array scales with the swept interleave factor.
+        SchemeKind::Cppc => ProtectionKind::Cppc { ways: cfg.parity_k },
+        other => ProtectionKind::for_scheme(other.name()).expect("zoo scheme has a pricing kind"),
+    }
+}
+
+fn area_overhead_pct(cfg: &SweepConfig) -> f64 {
+    let size = cfg.size_bytes();
+    let model = match cfg.scheme {
+        SchemeKind::Cppc => AreaModel::cppc(size, cfg.parity_k, 1, 64),
+        SchemeKind::Parity1d => AreaModel::one_dim_parity(size, 8),
+        SchemeKind::Parity2d => AreaModel::two_dim_parity(size, 8, 1),
+        SchemeKind::SecdedInterleaved | SchemeKind::SilentWriteEcc | SchemeKind::HarpOdecc => {
+            AreaModel::secded(size)
+        }
+    };
+    model.overhead_fraction() * 100.0
+}
+
+fn mttf_years_of(cfg: &SweepConfig) -> f64 {
+    let mut p = ReliabilityParams::paper_l1();
+    p.total_bits = cfg.size_bytes() as f64 * 8.0;
+    // Scrubbing shortens the window in which a *second* fault can
+    // accumulate in the same protection domain.
+    let mut p_scrubbed = p;
+    if let Some(iv) = cfg.scrub_interval {
+        p_scrubbed.tavg_cycles = p.tavg_cycles.min(iv as f64);
+    }
+    match cfg.scheme {
+        SchemeKind::Cppc => mttf_cppc_years(&p_scrubbed, cfg.parity_k),
+        // Detection-only: the first dirty fault is fatal, scrubbed or
+        // not.
+        SchemeKind::Parity1d => mttf_one_dim_parity_years(&p),
+        SchemeKind::Parity2d => mttf_domain_double_fault_years(&p_scrubbed, p.dirty_bits()),
+        SchemeKind::SecdedInterleaved | SchemeKind::SilentWriteEcc | SchemeKind::HarpOdecc => {
+            mttf_secded_years(&p_scrubbed, 64.0)
+        }
+    }
+}
+
+/// One fully evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigPoint {
+    /// The grid point.
+    pub config: SweepConfig,
+    /// Stable digest of (config, spec identity) — the checkpoint key
+    /// and campaign-seed salt.
+    pub digest: u64,
+    /// MTTF in years (maximize).
+    pub mttf_years: f64,
+    /// Dynamic energy over the window, normalised to same-geometry 1D
+    /// parity without scrubbing (minimize; parity1d/scrub-none is
+    /// exactly 1.0 by construction).
+    pub energy_ratio: f64,
+    /// CPI inflation over the same baseline, percent (minimize).
+    pub cpi_inflation_pct: f64,
+    /// Storage overhead of the code bits, percent (minimize).
+    pub area_overhead_pct: f64,
+    /// Fault-injection outcome tally (empirical cross-check).
+    pub tally: OutcomeTally,
+}
+
+impl ConfigPoint {
+    /// The objective vector in [`crate::pareto::MAXIMIZE`] order.
+    #[must_use]
+    pub fn objectives(&self) -> Vec<f64> {
+        vec![
+            self.mttf_years,
+            self.energy_ratio,
+            self.cpi_inflation_pct,
+            self.area_overhead_pct,
+        ]
+    }
+
+    /// Serialises the point (float fields carry both a decimal and an
+    /// exact bit-pattern form, the convention of the repro documents).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let c = &self.config;
+        let scrub = match c.scrub_interval {
+            None => Json::Null,
+            Some(iv) => Json::UInt(iv),
+        };
+        Json::Obj(vec![
+            ("label".to_string(), Json::Str(c.label())),
+            ("scheme".to_string(), Json::Str(c.scheme.name().to_string())),
+            ("cache_kib".to_string(), Json::UInt(u64::from(c.cache_kib))),
+            (
+                "associativity".to_string(),
+                Json::UInt(u64::from(c.associativity)),
+            ),
+            (
+                "block_bytes".to_string(),
+                Json::UInt(u64::from(c.block_bytes)),
+            ),
+            ("k".to_string(), Json::UInt(u64::from(c.parity_k))),
+            ("scrub_interval".to_string(), scrub),
+            (
+                "digest".to_string(),
+                Json::Str(format!("{:016x}", self.digest)),
+            ),
+            ("mttf_years".to_string(), Json::Num(self.mttf_years)),
+            (
+                "mttf_years_bits".to_string(),
+                Json::from_f64_bits(self.mttf_years),
+            ),
+            ("energy_ratio".to_string(), Json::Num(self.energy_ratio)),
+            (
+                "energy_ratio_bits".to_string(),
+                Json::from_f64_bits(self.energy_ratio),
+            ),
+            (
+                "cpi_inflation_pct".to_string(),
+                Json::Num(self.cpi_inflation_pct),
+            ),
+            (
+                "cpi_inflation_pct_bits".to_string(),
+                Json::from_f64_bits(self.cpi_inflation_pct),
+            ),
+            (
+                "area_overhead_pct".to_string(),
+                Json::Num(self.area_overhead_pct),
+            ),
+            (
+                "area_overhead_pct_bits".to_string(),
+                Json::from_f64_bits(self.area_overhead_pct),
+            ),
+            ("tally".to_string(), self.tally.to_json()),
+        ])
+    }
+
+    /// Rebuilds a point from [`ConfigPoint::to_json`] output (the
+    /// checkpoint loader). Returns `None` on any shape mismatch.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<ConfigPoint> {
+        let scheme = SchemeKind::parse(v.get("scheme")?.as_str()?).ok()?;
+        let scrub_interval = match v.get("scrub_interval")? {
+            Json::Null => None,
+            other => Some(other.as_u64()?),
+        };
+        let config = SweepConfig {
+            scheme,
+            cache_kib: u32::try_from(v.get("cache_kib")?.as_u64()?).ok()?,
+            associativity: u32::try_from(v.get("associativity")?.as_u64()?).ok()?,
+            block_bytes: u32::try_from(v.get("block_bytes")?.as_u64()?).ok()?,
+            parity_k: u32::try_from(v.get("k")?.as_u64()?).ok()?,
+            scrub_interval,
+        };
+        Some(ConfigPoint {
+            config,
+            digest: u64::from_str_radix(v.get("digest")?.as_str()?, 16).ok()?,
+            mttf_years: v.get("mttf_years_bits")?.as_f64_bits()?,
+            energy_ratio: v.get("energy_ratio_bits")?.as_f64_bits()?,
+            cpi_inflation_pct: v.get("cpi_inflation_pct_bits")?.as_f64_bits()?,
+            area_overhead_pct: v.get("area_overhead_pct_bits")?.as_f64_bits()?,
+            tally: OutcomeTally::from_json(v.get("tally")?)?,
+        })
+    }
+}
+
+/// Evaluates one configuration against the shared geometry baseline.
+///
+/// # Errors
+///
+/// Returns a message if the spec names an unknown benchmark profile.
+pub fn evaluate(
+    spec: &SweepSpec,
+    cfg: &SweepConfig,
+    base: &GeometryBaseline,
+) -> Result<ConfigPoint, String> {
+    let profile = profile_for(spec)?;
+    let model = TimingModel::new(machine_for(
+        cfg.cache_kib,
+        cfg.associativity,
+        cfg.block_bytes,
+    ));
+    let memops = spec.workload_ops;
+
+    // CPI, normalised to same-geometry 1D parity (no scrubbing).
+    let b = model.breakdown_from_stats(
+        &profile,
+        l1_scheme_of(cfg.scheme),
+        memops,
+        base.l1_stats,
+        base.l2_stats,
+    );
+    let parity_b = model.breakdown_from_stats(
+        &profile,
+        L1Scheme::OneDimParity,
+        memops,
+        base.l1_stats,
+        base.l2_stats,
+    );
+    let blocks = (cfg.size_bytes() / cfg.block_bytes as usize) as f64;
+    let dirty_fraction = ReliabilityParams::paper_l1().dirty_fraction;
+    // One scrub pass per interval touches every block (read) and
+    // rewrites the dirty ones; its CPI cost is that traffic amortised
+    // over the interval.
+    let scrub_overhead = cfg
+        .scrub_interval
+        .map_or(0.0, |iv| blocks * (1.0 + dirty_fraction) / iv as f64);
+    let cpi = b.cpi() * (1.0 + scrub_overhead);
+    let cpi_inflation_pct = (cpi / parity_b.cpi() - 1.0) * 100.0;
+
+    // Energy over the measured window, normalised to same-geometry 1D
+    // parity without scrubbing.
+    let words_per_line = cfg.block_bytes / 8;
+    let base_counts = counts_from_stats(&base.l1_stats, words_per_line);
+    let mut counts = base_counts;
+    if let Some(iv) = cfg.scrub_interval {
+        let window_cycles = b.instructions * cpi;
+        let passes = window_cycles / iv as f64;
+        let scrub_reads = (passes * blocks).round() as u64;
+        let scrub_writes = (passes * blocks * dirty_fraction).round() as u64;
+        counts.reads += scrub_reads;
+        counts.writes += scrub_writes;
+    }
+    let size = cfg.size_bytes();
+    let assoc = cfg.associativity as usize;
+    let block = cfg.block_bytes as usize;
+    let pj = SchemeEnergy::new(size, assoc, block, pricing_of(cfg), TechnologyNode::Nm32)
+        .total_pj(&counts);
+    let base_pj = SchemeEnergy::new(
+        size,
+        assoc,
+        block,
+        ProtectionKind::OneDimParity { ways: 8 },
+        TechnologyNode::Nm32,
+    )
+    .total_pj(&base_counts);
+    let energy_ratio = pj / base_pj;
+
+    // Empirical cross-check: the fault-injection campaign, seeded from
+    // the config digest so every config draws an independent but
+    // reproducible trial stream.
+    let digest = cfg.digest(spec);
+    let campaign = CampaignConfig::new(spec.campaign_seed ^ digest, spec.trials)
+        .shard_size(CAMPAIGN_SHARD)
+        .threads(1);
+    let tally: OutcomeTally = cppc_campaign::run(
+        &campaign,
+        scheme_experiment(cfg.scheme, cfg.cppc_config(), FAULT),
+    )
+    .result;
+
+    Ok(ConfigPoint {
+        config: *cfg,
+        digest,
+        mttf_years: mttf_years_of(cfg),
+        energy_ratio,
+        cpi_inflation_pct,
+        area_overhead_pct: area_overhead_pct(cfg),
+        tally,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::quick_tier();
+        spec.tier = "custom".to_string();
+        spec.trials = 8;
+        spec.workload_ops = 4_000;
+        spec
+    }
+
+    fn point_for(cfg: SweepConfig) -> ConfigPoint {
+        let spec = tiny_spec();
+        let base = baseline(&spec, cfg.cache_kib, cfg.associativity, cfg.block_bytes).unwrap();
+        evaluate(&spec, &cfg, &base).unwrap()
+    }
+
+    #[test]
+    fn parity_baseline_is_the_unit_point() {
+        let p = point_for(SweepConfig {
+            scheme: SchemeKind::Parity1d,
+            cache_kib: 8,
+            associativity: 2,
+            block_bytes: 32,
+            parity_k: 8,
+            scrub_interval: None,
+        });
+        assert!((p.energy_ratio - 1.0).abs() < 1e-12, "{}", p.energy_ratio);
+        assert!(p.cpi_inflation_pct.abs() < 1e-12, "{}", p.cpi_inflation_pct);
+        assert_eq!(p.tally.total(), 8);
+    }
+
+    #[test]
+    fn cppc_beats_parity_on_mttf_and_costs_more_area() {
+        let cppc = point_for(SweepConfig {
+            scheme: SchemeKind::Cppc,
+            cache_kib: 8,
+            associativity: 2,
+            block_bytes: 32,
+            parity_k: 8,
+            scrub_interval: None,
+        });
+        let parity = point_for(SweepConfig {
+            scheme: SchemeKind::Parity1d,
+            cache_kib: 8,
+            associativity: 2,
+            block_bytes: 32,
+            parity_k: 8,
+            scrub_interval: None,
+        });
+        assert!(cppc.mttf_years > parity.mttf_years * 100.0);
+        assert!(cppc.area_overhead_pct > parity.area_overhead_pct);
+        assert!(cppc.energy_ratio > 1.0);
+    }
+
+    #[test]
+    fn scrubbing_raises_cppc_mttf_and_energy() {
+        let base_cfg = SweepConfig {
+            scheme: SchemeKind::Cppc,
+            cache_kib: 8,
+            associativity: 2,
+            block_bytes: 32,
+            parity_k: 8,
+            scrub_interval: None,
+        };
+        let plain = point_for(base_cfg);
+        let scrubbed = point_for(SweepConfig {
+            // Shorter than Tavg (1828 cycles), so the window shrinks.
+            scrub_interval: Some(1_000),
+            ..base_cfg
+        });
+        assert!(scrubbed.mttf_years > plain.mttf_years);
+        assert!(scrubbed.energy_ratio > plain.energy_ratio);
+        assert!(scrubbed.cpi_inflation_pct > plain.cpi_inflation_pct);
+        // Scrubbing cannot save detection-only parity.
+        let parity_scrubbed = point_for(SweepConfig {
+            scheme: SchemeKind::Parity1d,
+            scrub_interval: Some(1_000),
+            ..base_cfg
+        });
+        let parity_plain = point_for(SweepConfig {
+            scheme: SchemeKind::Parity1d,
+            ..base_cfg
+        });
+        assert!((parity_scrubbed.mttf_years - parity_plain.mttf_years).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let cfg = SweepConfig {
+            scheme: SchemeKind::Parity2d,
+            cache_kib: 8,
+            associativity: 2,
+            block_bytes: 32,
+            parity_k: 8,
+            scrub_interval: Some(200_000),
+        };
+        let a = point_for(cfg);
+        let b = point_for(cfg);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.to_json().to_string_compact(),
+            b.to_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn point_json_roundtrips() {
+        let p = point_for(SweepConfig {
+            scheme: SchemeKind::SecdedInterleaved,
+            cache_kib: 8,
+            associativity: 2,
+            block_bytes: 32,
+            parity_k: 8,
+            scrub_interval: Some(200_000),
+        });
+        let back = ConfigPoint::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,46 @@
+//! Design-space explorer (`cppc-cli explore`, ROADMAP item 4).
+//!
+//! The paper evaluates CPPC at a handful of hand-picked configurations;
+//! this crate sweeps the knobs the repository already exposes — the
+//! [`ProtectionScheme`](cppc_core::scheme) choice, cache size /
+//! associativity / block size, the CPPC parity-interleave factor *k*
+//! and a scrub interval — and maps every configuration onto four
+//! objectives:
+//!
+//! * **MTTF** (years, maximize) — the closed-form reliability models of
+//!   `cppc_reliability::mttf`, cross-checked per config by a fault-
+//!   injection campaign through `cppc_campaign`;
+//! * **energy ratio** (minimize) — dynamic energy normalised to a
+//!   one-dimensional-parity cache of the *same geometry*
+//!   (`cppc_energy`);
+//! * **CPI inflation %** (minimize) — port-contention timing model
+//!   normalised the same way (`cppc_timing`);
+//! * **area overhead %** (minimize) — the storage overhead of the
+//!   scheme's code bits (`cppc_energy::area`).
+//!
+//! [`pareto`] computes the non-dominated frontier and annotates every
+//! point with its dominance rank; [`doc`] serialises the whole study as
+//! a `docs/results/explore_<tier>.json` document and renders
+//! `docs/EXPLORER.md` as a pure function of the committed JSONs.
+//!
+//! Everything is deterministic: the sweep is embarrassingly parallel
+//! across configurations, each configuration's campaign seed derives
+//! from a stable FNV-1a digest of the config plus the spec identity,
+//! and the output document is byte-identical at any `--threads` — the
+//! same contract the campaign engine itself honours. The digest also
+//! keys per-config checkpoint files, so an interrupted sweep resumes
+//! without recomputation.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod doc;
+pub mod driver;
+pub mod eval;
+pub mod obs;
+pub mod pareto;
+pub mod spec;
+
+pub use driver::{run_sweep, SweepOptions, SweepOutcome};
+pub use eval::ConfigPoint;
+pub use spec::{SweepConfig, SweepSpec};

@@ -1,0 +1,18 @@
+//! `explore.*` metrics: sweep execution, checkpoint reuse, frontier
+//! size.
+
+cppc_obs::metrics! {
+    group EXPLORE_METRICS: "explore", "Design-space explorer: sweep execution, checkpoint reuse and Pareto-frontier size.";
+    counter SWEEPS: "explore.sweeps", "sweeps", "Design-space sweeps started.";
+    counter CONFIGS_EVALUATED: "explore.configs_evaluated", "configs", "Configurations evaluated from scratch (campaign + analytical models).";
+    counter CHECKPOINT_HITS: "explore.checkpoint_hits", "configs", "Configurations restored from a per-config checkpoint instead of re-evaluated.";
+    counter CHECKPOINT_WRITES: "explore.checkpoint_writes", "files", "Per-config checkpoint files written.";
+    gauge FRONTIER_SIZE: "explore.frontier_size", "configs", "Size of the Pareto frontier (rank-0 configs) of the last assembled sweep document.";
+    timer SWEEP_LATENCY: "explore.sweep.ns", "ns", "Wall time of one full sweep (baselines + all configurations).";
+}
+
+/// Registers the `explore.*` group with the global registry
+/// (idempotent).
+pub fn register_metrics() {
+    EXPLORE_METRICS.register();
+}

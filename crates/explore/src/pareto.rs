@@ -1,0 +1,171 @@
+//! Pareto dominance and rank peeling.
+//!
+//! A point **dominates** another when it is at least as good on every
+//! objective and strictly better on at least one ("good" per the
+//! caller's `maximize` direction vector). Identical points therefore do
+//! *not* dominate each other: duplicates and exact ties survive to the
+//! same rank. Ranks are assigned by iterative peeling — rank 0 is the
+//! non-dominated frontier of the full set, rank 1 the frontier of what
+//! remains once rank 0 is removed, and so on.
+
+/// Objective directions used by the explorer: (MTTF maximize; energy
+/// ratio, CPI inflation and area overhead minimize).
+pub const MAXIMIZE: [bool; 4] = [true, false, false, false];
+
+/// Does `a` dominate `b`?
+///
+/// `maximize[i]` gives the direction of objective `i`; the slices must
+/// all have the same length. Any comparison involving a NaN is neither
+/// better nor worse, so NaN-bearing points end up mutually
+/// non-dominating rather than poisoning the frontier.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64], maximize: &[bool]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective arity mismatch");
+    assert_eq!(a.len(), maximize.len(), "direction arity mismatch");
+    let mut strictly_better = false;
+    for ((&x, &y), &max) in a.iter().zip(b).zip(maximize) {
+        let (better, worse) = if max { (x > y, x < y) } else { (x < y, x > y) };
+        if worse {
+            return false;
+        }
+        if better {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Assigns a dominance rank to every point by iterative peeling.
+///
+/// Returns one rank per input point, in input order; an empty input
+/// yields an empty vector and a single point always gets rank 0.
+///
+/// # Panics
+///
+/// Panics if any point's arity differs from `maximize.len()`.
+#[must_use]
+pub fn ranks(points: &[Vec<f64>], maximize: &[bool]) -> Vec<u32> {
+    let mut rank = vec![0u32; points.len()];
+    let mut remaining: Vec<usize> = (0..points.len()).collect();
+    let mut current = 0u32;
+    while !remaining.is_empty() {
+        let front: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !remaining
+                    .iter()
+                    .any(|&j| j != i && dominates(&points[j], &points[i], maximize))
+            })
+            .collect();
+        if front.is_empty() {
+            // Unreachable for finite objectives (a finite set always
+            // has a non-dominated element); guards NaN pathologies.
+            for &i in &remaining {
+                rank[i] = current;
+            }
+            break;
+        }
+        for &i in &front {
+            rank[i] = current;
+        }
+        remaining.retain(|i| !front.contains(i));
+        current += 1;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN2: [bool; 2] = [false, false];
+
+    #[test]
+    fn dominance_basics() {
+        // Strictly better on both minimized objectives.
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0], &MIN2));
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 1.0], &MIN2));
+        // Better on one, equal on the other: still dominates.
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0], &MIN2));
+        // Trade-off: neither dominates.
+        assert!(!dominates(&[1.0, 3.0], &[3.0, 1.0], &MIN2));
+        assert!(!dominates(&[3.0, 1.0], &[1.0, 3.0], &MIN2));
+    }
+
+    #[test]
+    fn identical_points_do_not_dominate_each_other() {
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0], &MIN2));
+        let r = ranks(&[vec![1.0, 1.0], vec![1.0, 1.0]], &MIN2);
+        assert_eq!(r, vec![0, 0]);
+    }
+
+    #[test]
+    fn maximize_direction_flips_comparison() {
+        let max2 = [true, true];
+        assert!(dominates(&[2.0, 2.0], &[1.0, 1.0], &max2));
+        assert!(!dominates(&[1.0, 1.0], &[2.0, 2.0], &max2));
+        // Mixed directions, the explorer's shape: obj0 up, obj1 down.
+        let mixed = [true, false];
+        assert!(dominates(&[5.0, 1.0], &[4.0, 2.0], &mixed));
+        assert!(!dominates(&[5.0, 3.0], &[4.0, 2.0], &mixed));
+    }
+
+    #[test]
+    fn hand_built_frontier_ranks() {
+        // Minimize both. Layer 0: (1,4), (2,2), (4,1). Layer 1: (2,5),
+        // (3,3). Layer 2: (5,5).
+        let pts = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![2.0, 5.0],
+            vec![3.0, 3.0],
+            vec![5.0, 5.0],
+        ];
+        assert_eq!(ranks(&pts, &MIN2), vec![0, 0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn tied_objective_values_share_a_rank() {
+        // Two distinct points tied on one objective, plus a dominated
+        // straggler.
+        let pts = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(ranks(&pts, &MIN2), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn duplicates_survive_to_the_same_rank() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(ranks(&pts, &MIN2), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn single_point_and_empty_frontiers() {
+        assert_eq!(ranks(&[vec![7.0, 7.0]], &MIN2), vec![0]);
+        assert!(ranks(&[], &MIN2).is_empty());
+    }
+
+    #[test]
+    fn four_objective_explorer_shape() {
+        // A CPPC-like point (high MTTF, some energy/CPI/area cost), a
+        // parity-like point (low everything) and a strictly-worse one.
+        let cppc = vec![5000.0, 1.1, 0.3, 7.0];
+        let parity = vec![4.0, 1.0, 0.0, 1.6];
+        let worse = vec![3.0, 1.2, 1.7, 7.0];
+        let pts = vec![cppc, parity, worse];
+        assert_eq!(ranks(&pts, &MAXIMIZE), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn nan_points_do_not_poison_ranking() {
+        let pts = vec![vec![f64::NAN, 1.0], vec![1.0, 1.0]];
+        let r = ranks(&pts, &MIN2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], 0);
+    }
+}

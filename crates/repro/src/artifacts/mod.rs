@@ -7,6 +7,7 @@
 //! first golden and regenerate the book.
 
 mod energy;
+mod explore;
 mod fig10;
 mod mbe;
 mod schemes;
@@ -25,6 +26,7 @@ pub fn registry() -> &'static [Artifact] {
             energy::artifact(),
             schemes::artifact(),
             mbe::artifact(),
+            explore::artifact(),
         ]
     })
 }

@@ -71,6 +71,16 @@ pub enum JobKind {
         /// text v1), resolved on the executing host at dispatch time.
         path: String,
     },
+    /// Design-space sweep ([`cppc_explore::run_sweep`]): the tier's
+    /// grid with the spec's `seed`/`trials` as the per-config campaign
+    /// parameters. The result document is the `cppc-explore/1` sweep
+    /// doc (points + Pareto ranks); per-config checkpoints live next
+    /// to the job's checkpoint path.
+    Explore {
+        /// `true` runs the 28-config quick tier, `false` the full
+        /// 432-config grid.
+        quick: bool,
+    },
 }
 
 impl JobKind {
@@ -84,6 +94,7 @@ impl JobKind {
             JobKind::Mbe => "mbe",
             JobKind::Sleep { .. } => "sleep",
             JobKind::Trace { .. } => "trace",
+            JobKind::Explore { .. } => "explore",
         }
     }
 }
@@ -174,6 +185,10 @@ impl JobSpec {
                     return Err("trace path must not be empty".into());
                 }
             }
+            JobKind::Explore { .. } => {
+                // The grid axes are fixed by the tier; per-config
+                // campaigns only need positive trials, checked above.
+            }
             JobKind::Mbe | JobKind::Sleep { .. } => {}
         }
         Ok(())
@@ -222,6 +237,9 @@ impl JobSpec {
             }
             JobKind::Trace { path } => {
                 pairs.push(("path".into(), Json::Str(path.clone())));
+            }
+            JobKind::Explore { quick } => {
+                pairs.push(("quick".into(), Json::Bool(*quick)));
             }
             JobKind::Mbe | JobKind::Sleep { .. } => {}
         }
@@ -284,6 +302,13 @@ impl JobSpec {
             },
             "trace" => JobKind::Trace {
                 path: str_field("path")?,
+            },
+            "explore" => JobKind::Explore {
+                quick: match v.get("quick") {
+                    None => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err("bad 'quick' in spec".to_string()),
+                },
             },
             other => return Err(format!("unknown job kind '{other}'")),
         };
@@ -576,6 +601,8 @@ mod tests {
                 400,
                 0xC11,
             ),
+            JobSpec::new(JobKind::Explore { quick: true }, 8, 0xE87A),
+            JobSpec::new(JobKind::Explore { quick: false }, 48, 0xE87A),
         ]
     }
 

@@ -154,6 +154,33 @@ pub fn execute(
                 tally_result_json,
             )
         }
+        // The sweep has its own parallel driver and per-config
+        // checkpoint store, so it bypasses the shard engine: the job's
+        // checkpoint *path* is reused as the base name of a sibling
+        // directory holding one digest-keyed file per configuration,
+        // which gives the same suspend/resume contract (interrupt →
+        // `Interrupted`, restart resumes bit-identically from the
+        // completed configs).
+        JobKind::Explore { quick } => {
+            let mut sweep = if *quick {
+                cppc_explore::SweepSpec::quick_tier()
+            } else {
+                cppc_explore::SweepSpec::full_tier()
+            };
+            sweep.trials = spec.trials;
+            sweep.campaign_seed = spec.seed;
+            let opts = cppc_explore::SweepOptions {
+                threads,
+                checkpoint_dir: Some(ckpt_path.with_extension("explore.d")),
+            };
+            match cppc_explore::run_sweep(&sweep, &opts, interrupt) {
+                Err(error) => RunEnd::Failed { error },
+                Ok(cppc_explore::SweepOutcome::Interrupted { .. }) => RunEnd::Interrupted,
+                Ok(cppc_explore::SweepOutcome::Complete(points)) => RunEnd::Complete {
+                    result: cppc_explore::doc::sweep_doc(&sweep, &points),
+                },
+            }
+        }
         JobKind::MonteCarlo {
             rate,
             domains,
@@ -312,6 +339,46 @@ mod tests {
             }
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explore_job_interrupts_before_work_and_resumes_to_sweep_doc() {
+        let ckpt = tmp("explore_interrupt.json");
+        let ckpt_dir = ckpt.with_extension("explore.d");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let spec = JobSpec::new(JobKind::Explore { quick: true }, 2, 0xE87A);
+        // A pre-raised flag must yield `Interrupted` without running a
+        // single configuration (so cancel/shutdown is prompt).
+        let flag = AtomicBool::new(true);
+        let end = execute(&spec, &ckpt, 4, 1, Some(&flag), |_| {});
+        assert_eq!(end, RunEnd::Interrupted);
+        assert!(
+            !ckpt_dir.exists() || std::fs::read_dir(&ckpt_dir).unwrap().next().is_none(),
+            "no config may complete under a pre-raised interrupt"
+        );
+        // Resume to completion: the result is the sweep document for
+        // the quick tier with the job's trials/seed substituted in.
+        let end = execute(&spec, &ckpt, 4, 2, None, |_| {});
+        let mut sweep = cppc_explore::SweepSpec::quick_tier();
+        sweep.trials = 2;
+        sweep.campaign_seed = 0xE87A;
+        match end {
+            RunEnd::Complete { result } => {
+                assert_eq!(
+                    result.get("schema").and_then(Json::as_str),
+                    Some("cppc-explore/1")
+                );
+                assert_eq!(
+                    result
+                        .get("summary")
+                        .and_then(|s| s.get("configs"))
+                        .and_then(Json::as_u64),
+                    Some(sweep.enumerate().len() as u64)
+                );
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 
     #[test]

@@ -1,67 +1,78 @@
 //! Design-space explorer: the paper's central trade-off (§3.4, §4.10) —
-//! reliability scales with register pairs and parity bits, at a sliver
-//! of area. Sweeps the CPPC design space and prints MTTF, aliasing MTTF
-//! and storage overhead for each point, next to SECDED.
+//! reliability scales with parity interleave degree at a sliver of area
+//! and energy. Sweeps a custom grid through [`cppc::explore`], peels
+//! the Pareto frontier over (MTTF↑, energy↓, CPI↓, area↓) and prints
+//! every point with its dominance rank, next to the scheme zoo.
 //!
 //! Run with `cargo run --release --example design_space`.
 
-use cppc::energy::AreaModel;
-use cppc::reliability::mttf::{
-    aliasing_vulnerable_bits, mttf_aliasing_years, mttf_cppc_years, mttf_one_dim_parity_years,
-    mttf_secded_years,
-};
+use cppc::core::SchemeKind;
+use cppc::explore::pareto::{ranks, MAXIMIZE};
+use cppc::explore::{run_sweep, SweepOptions, SweepOutcome, SweepSpec};
+use cppc::reliability::mttf::{aliasing_vulnerable_bits, mttf_aliasing_years};
 use cppc::reliability::ReliabilityParams;
 
 fn main() {
-    let l1_bytes = 32 * 1024;
-    let params = ReliabilityParams::paper_l1();
+    // A custom spec: every scheme at the paper's 32KB L1 point, with
+    // the CPPC interleave degree as the swept design knob and an
+    // optional 200k-cycle scrub. The tiers (`SweepSpec::quick_tier`,
+    // `full_tier`) are just bigger versions of this.
+    let mut spec = SweepSpec::quick_tier();
+    spec.tier = "example".to_string();
+    spec.schemes = SchemeKind::ALL.to_vec();
+    spec.cache_kib = vec![32];
+    spec.interleave_k = vec![1, 2, 4, 8];
+    spec.trials = 24;
+
+    let opts = SweepOptions::default();
+    let points = match run_sweep(&spec, &opts, None) {
+        Ok(SweepOutcome::Complete(points)) => points,
+        Ok(SweepOutcome::Interrupted { .. }) => unreachable!("no interrupt flag"),
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let objectives: Vec<Vec<f64>> = points.iter().map(|p| p.objectives()).collect();
+    let rank = ranks(&objectives, &MAXIMIZE);
 
     println!("CPPC design space at the paper's L1 point (32KB, Table 2 inputs)\n");
     println!(
-        "{:<30} {:>12} {:>14} {:>12}",
-        "configuration", "MTTF (y)", "alias MTTF (y)", "area ovh"
+        "{:<34} {:>12} {:>9} {:>8} {:>8}  rank",
+        "configuration", "MTTF (y)", "energy", "CPI +%", "area %"
     );
-    println!("{}", "-".repeat(72));
-
-    println!(
-        "{:<30} {:>12.0} {:>14} {:>11.2}%",
-        "1D parity (8b/word)",
-        mttf_one_dim_parity_years(&params),
-        "-",
-        AreaModel::one_dim_parity(l1_bytes, 8).overhead_fraction() * 100.0
-    );
-
-    for parity_ways in [1u32, 8] {
-        for pairs in [1usize, 2, 4, 8] {
-            let mttf = mttf_cppc_years(&params, parity_ways);
-            let alias = mttf_aliasing_years(&params, aliasing_vulnerable_bits(pairs));
-            let area = AreaModel::cppc(l1_bytes, parity_ways, pairs, 64);
-            let alias_str = if alias.is_infinite() {
-                "eliminated".to_string()
-            } else {
-                format!("{alias:.2e}")
-            };
-            println!(
-                "{:<30} {:>12.2e} {:>14} {:>11.2}%",
-                format!("CPPC {parity_ways}b parity, {pairs} pair(s)"),
-                mttf,
-                alias_str,
-                area.overhead_fraction() * 100.0
-            );
-        }
+    println!("{}", "-".repeat(84));
+    for (p, r) in points.iter().zip(&rank) {
+        println!(
+            "{:<34} {:>12.2e} {:>8.3}x {:>8.3} {:>7.2}%  {}{}",
+            p.config.label(),
+            p.mttf_years,
+            p.energy_ratio,
+            p.cpi_inflation_pct,
+            p.area_overhead_pct,
+            r,
+            if *r == 0 { "  <- frontier" } else { "" }
+        );
     }
 
-    println!(
-        "{:<30} {:>12.2e} {:>14} {:>11.2}%",
-        "SECDED (72,64)",
-        mttf_secded_years(&params, 64.0),
-        "-",
-        AreaModel::secded(l1_bytes).overhead_fraction() * 100.0
-    );
+    // The explorer fixes one register pair per functional unit; the
+    // pairs axis matters for *aliasing*, which the closed-form model
+    // covers directly (§3.4).
+    let params = ReliabilityParams::paper_l1();
+    println!("\naliasing MTTF vs register pairs (independent of the sweep axes):");
+    for pairs in [1usize, 2, 4, 8] {
+        let alias = mttf_aliasing_years(&params, aliasing_vulnerable_bits(pairs));
+        let shown = if alias.is_infinite() {
+            "eliminated".to_string()
+        } else {
+            format!("{alias:.2e} y")
+        };
+        println!("  {pairs} pair(s): {shown}");
+    }
 
     println!();
     println!("observations (the paper's §3.4/§4.10 claims):");
     println!(" * correction capability scales with parity bits — 8x the MTTF for 8x the bits;");
     println!(" * register pairs cost ~nothing in area yet remove the aliasing window;");
-    println!(" * CPPC reaches within ~100x of SECDED's MTTF at a fraction of its 12.5% area.");
+    println!(" * every non-dominated (rank 0) point is a defensible design; the rest are not.");
 }

@@ -1,20 +1,21 @@
 //! Hierarchy explorer: run one SPEC2000-like profile through the full
 //! Table 1 machine and print everything the paper's evaluation measures
-//! for it — hit rates, dirty residency, CPI under each L1 scheme, and
-//! normalised dynamic energy at both levels.
+//! for it — hit rates and dirty residency from the shared functional
+//! run, then MTTF / energy / CPI / area for every protection scheme via
+//! one [`cppc::explore`] sweep over the scheme axis.
 //!
 //! Run with `cargo run --release --example hierarchy_explorer [benchmark]`
 //! (default: gcc; try `mcf` to see the L2-thrashing pathology).
 
-use cppc::energy::scheme::{ProtectionKind, SchemeEnergy};
-use cppc::energy::TechnologyNode;
-use cppc::timing::{counts_from_stats, L1Scheme, MachineConfig, TimingModel};
+use cppc::core::SchemeKind;
+use cppc::explore::eval::baseline;
+use cppc::explore::{run_sweep, SweepOptions, SweepOutcome, SweepSpec};
 use cppc::workloads::spec2000_profiles;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
     let profiles = spec2000_profiles();
-    let Some(profile) = profiles.iter().find(|p| p.name == which) else {
+    if !profiles.iter().any(|p| p.name == which) {
         eprintln!(
             "unknown benchmark {which}; available: {}",
             profiles
@@ -24,18 +25,27 @@ fn main() {
                 .join(", ")
         );
         std::process::exit(1);
-    };
+    }
 
-    const OPS: usize = 200_000;
-    let machine = MachineConfig::table1();
-    let model = TimingModel::new(machine);
+    // One geometry (the Table 1 L1), every scheme, the chosen workload.
+    let mut spec = SweepSpec::quick_tier();
+    spec.tier = "example".to_string();
+    spec.schemes = SchemeKind::ALL.to_vec();
+    spec.cache_kib = vec![32];
+    spec.interleave_k = vec![8];
+    spec.scrub_intervals = vec![None];
+    spec.benchmark = which.clone();
+    spec.workload_ops = 200_000;
+    spec.trials = 24;
 
     println!(
-        "benchmark {} — {OPS} memory ops on the Table 1 machine\n",
-        profile.name
+        "benchmark {which} — {} memory ops on the Table 1 machine\n",
+        spec.workload_ops
     );
 
-    let base = model.simulate(profile, L1Scheme::OneDimParity, OPS, 42);
+    // The sweep shares one functional run per geometry; surface the
+    // same run here for the hit-rate/dirtiness picture.
+    let base = baseline(&spec, 32, 2, 32).expect("benchmark exists");
     println!("functional behaviour:");
     println!(
         "  L1: {:>9} accesses, miss rate {:>5.2}%, stores-to-dirty {:>6}",
@@ -50,59 +60,35 @@ fn main() {
         base.l2_stats.writebacks
     );
 
-    println!("\nCPI under each L1 protection scheme:");
-    for (name, scheme) in [
-        ("1D parity", L1Scheme::OneDimParity),
-        ("CPPC", L1Scheme::Cppc),
-        ("SECDED", L1Scheme::Secded),
-        ("2D parity", L1Scheme::TwoDimParity),
-    ] {
-        let b = model.breakdown_from_stats(profile, scheme, OPS, base.l1_stats, base.l2_stats);
-        println!(
-            "  {name:<12} CPI {:.4}  (base {:.3} + memory {:.3} + contention {:.5})",
-            b.cpi(),
-            b.base_cpi,
-            b.memory_cpi,
-            b.contention_cpi
-        );
-    }
-
-    let node = TechnologyNode::Nm32;
-    println!("\nnormalised dynamic energy:");
-    for (level, stats, size, assoc, block) in [
-        (
-            "L1",
-            base.l1_stats,
-            machine.l1d.size_bytes,
-            machine.l1d.associativity,
-            machine.l1d.block_bytes,
-        ),
-        (
-            "L2",
-            base.l2_stats,
-            machine.l2.size_bytes,
-            machine.l2.associativity,
-            machine.l2.block_bytes,
-        ),
-    ] {
-        let counts = counts_from_stats(&stats, (block / 8) as u32);
-        let parity = SchemeEnergy::new(
-            size,
-            assoc,
-            block,
-            ProtectionKind::OneDimParity { ways: 8 },
-            node,
-        );
-        let reference = parity.total_pj(&counts);
-        print!("  {level}: ");
-        for (name, kind) in [
-            ("CPPC", ProtectionKind::Cppc { ways: 8 }),
-            ("SECDED", ProtectionKind::Secded { interleaved: true }),
-            ("2D", ProtectionKind::TwoDimParity { ways: 8 }),
-        ] {
-            let e = SchemeEnergy::new(size, assoc, block, kind, node);
-            print!("{name} {:.3}x  ", e.total_pj(&counts) / reference);
+    let points = match run_sweep(&spec, &SweepOptions::default(), None) {
+        Ok(SweepOutcome::Complete(points)) => points,
+        Ok(SweepOutcome::Interrupted { .. }) => unreachable!("no interrupt flag"),
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
         }
-        println!("(vs 1D parity)");
+    };
+
+    println!("\nevery protection scheme at this workload (vs 1D parity):");
+    println!(
+        "  {:<22} {:>12} {:>9} {:>8} {:>8} {:>7}",
+        "scheme", "MTTF (y)", "energy", "CPI +%", "area %", "SDC %"
+    );
+    for p in &points {
+        let total = p.tally.total() as f64;
+        let sdc_pct = if total > 0.0 {
+            p.tally.sdc as f64 / total * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<22} {:>12.2e} {:>8.3}x {:>8.3} {:>7.2}% {:>6.1}%",
+            p.config.scheme.name(),
+            p.mttf_years,
+            p.energy_ratio,
+            p.cpi_inflation_pct,
+            p.area_overhead_pct,
+            sdc_pct
+        );
     }
 }

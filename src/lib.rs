@@ -12,6 +12,7 @@ pub use cppc_coherence as coherence;
 pub use cppc_core as core;
 pub use cppc_ecc as ecc;
 pub use cppc_energy as energy;
+pub use cppc_explore as explore;
 pub use cppc_fault as fault;
 pub use cppc_obs as obs;
 pub use cppc_reliability as reliability;
